@@ -1,0 +1,62 @@
+"""Ablation: how much of MatchJoin's win survives partial view coverage?
+
+Sweeps the fraction of query edges that the view cache covers and
+compares (a) direct Match, (b) the exact *hybrid* evaluator
+(views for covered edges, graph scans for the rest; see
+``repro.core.rewriting.hybrid_answer``), and -- at full coverage --
+(c) pure MatchJoin.  The design claim under test: evaluation cost
+degrades gracefully from MatchJoin's to Match's as coverage shrinks,
+so a partially useful cache is still useful.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.containment import contains
+from repro.core.matchjoin import match_join
+from repro.core.rewriting import hybrid_answer
+from repro.simulation import match
+from repro.views import ViewDefinition, ViewSet
+
+from common import once
+
+COVERAGES = [0.0, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    graph, full_views = workloads.synthetic(max(500, int(8000 * scale)))
+    query = workloads.pick_query(full_views, 5, 8, graph=graph, tag="ablation")
+    edges = query.edges()
+    out = {}
+    for coverage in COVERAGES:
+        keep = edges[: int(round(len(edges) * coverage))]
+        views = ViewSet(
+            ViewDefinition(f"c{i}", query.subpattern([edge]))
+            for i, edge in enumerate(keep)
+        )
+        views.materialize(graph)
+        out[coverage] = (graph, views, query)
+    return out
+
+
+@pytest.mark.parametrize("coverage", COVERAGES, ids=lambda c: f"cov{c}")
+def test_ablation_match_baseline(benchmark, prepared, coverage):
+    graph, views, query = prepared[coverage]
+    result = once(benchmark, match, query, graph)
+    assert result is not None
+
+
+@pytest.mark.parametrize("coverage", COVERAGES, ids=lambda c: f"cov{c}")
+def test_ablation_hybrid(benchmark, prepared, coverage):
+    graph, views, query = prepared[coverage]
+    result = once(benchmark, hybrid_answer, query, views, graph)
+    assert result.edge_matches == match(query, graph).edge_matches
+
+
+def test_ablation_matchjoin_full_coverage(benchmark, prepared):
+    graph, views, query = prepared[1.0]
+    containment = contains(query, views)
+    assert containment.holds
+    result = once(benchmark, match_join, query, containment, views)
+    assert result.edge_matches == match(query, graph).edge_matches

@@ -1,0 +1,34 @@
+"""Fig. 8(a): Match vs MatchJoin_mnl vs MatchJoin_min, varying |Qs|
+(Amazon).  Full series: python -m repro.bench.run_all --only fig8a."""
+
+import pytest
+
+from repro.core.matchjoin import match_join
+from repro.simulation import match
+
+from common import once, prepare_simulation
+
+SIZES = [(4, 6), (6, 9), (8, 12)]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    return prepare_simulation("amazon", SIZES, scale)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8a_match(benchmark, prepared, size):
+    p = prepared[size]
+    once(benchmark, match, p.query, p.graph)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8a_matchjoin_mnl(benchmark, prepared, size):
+    p = prepared[size]
+    once(benchmark, match_join, p.query, p.minimal, p.views)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8a_matchjoin_min(benchmark, prepared, size):
+    p = prepared[size]
+    once(benchmark, match_join, p.query, p.minimum, p.views)

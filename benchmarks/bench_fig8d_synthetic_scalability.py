@@ -1,0 +1,37 @@
+"""Fig. 8(d): scalability with |G| on synthetic graphs (|E| = 2|V|,
+pattern (4,6)).  Full series: python -m repro.bench.run_all --only fig8d."""
+
+import pytest
+
+from repro.core.matchjoin import match_join
+from repro.simulation import match
+
+from common import once, prepare_synthetic
+
+BASE_NODES = [3000, 6000, 10000]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    return {
+        n: prepare_synthetic(max(500, int(n * scale)), (4, 6))
+        for n in BASE_NODES
+    }
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+def test_fig8d_match(benchmark, prepared, nodes):
+    p = prepared[nodes]
+    once(benchmark, match, p.query, p.graph)
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+def test_fig8d_matchjoin_mnl(benchmark, prepared, nodes):
+    p = prepared[nodes]
+    once(benchmark, match_join, p.query, p.minimal, p.views)
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+def test_fig8d_matchjoin_min(benchmark, prepared, nodes):
+    p = prepared[nodes]
+    once(benchmark, match_join, p.query, p.minimum, p.views)

@@ -1,0 +1,27 @@
+"""Fig. 8(e): MatchJoin_min across pattern sizes Q1..Q4 while varying
+|G|.  Full series: python -m repro.bench.run_all --only fig8e."""
+
+import pytest
+
+from repro.core.matchjoin import match_join
+
+from common import once, prepare_synthetic
+
+BASE_NODES = [3000, 10000]
+PATTERNS = [(4, 8), (5, 10), (6, 12), (7, 14)]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    return {
+        (n, size): prepare_synthetic(max(500, int(n * scale)), size)
+        for n in BASE_NODES
+        for size in PATTERNS
+    }
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+@pytest.mark.parametrize("size", PATTERNS, ids=str)
+def test_fig8e_matchjoin_min(benchmark, prepared, nodes, size):
+    p = prepared[(nodes, size)]
+    once(benchmark, match_join, p.query, p.minimum, p.views)

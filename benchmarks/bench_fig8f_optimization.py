@@ -1,0 +1,38 @@
+"""Fig. 8(f): the SCC-rank bottom-up optimization vs the literal Fig. 2
+fixpoint, on densification-law graphs (|E| = |V|^alpha).  Full series:
+python -m repro.bench.run_all --only fig8f."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.matchjoin import match_join
+from repro.core.minimum import minimum_views
+
+from common import once
+
+ALPHAS = [1.0, 1.1, 1.25]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    num_nodes = max(500, int(3000 * scale))
+    out = {}
+    for alpha in ALPHAS:
+        graph, views = workloads.densification(num_nodes, alpha)
+        query = workloads.pick_query(
+            views, 4, 6, graph=graph, tag=f"dens{num_nodes}:{alpha}"
+        )
+        out[alpha] = (graph, views, query, minimum_views(query, views))
+    return out
+
+
+@pytest.mark.parametrize("alpha", ALPHAS, ids=str)
+def test_fig8f_matchjoin_nopt(benchmark, prepared, alpha):
+    graph, views, query, minimum = prepared[alpha]
+    once(benchmark, match_join, query, minimum, views, optimized=False)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS, ids=str)
+def test_fig8f_matchjoin_min(benchmark, prepared, alpha):
+    graph, views, query, minimum = prepared[alpha]
+    once(benchmark, match_join, query, minimum, views, optimized=True)

@@ -1,0 +1,27 @@
+"""Fig. 8(g): containment-checking time over DAG vs cyclic patterns.
+Full series: python -m repro.bench.run_all --only fig8g."""
+
+import pytest
+
+from repro.core.containment import contains
+from repro.datasets import generate_views, random_query
+
+SIZES = [(6, 6), (8, 8), (8, 16), (10, 20)]
+LABELS = tuple(f"l{i}" for i in range(10))
+
+
+@pytest.fixture(scope="module")
+def views():
+    return generate_views(LABELS, 22, seed=17)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8g_contain_dag(benchmark, views, size):
+    query = random_query(size[0], size[1], LABELS, seed=1, cyclic=False)
+    benchmark(contains, query, views)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8g_contain_cyclic(benchmark, views, size):
+    query = random_query(size[0], size[1], LABELS, seed=1, cyclic=True)
+    benchmark(contains, query, views)

@@ -1,0 +1,40 @@
+"""Fig. 8(h): minimum vs minimal containment over an overlapping view
+suite (R1 = time ratio, R2 = cardinality ratio).  Full series with the
+ratio columns: python -m repro.bench.run_all --only fig8h."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views
+from repro.datasets import query_from_views
+
+SIZES = [(6, 6), (8, 16), (10, 20)]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    views, composites = workloads.overlapping_views()
+    queries = {
+        size: query_from_views(composites, size[0], size[1], seed=1)
+        for size in SIZES
+    }
+    return views, queries
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8h_minimal(benchmark, suite, size):
+    views, queries = suite
+    result = benchmark(minimal_views, queries[size], views)
+    assert result.holds
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8h_minimum(benchmark, suite, size):
+    views, queries = suite
+    result = benchmark(minimum_views, queries[size], views)
+    assert result.holds
+    # R2: the greedy set must be no larger than the minimal one here.
+    assert len(result.views_used()) <= len(
+        minimal_views(queries[size], views).views_used()
+    )

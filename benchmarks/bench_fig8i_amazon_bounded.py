@@ -1,0 +1,34 @@
+"""Fig. 8(i): BMatch vs BMatchJoin_mnl vs BMatchJoin_min, varying |Qb|
+(Amazon, fe=2).  Full series: python -m repro.bench.run_all --only fig8i."""
+
+import pytest
+
+from repro.core.bounded.bmatchjoin import bounded_match_join
+from repro.simulation import bounded_match
+
+from common import once, prepare_bounded
+
+SIZES = [(4, 6), (6, 9), (8, 12)]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    return prepare_bounded("amazon", 2, SIZES, scale)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8i_bmatch(benchmark, prepared, size):
+    p = prepared[size]
+    once(benchmark, bounded_match, p.query, p.graph)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8i_bmatchjoin_mnl(benchmark, prepared, size):
+    p = prepared[size]
+    once(benchmark, bounded_match_join, p.query, p.minimal, p.views)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=str)
+def test_fig8i_bmatchjoin_min(benchmark, prepared, size):
+    p = prepared[size]
+    once(benchmark, bounded_match_join, p.query, p.minimum, p.views)

@@ -1,0 +1,39 @@
+"""Fig. 8(k): varying the edge bound fe(e) on YouTube, pattern (4,8).
+Full series: python -m repro.bench.run_all --only fig8k."""
+
+import pytest
+
+from repro.core.bounded.bmatchjoin import bounded_match_join
+from repro.simulation import bounded_match
+
+from common import once, prepare_bounded
+
+BOUNDS = [2, 4, 6]
+SIZE = (4, 8)
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    # Half-size graph: per-bound view materialization dominates setup.
+    return {
+        k: prepare_bounded("youtube", k, [SIZE], scale * 0.5)[SIZE]
+        for k in BOUNDS
+    }
+
+
+@pytest.mark.parametrize("bound", BOUNDS, ids=str)
+def test_fig8k_bmatch(benchmark, prepared, bound):
+    p = prepared[bound]
+    once(benchmark, bounded_match, p.query, p.graph)
+
+
+@pytest.mark.parametrize("bound", BOUNDS, ids=str)
+def test_fig8k_bmatchjoin_mnl(benchmark, prepared, bound):
+    p = prepared[bound]
+    once(benchmark, bounded_match_join, p.query, p.minimal, p.views)
+
+
+@pytest.mark.parametrize("bound", BOUNDS, ids=str)
+def test_fig8k_bmatchjoin_min(benchmark, prepared, bound):
+    p = prepared[bound]
+    once(benchmark, bounded_match_join, p.query, p.minimum, p.views)

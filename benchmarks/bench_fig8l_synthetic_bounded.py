@@ -1,0 +1,37 @@
+"""Fig. 8(l): bounded-pattern scalability with |G| (synthetic, fe=3,
+pattern (4,6)).  Full series: python -m repro.bench.run_all --only fig8l."""
+
+import pytest
+
+from repro.core.bounded.bmatchjoin import bounded_match_join
+from repro.simulation import bounded_match
+
+from common import once, prepare_synthetic
+
+BASE_NODES = [3000, 6000, 10000]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    return {
+        n: prepare_synthetic(max(500, int(n * scale)), (4, 6), bounded_k=3)
+        for n in BASE_NODES
+    }
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+def test_fig8l_bmatch(benchmark, prepared, nodes):
+    p = prepared[nodes]
+    once(benchmark, bounded_match, p.query, p.graph)
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+def test_fig8l_bmatchjoin_mnl(benchmark, prepared, nodes):
+    p = prepared[nodes]
+    once(benchmark, bounded_match_join, p.query, p.minimal, p.views)
+
+
+@pytest.mark.parametrize("nodes", BASE_NODES, ids=str)
+def test_fig8l_bmatchjoin_min(benchmark, prepared, nodes):
+    p = prepared[nodes]
+    once(benchmark, bounded_match_join, p.query, p.minimum, p.views)

@@ -1,0 +1,59 @@
+"""Exp-1/Exp-4 narrative numbers: view-cache fractions, #views used,
+containment-analysis costs on the real-dataset stand-ins (the paper's
+"3 to 6 views ... no more than 4% of the size of the Youtube graph",
+"less than 0.5 second" containment checking).
+
+These run as assertions plus benchmarks so the narrative claims stay
+pinned to measured behaviour.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.containment import contains
+from repro.core.minimum import minimum_views
+
+DATASETS = ["amazon", "citation", "youtube"]
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    out = {}
+    for name in DATASETS:
+        factory = getattr(workloads, name)
+        graph, views = factory(scale)
+        query = workloads.pick_query(
+            views, 6, 9, graph=graph,
+            require_dag=(name == "citation"), tag=name,
+        )
+        out[name] = (graph, views, query)
+    return out
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_summary_containment_cost(benchmark, prepared, name):
+    """Containment analysis stays far below the paper's 0.5s budget."""
+    graph, views, query = prepared[name]
+    result = benchmark(contains, query, views)
+    assert result.holds
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_summary_views_used(benchmark, prepared, name):
+    """Minimum selection uses a handful of views (paper: 3-6)."""
+    graph, views, query = prepared[name]
+    result = benchmark(minimum_views, query, views)
+    assert result.holds
+    assert 1 <= len(result.views_used()) <= 8
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_summary_extension_fraction(benchmark, prepared, name):
+    """Materialized extensions are a small fraction of |G|."""
+    graph, views, query = prepared[name]
+
+    def fraction():
+        return views.extension_fraction(graph)
+
+    value = benchmark(fraction)
+    assert 0 < value < 0.6

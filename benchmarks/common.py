@@ -1,0 +1,106 @@
+"""Shared fixtures-in-spirit for the per-figure benchmark modules.
+
+Each figure module benchmarks the same triple of competitors the paper
+plots; the prepared-workload helpers here keep the per-module code down
+to declarations.  All preparation (graph generation, materialization,
+containment checking) happens *outside* the timed region, exactly as in
+the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.bench import workloads
+from repro.core.bounded.bminimal import bounded_minimal_views
+from repro.core.bounded.bminimum import bounded_minimum_views
+from repro.core.containment import Containment
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.views.storage import ViewSet
+
+
+@dataclass
+class Prepared:
+    """One x-axis point's ready-to-run workload."""
+
+    graph: DataGraph
+    views: ViewSet
+    query: Pattern
+    minimal: Containment
+    minimum: Containment
+
+
+def prepare_simulation(
+    dataset: str, sizes, scale: float, require_dag: bool = False
+) -> Dict[Tuple[int, int], Prepared]:
+    factory = {
+        "amazon": workloads.amazon,
+        "citation": workloads.citation,
+        "youtube": workloads.youtube,
+    }[dataset]
+    graph, views = factory(scale)
+    prepared = {}
+    for size in sizes:
+        query = workloads.pick_query(
+            views, size[0], size[1], graph=graph,
+            require_dag=require_dag, tag=dataset,
+        )
+        prepared[size] = Prepared(
+            graph, views, query,
+            minimal_views(query, views), minimum_views(query, views),
+        )
+    return prepared
+
+
+def prepare_bounded(
+    dataset: str, bound: int, sizes, scale: float, require_dag: bool = False
+) -> Dict[Tuple[int, int], Prepared]:
+    graph, views = workloads.bounded_dataset(dataset, bound, scale)
+    prepared = {}
+    for size in sizes:
+        query = workloads.pick_query(
+            views, size[0], size[1], graph=graph,
+            require_dag=require_dag, tag=f"{dataset}@{bound}",
+        )
+        prepared[size] = Prepared(
+            graph, views, query,
+            bounded_minimal_views(query, views),
+            bounded_minimum_views(query, views),
+        )
+    return prepared
+
+
+def prepare_synthetic(
+    num_nodes: int, size: Tuple[int, int], bounded_k: int = 0
+) -> Prepared:
+    if bounded_k:
+        graph, views = workloads.synthetic_bounded(num_nodes, bounded_k)
+        query = workloads.pick_query(
+            views, size[0], size[1], graph=graph, tag=f"synb{num_nodes}"
+        )
+        return Prepared(
+            graph, views, query,
+            bounded_minimal_views(query, views),
+            bounded_minimum_views(query, views),
+        )
+    graph, views = workloads.synthetic(num_nodes)
+    query = workloads.pick_query(
+        views, size[0], size[1], graph=graph, tag=f"syn{num_nodes}"
+    )
+    return Prepared(
+        graph, views, query,
+        minimal_views(query, views), minimum_views(query, views),
+    )
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once inside the benchmark timer.
+
+    The workloads are seconds-scale deterministic computations, so one
+    round gives stable, comparable numbers without hour-long suites.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""pytest-benchmark configuration.
+
+Benchmarks default to a reduced scale so ``pytest benchmarks/
+--benchmark-only`` finishes in minutes; set ``REPRO_BENCH_SCALE=1`` for
+the full-size graphs, or use ``python -m repro.bench.run_all`` to
+regenerate the complete Fig. 8 series (all x-axis points) in one pass.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE

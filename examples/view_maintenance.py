@@ -1,0 +1,94 @@
+"""Keeping cached views fresh while the social graph changes.
+
+A recommendation service caches pattern views and answers queries from
+them (never touching the big graph).  The graph keeps evolving: follows
+appear and disappear.  This example maintains the cached extensions
+incrementally -- deletions prune only the affected matches; irrelevant
+insertions are O(1)-ish no-ops -- and shows the maintained cache always
+answering exactly like a fresh rematerialization.
+
+Run:  python examples/view_maintenance.py
+"""
+
+import random
+import time
+
+from repro import DataGraph, Pattern, ViewDefinition, match
+from repro.views.maintenance import IncrementalView
+from repro.views.view import materialize
+
+
+def build_graph(num_nodes: int = 5_000, num_edges: int = 15_000, seed: int = 3):
+    rng = random.Random(seed)
+    roles = ("user", "creator", "curator")
+    g = DataGraph()
+    for node in range(num_nodes):
+        g.add_node(node, labels=roles[rng.randrange(3)])
+    added = 0
+    while added < num_edges:
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b)
+            added += 1
+    return g, rng
+
+
+def influence_view() -> ViewDefinition:
+    """Creators followed by curators who follow other creators."""
+    p = Pattern()
+    p.add_node("creator", "creator")
+    p.add_node("curator", "curator")
+    p.add_node("next", "creator")
+    p.add_edge("curator", "creator")
+    p.add_edge("curator", "next")
+    return ViewDefinition("influence", p)
+
+
+def main() -> None:
+    graph, rng = build_graph()
+    view = influence_view()
+
+    tracker = IncrementalView(view, graph)
+    print(f"initial extension: {tracker.extension().num_pairs} pairs")
+
+    # A day of graph churn: 300 deletions, 300 insertions.
+    edges = list(graph.edges())
+    deletions = rng.sample(edges, 300)
+    insertions = []
+    while len(insertions) < 300:
+        a, b = rng.randrange(len(graph)), rng.randrange(len(graph))
+        if a != b and not graph.has_edge(a, b):
+            insertions.append((a, b))
+            graph.add_edge(a, b)  # keep a reference copy in sync
+    for a, b in deletions:
+        graph.remove_edge(a, b)
+
+    t0 = time.perf_counter()
+    for a, b in deletions:
+        tracker.delete_edge(a, b)
+    t_del = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for a, b in insertions:
+        tracker.insert_edge(a, b)
+    t_ins = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fresh = materialize(view, graph)
+    t_fresh = time.perf_counter() - t0
+
+    maintained = tracker.extension()
+    assert maintained.edge_matches == fresh.edge_matches
+    print(f"after churn: {maintained.num_pairs} pairs")
+    print(f"300 deletions maintained in  {t_del * 1000:8.1f} ms "
+          f"({t_del / 300 * 1e6:.0f} us/update)")
+    print(f"300 insertions maintained in {t_ins * 1000:8.1f} ms "
+          f"({t_ins / 300 * 1e6:.0f} us/update)")
+    print(f"one fresh rematerialization: {t_fresh * 1000:8.1f} ms "
+          f"-- rematerializing per update would cost "
+          f"{t_fresh * 600 * 1000:.0f} ms for this churn")
+    print("maintained extension == fresh rematerialization: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+This environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build an editable wheel; this shim lets
+``python setup.py develop`` (and pip's legacy fallback) work offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro: answering graph pattern queries using views.
+
+A faithful, production-quality reproduction of
+
+    Wenfei Fan, Xin Wang, Yinghui Wu.
+    "Answering Graph Pattern Queries Using Views." ICDE 2014.
+
+The public API re-exported here covers the complete pipeline:
+
+* build :class:`DataGraph` / :class:`Pattern` / :class:`BoundedPattern`;
+* evaluate directly (:func:`match`, :func:`bounded_match`);
+* define and materialize views (:class:`ViewDefinition`,
+  :func:`materialize`, :class:`ViewSet`);
+* check pattern containment (:func:`contains`, :func:`minimal_views`,
+  :func:`minimum_views` and bounded counterparts);
+* answer queries using only views (:func:`match_join`,
+  :func:`bounded_match_join`, :func:`answer_with_views`).
+"""
+
+from repro.graph import (
+    ANY,
+    AttributeCondition,
+    BoundedPattern,
+    Condition,
+    DataGraph,
+    Label,
+    P,
+    Pattern,
+    TrueCondition,
+    implies,
+)
+from repro.simulation import (
+    MatchResult,
+    bounded_match,
+    dual_match,
+    match,
+    strong_match,
+)
+from repro.views import (
+    MaterializedView,
+    ViewDefinition,
+    ViewSet,
+    materialize,
+)
+from repro.core import (
+    Containment,
+    answer_with_views,
+    bounded_contains,
+    bounded_match_join,
+    bounded_minimal_views,
+    bounded_minimum_views,
+    contains,
+    match_join,
+    minimal_views,
+    minimum_views,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "AttributeCondition",
+    "BoundedPattern",
+    "Condition",
+    "Containment",
+    "DataGraph",
+    "Label",
+    "MatchResult",
+    "MaterializedView",
+    "P",
+    "Pattern",
+    "TrueCondition",
+    "ViewDefinition",
+    "ViewSet",
+    "answer_with_views",
+    "bounded_contains",
+    "bounded_match",
+    "bounded_match_join",
+    "bounded_minimal_views",
+    "bounded_minimum_views",
+    "contains",
+    "dual_match",
+    "implies",
+    "match",
+    "match_join",
+    "materialize",
+    "minimal_views",
+    "minimum_views",
+    "strong_match",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation.
+
+Each experiment of Section VII / Fig. 8 has a runner in
+:mod:`~repro.bench.experiments` producing the same rows/series the paper
+plots; :mod:`~repro.bench.workloads` builds the datasets, view caches
+and query workloads; :mod:`~repro.bench.reporting` renders tables.
+
+Run the full sweep (and regenerate the measurement tables embedded in
+EXPERIMENTS.md) with::
+
+    python -m repro.bench.run_all            # full scale (~minutes)
+    python -m repro.bench.run_all --scale .5 # half-size quick pass
+
+The ``benchmarks/`` directory wires the same runners into
+pytest-benchmark (one module per subfigure).
+"""
+
+from repro.bench.reporting import Table
+from repro.bench.experiments import EXPERIMENTS
+
+__all__ = ["EXPERIMENTS", "Table"]

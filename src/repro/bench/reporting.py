@@ -1,0 +1,90 @@
+"""Result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class Table:
+    """One experiment's results: a header row plus data rows.
+
+    Mirrors one subfigure of Fig. 8 -- the first column is the x-axis
+    (pattern size, |V|, alpha, ...), the remaining columns one series
+    each (algorithm -> seconds, or a ratio).
+    """
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List:
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.experiment}: {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            rendered = [
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in row
+            ]
+            lines.append("| " + " | ".join(rendered) + " |")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.to_markdown())
+        print()
+
+
+def timed(fn: Callable, *args, repeat: int = 1, **kwargs) -> float:
+    """Wall-clock seconds of the best of ``repeat`` calls."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def ascii_chart(table: Table, width: int = 56) -> str:
+    """Render the table's numeric series as horizontal ASCII bars.
+
+    One block per x-axis row, one bar per numeric column, all scaled to
+    the table's global maximum -- a terminal stand-in for the paper's
+    figure panels.
+    """
+    numeric_columns = [
+        (index, header)
+        for index, header in enumerate(table.headers[1:], start=1)
+        if all(isinstance(row[index], (int, float)) for row in table.rows)
+    ]
+    if not numeric_columns:
+        return "(no numeric series to chart)"
+    peak = max(
+        (float(row[index]) for row in table.rows for index, _ in numeric_columns),
+        default=0.0,
+    )
+    if peak <= 0:
+        return "(all-zero series)"
+    label_width = max(len(str(header)) for _, header in numeric_columns)
+    lines = [f"{table.experiment}: {table.title}"]
+    for row in table.rows:
+        lines.append(f"{row[0]}")
+        for index, header in numeric_columns:
+            value = float(row[index])
+            bar = "#" * max(1, int(round(value / peak * width))) if value else ""
+            rendered = f"{value:.4f}" if isinstance(row[index], float) else str(row[index])
+            lines.append(f"  {str(header):<{label_width}} |{bar:<{width}}| {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Run every Fig. 8 experiment and print (or save) the result tables.
+
+Usage::
+
+    python -m repro.bench.run_all                 # all experiments
+    python -m repro.bench.run_all --only fig8a fig8g
+    python -m repro.bench.run_all --scale 0.5     # quick half-size pass
+    python -m repro.bench.run_all --out results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help=f"experiment ids to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="size multiplier for graphs (default 1.0)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the tables to this markdown file"
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render each experiment as an ASCII bar chart",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.only if args.only else list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    sections = []
+    for name in chosen:
+        start = time.perf_counter()
+        table = EXPERIMENTS[name](args.scale)
+        elapsed = time.perf_counter() - start
+        table.print()
+        if args.chart:
+            from repro.bench.reporting import ascii_chart
+
+            print(ascii_chart(table))
+            print()
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        sections.append(table.to_markdown())
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+        print(f"tables written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

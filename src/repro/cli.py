@@ -1,0 +1,210 @@
+"""Command-line interface: the view-cache workflow end to end.
+
+Subcommands::
+
+    python -m repro generate  --dataset amazon --nodes 10000 --edges 30000 \
+                              --out graph.json [--views views.json]
+    python -m repro materialize --graph graph.json --views views.json
+    python -m repro contain   --query query.json --views views.json [--strategy minimum]
+    python -m repro query     --query query.json --views views.json \
+                              [--graph graph.json] [--strategy minimal]
+    python -m repro stats     --graph graph.json [--views views.json]
+
+``generate`` writes a dataset stand-in (and optionally its standard view
+suite); ``materialize`` caches extensions into the views file;
+``contain`` reports containment / view selection; ``query`` answers the
+query from the cached extensions (exactly the MatchJoin pipeline --
+pass ``--graph`` only if extensions still need materializing);
+``stats`` prints size accounting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.answer import answer_with_views
+from repro.core.bounded.bcontainment import bounded_contains
+from repro.core.bounded.bminimal import bounded_minimal_views
+from repro.core.bounded.bminimum import bounded_minimum_views
+from repro.core.containment import contains
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views
+from repro.datasets import (
+    amazon_graph,
+    amazon_views,
+    citation_graph,
+    citation_views,
+    random_graph,
+    youtube_graph,
+    youtube_views,
+)
+from repro.datasets.patterns import generate_views
+from repro.errors import NotContainedError
+from repro.graph.io import read_graph, read_pattern, write_graph
+from repro.graph.pattern import BoundedPattern
+from repro.graph.stats import graph_stats
+from repro.views.io import read_viewset, write_viewset
+
+_DATASETS = {
+    "amazon": (amazon_graph, amazon_views),
+    "citation": (citation_graph, citation_views),
+    "youtube": (youtube_graph, lambda: youtube_views()),
+    "synthetic": (random_graph, None),
+}
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset == "synthetic":
+        graph = random_graph(args.nodes, args.edges, seed=args.seed)
+        views = generate_views(
+            tuple(f"l{i}" for i in range(10)), 22, seed=args.seed
+        )
+    else:
+        graph_fn, views_fn = _DATASETS[args.dataset]
+        graph = graph_fn(args.nodes, args.edges, seed=args.seed)
+        views = views_fn() if views_fn else None
+    write_graph(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.out}")
+    if args.views and views is not None:
+        write_viewset(views, args.views)
+        print(f"wrote {views.cardinality} view definitions to {args.views}")
+    return 0
+
+
+def _cmd_materialize(args) -> int:
+    graph = read_graph(args.graph)
+    views = read_viewset(args.views)
+    views.materialize(graph)
+    write_viewset(views, args.views)
+    fraction = views.extension_fraction(graph)
+    print(
+        f"materialized {views.cardinality} views "
+        f"({views.extension_size} items, {fraction:.1%} of |G|)"
+    )
+    return 0
+
+
+def _select(query, views, strategy):
+    bounded = isinstance(query, BoundedPattern) or any(d.is_bounded for d in views)
+    table = {
+        "all": (contains, bounded_contains),
+        "minimal": (minimal_views, bounded_minimal_views),
+        "minimum": (minimum_views, bounded_minimum_views),
+    }
+    return table[strategy][1 if bounded else 0](query, views)
+
+
+def _cmd_contain(args) -> int:
+    query = read_pattern(args.query)
+    views = read_viewset(args.views)
+    containment = _select(query, views, args.strategy)
+    if containment.holds:
+        print(f"contained: yes ({args.strategy} selection)")
+        print(f"views used: {', '.join(containment.views_used())}")
+        for edge, refs in sorted(containment.mapping.items(), key=repr):
+            targets = ", ".join(f"{name}:{ve[0]}->{ve[1]}" for name, ve in refs)
+            print(f"  {edge[0]} -> {edge[1]}  <=  {targets}")
+        return 0
+    print("contained: no")
+    for edge in sorted(containment.uncovered, key=repr):
+        print(f"  uncovered: {edge[0]} -> {edge[1]}")
+    return 1
+
+
+def _cmd_query(args) -> int:
+    query = read_pattern(args.query)
+    views = read_viewset(args.views)
+    graph = read_graph(args.graph) if args.graph else None
+    try:
+        answer = answer_with_views(
+            query, views, graph=graph, selection=args.strategy
+        )
+    except NotContainedError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(f"views used: {', '.join(answer.views_used)}")
+    print(f"result pairs: {answer.result.result_size}")
+    print(answer.result.pretty())
+    if args.out:
+        rows = {
+            f"{edge[0]}->{edge[1]}": sorted(map(list, pairs))
+            for edge, pairs in answer.result.edge_matches.items()
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, default=str)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    graph = read_graph(args.graph)
+    stats = graph_stats(graph)
+    print(f"nodes: {stats.num_nodes}  edges: {stats.num_edges}  |G|: {stats.size}")
+    print(f"max out-degree: {stats.max_out_degree}  "
+          f"max in-degree: {stats.max_in_degree}  "
+          f"avg out-degree: {stats.avg_out_degree:.2f}")
+    top = sorted(stats.label_counts.items(), key=lambda kv: -kv[1])[:10]
+    for label, count in top:
+        print(f"  {label}: {count}")
+    if args.views:
+        views = read_viewset(args.views)
+        materialized = [n for n in views.names() if views.is_materialized(n)]
+        print(f"views: {views.cardinality} ({len(materialized)} materialized, "
+              f"extension fraction {views.extension_fraction(graph):.1%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Answering graph pattern queries using views"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a dataset stand-in")
+    p.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    p.add_argument("--nodes", type=int, default=10_000)
+    p.add_argument("--edges", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.add_argument("--views", help="also write the dataset's view suite here")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("materialize", help="materialize view extensions")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--views", required=True)
+    p.set_defaults(func=_cmd_materialize)
+
+    p = sub.add_parser("contain", help="check pattern containment")
+    p.add_argument("--query", required=True)
+    p.add_argument("--views", required=True)
+    p.add_argument("--strategy", choices=("all", "minimal", "minimum"),
+                   default="all")
+    p.set_defaults(func=_cmd_contain)
+
+    p = sub.add_parser("query", help="answer a query from cached views")
+    p.add_argument("--query", required=True)
+    p.add_argument("--views", required=True)
+    p.add_argument("--graph", help="graph for materialize-on-demand")
+    p.add_argument("--strategy", choices=("all", "minimal", "minimum"),
+                   default="minimal")
+    p.add_argument("--out", help="write the result table as JSON")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("stats", help="graph / view-cache statistics")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--views")
+    p.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

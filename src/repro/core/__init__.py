@@ -1,0 +1,41 @@
+"""The paper's primary contribution: answering pattern queries using views.
+
+* :mod:`~repro.core.view_match` / :mod:`~repro.core.bounded.bview_match`
+  -- view matches ``M^Qs_V`` and ``M^Qb_V`` (Propositions 7 and 11).
+* :mod:`~repro.core.containment` -- ``contain`` and the λ mapping
+  (Theorem 3); :mod:`~repro.core.minimal` (Theorem 5, Fig. 5);
+  :mod:`~repro.core.minimum` (Theorem 6, greedy set-cover).
+* :mod:`~repro.core.matchjoin` -- MatchJoin (Fig. 2) with the SCC-rank
+  bottom-up optimization, and BMatchJoin in
+  :mod:`~repro.core.bounded.bmatchjoin`.
+* :mod:`~repro.core.answer` -- the end-to-end pipeline.
+* :mod:`~repro.core.minimization` and :mod:`~repro.core.rewriting` --
+  applications/extensions (Corollary 4, Section VIII future work).
+"""
+
+from repro.core.answer import Answer, answer_with_views
+from repro.core.bounded import (
+    bounded_contains,
+    bounded_match_join,
+    bounded_minimal_views,
+    bounded_minimum_views,
+)
+from repro.core.containment import Containment, contains, query_contained
+from repro.core.matchjoin import match_join
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views
+
+__all__ = [
+    "Answer",
+    "Containment",
+    "answer_with_views",
+    "bounded_contains",
+    "bounded_match_join",
+    "bounded_minimal_views",
+    "bounded_minimum_views",
+    "contains",
+    "match_join",
+    "minimal_views",
+    "minimum_views",
+    "query_contained",
+]

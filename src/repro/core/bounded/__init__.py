@@ -1,0 +1,19 @@
+"""Bounded pattern matching using views (Section VI).
+
+Everything from the simulation setting carries over with the same or
+comparable complexity (Theorems 8-10): ``Bcontain`` / ``Bminimal`` /
+``Bminimum`` for containment analysis over weighted pattern graphs, and
+``BMatchJoin`` for evaluation with the distance index ``I(V)``.
+"""
+
+from repro.core.bounded.bcontainment import bounded_contains
+from repro.core.bounded.bminimal import bounded_minimal_views
+from repro.core.bounded.bminimum import bounded_minimum_views
+from repro.core.bounded.bmatchjoin import bounded_match_join
+
+__all__ = [
+    "bounded_contains",
+    "bounded_match_join",
+    "bounded_minimal_views",
+    "bounded_minimum_views",
+]

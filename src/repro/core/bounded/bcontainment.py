@@ -1,0 +1,25 @@
+"""``Bcontain``: bounded pattern containment (Theorem 10(1)).
+
+Identical to algorithm ``contain`` except view matches are computed
+over the weighted query graph (see
+:mod:`repro.core.bounded.bview_match`), giving ``O(|Qb|^2 |V|)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounded.bview_match import view_match_bounded
+from repro.core.containment import Containment, Views, _normalize, merge_view_matches
+from repro.graph.pattern import Pattern
+
+
+def bounded_contains(query: Pattern, views: Views) -> Containment:
+    """Decide ``Qb ⊑ V`` and compute λ (algorithm Bcontain).
+
+    Plain patterns/views are promoted to bound-1 bounded patterns, so
+    this is a strict generalization of :func:`repro.core.containment.contains`.
+    """
+    definitions = _normalize(views)
+    return merge_view_matches(
+        query,
+        (view_match_bounded(query, definition) for definition in definitions),
+    )

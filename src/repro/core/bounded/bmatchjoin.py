@@ -1,0 +1,101 @@
+"""BMatchJoin: answering bounded pattern queries using views (Section VI-A).
+
+Identical in structure to MatchJoin with two bounded-specific twists:
+
+* merged pairs come from *bounded* view extensions, whose match sets
+  contain node pairs connected by paths (not necessarily edges); the
+  auxiliary distance index ``I(V)`` maps every materialized pair to its
+  actual distance in ``G``;
+* a merged pair only enters ``Se`` when its ``I(V)`` distance respects
+  the *query* edge's own bound ``fe(e)`` (a covering view edge may have
+  a larger bound, so its extension can contain pairs that are too far
+  apart for ``e``) -- this is the O(1)-per-pair distance check the
+  paper describes for BMatchJoin.
+
+The fixpoint afterwards is the same simulation-condition refinement as
+MatchJoin, rank optimization included, for the
+``O(|Qb||V(G)| + |V(G)|^2)`` bound of Theorem 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Set, Tuple, Union
+
+from repro.core.containment import Containment
+from repro.core.matchjoin import _extensions_of, run_fixpoint
+from repro.errors import (
+    NotContainedError,
+    NotMaterializedError,
+    UnsupportedPatternError,
+)
+from repro.graph.pattern import ANY, BoundedPattern
+from repro.simulation.result import MatchResult
+from repro.views.storage import ViewSet
+from repro.views.view import MaterializedView
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+Node = Hashable
+NodePair = Tuple[Node, Node]
+Extensions = Mapping[str, MaterializedView]
+
+
+def merge_initial_sets_bounded(
+    query: BoundedPattern,
+    containment: Containment,
+    extensions: Extensions,
+) -> Dict[PEdge, Set[NodePair]]:
+    """Union the λ-image match sets, filtered through ``I(V)``."""
+    if not containment.holds:
+        raise NotContainedError(containment.uncovered)
+    if query.isolated_nodes():
+        raise UnsupportedPatternError(
+            "pattern has isolated nodes; evaluate directly with "
+            "bounded_match()"
+        )
+    initial: Dict[PEdge, Set[NodePair]] = {}
+    for edge in query.edges():
+        bound = query.bound(edge)
+        merged: Set[NodePair] = set()
+        for view_name, view_edge in containment.mapping.get(edge, ()):
+            if view_name not in extensions:
+                raise NotMaterializedError(
+                    f"extension for view {view_name!r} is required by λ "
+                    "but was not provided"
+                )
+            extension = extensions[view_name]
+            pairs = extension.pairs_of(view_edge)
+            if bound is ANY:
+                merged |= pairs
+            else:
+                merged.update(
+                    pair for pair in pairs if extension.distance_of(pair) <= bound
+                )
+        initial[edge] = merged
+    return initial
+
+
+def bounded_match_join(
+    query: BoundedPattern,
+    containment: Containment,
+    extensions: Union[Extensions, ViewSet],
+    optimized: bool = True,
+) -> MatchResult:
+    """Evaluate ``Qb`` from bounded view extensions only (BMatchJoin).
+
+    Mirrors :func:`repro.core.matchjoin.match_join`; see there for the
+    parameter contract.  ``extensions`` must come from *bounded* view
+    definitions so that the distance index is present (simulation views
+    promoted to bound-1 edges also work: their pairs are edges, distance
+    1).
+    """
+    if not isinstance(query, BoundedPattern):
+        raise TypeError(
+            "bounded_match_join expects a BoundedPattern; use match_join "
+            "for plain patterns"
+        )
+    initial = merge_initial_sets_bounded(
+        query, containment, _extensions_of(extensions)
+    )
+    result = run_fixpoint(query, initial, optimized=optimized)
+    return result if result is not None else MatchResult.empty()

@@ -1,0 +1,52 @@
+"""``Bminimal``: minimal bounded containment (Theorem 10(2)).
+
+Same strategy as Fig. 5 with bounded view matches; ``O(|Qb|^2 |V|)``.
+The implementation delegates to the generic
+:func:`repro.core.minimal.minimal_views`, which dispatches to bounded
+view matches whenever the query or any view is bounded -- this wrapper
+exists to mirror the paper's algorithm naming and to force the bounded
+path for promoted plain inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.bounded.bview_match import view_match_bounded
+from repro.core.containment import Containment, Views, _normalize, merge_view_matches
+from repro.core.view_match import ViewMatch
+from repro.graph.pattern import Pattern
+
+
+def bounded_minimal_views(query: Pattern, views: Views) -> Containment:
+    """A minimally contained subset for a bounded query, with its λ."""
+    definitions = _normalize(views)
+    edge_set = query.edge_set()
+
+    selected: List[ViewMatch] = []
+    covered = set()
+    index = {}
+    for definition in definitions:
+        match = view_match_bounded(query, definition)
+        contributes = (match.covered & edge_set) - covered
+        if not contributes:
+            continue
+        selected.append(match)
+        for edge in match.covered & edge_set:
+            covered.add(edge)
+            index.setdefault(edge, set()).add(match.view_name)
+        if covered == edge_set:
+            break
+
+    if covered != edge_set:
+        return merge_view_matches(query, selected)
+
+    kept: List[ViewMatch] = []
+    for match in selected:
+        removable = all(len(index[edge]) > 1 for edge in match.covered & edge_set)
+        if removable:
+            for edge in match.covered & edge_set:
+                index[edge].discard(match.view_name)
+        else:
+            kept.append(match)
+    return merge_view_matches(query, kept)

@@ -1,0 +1,36 @@
+"""``Bminimum``: minimum bounded containment (Theorem 10(3)).
+
+BMMCP inherits NP-completeness / APX-hardness from MMCP (bound-1 is a
+special case) and the same greedy ``O(log |Ep|)`` approximation applies;
+only the view-match computation changes, for a total of
+``O(|Qb|^2 |V| + (|Qb| card(V))^{3/2})``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.bounded.bview_match import view_match_bounded
+from repro.core.containment import Containment, Views, _normalize, merge_view_matches
+from repro.core.view_match import ViewMatch
+from repro.graph.pattern import Pattern
+
+
+def bounded_minimum_views(query: Pattern, views: Views) -> Containment:
+    """Greedy minimum view selection for a bounded query, with its λ."""
+    definitions = _normalize(views)
+    edge_set = query.edge_set()
+    matches: List[ViewMatch] = [view_match_bounded(query, d) for d in definitions]
+
+    remaining = list(matches)
+    selected: List[ViewMatch] = []
+    covered: Set = set()
+    while covered != edge_set and remaining:
+        best = max(remaining, key=lambda m: len((m.covered & edge_set) - covered))
+        gain = (best.covered & edge_set) - covered
+        if not gain:
+            break
+        remaining.remove(best)
+        selected.append(best)
+        covered |= gain
+    return merge_view_matches(query, selected)

@@ -1,0 +1,165 @@
+"""Answering queries using views under *dual simulation* (Section VIII).
+
+The paper closes by noting that "our techniques can be readily extended
+to strong simulation [28], retaining the same complexity", dual
+simulation being the key ingredient.  This module carries the full
+pipeline over:
+
+* :func:`dual_view_match` -- evaluate ``V`` over ``Qs`` via dual
+  simulation (child *and* parent conditions), with the same
+  condition-implication node test and condition-equivalence coverage
+  guard as the simulation case.
+* :func:`dual_contains` -- Proposition 7 verbatim over dual view
+  matches.
+* :func:`dual_match_join` -- the MatchJoin analogue whose fixpoint
+  enforces both out-edge and in-edge witnesses.
+
+The soundness argument mirrors Theorem 1: dual-simulation matches
+transfer from query nodes to view nodes (the coinductive relation
+``{(x, v) : (x,u) in dualsim(V over Q), v in dualmatch(u)}`` is itself
+a dual simulation of ``V`` over ``G``), so merged sets over-approximate
+the true match sets, and the dual fixpoint prunes to exactly ``Q(G)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Set, Tuple, Union
+
+from repro.core.containment import Containment, Views, _normalize, merge_view_matches
+from repro.core.matchjoin import _extensions_of, merge_initial_sets
+from repro.core.view_match import ViewMatch
+from repro.graph.conditions import implies
+from repro.graph.pattern import Pattern
+from repro.simulation.dual import maximum_dual_simulation
+from repro.simulation.result import MatchResult
+from repro.views.storage import ViewSet
+from repro.views.view import MaterializedView, ViewDefinition
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+Node = Hashable
+NodePair = Tuple[Node, Node]
+Extensions = Mapping[str, MaterializedView]
+
+
+def dual_view_match(query: Pattern, view: ViewDefinition) -> ViewMatch:
+    """``M^Qs_V`` computed via dual simulation of ``V`` over ``Qs``."""
+    view_pattern = view.pattern
+
+    def compatible(x: PNode, u: PNode) -> bool:
+        return implies(query.condition(u), view_pattern.condition(x))
+
+    sim = maximum_dual_simulation(view_pattern, query, compatible)
+    edge_cover: Dict[PEdge, List[PEdge]] = {}
+    if sim is not None:
+        equivalent: Dict[tuple, bool] = {}
+
+        def covers(x: PNode, u: PNode) -> bool:
+            key = (x, u)
+            if key not in equivalent:
+                equivalent[key] = implies(
+                    view_pattern.condition(x), query.condition(u)
+                )
+            return equivalent[key]
+
+        for view_edge in view_pattern.edges():
+            x, y = view_edge
+            for u in sim[x]:
+                if not covers(x, u):
+                    continue
+                for u1 in query.successors(u):
+                    if u1 in sim[y] and covers(y, u1):
+                        edge_cover.setdefault((u, u1), []).append(view_edge)
+    return ViewMatch(view.name, edge_cover)
+
+
+def dual_contains(query: Pattern, views: Views) -> Containment:
+    """``Q ⊑_dual V``: coverage by dual view matches.
+
+    Views must themselves be *materialized via dual simulation* for the
+    resulting λ to be usable by :func:`dual_match_join` -- see
+    :func:`materialize_dual`.
+    """
+    definitions = _normalize(views)
+    return merge_view_matches(
+        query, (dual_view_match(query, d) for d in definitions)
+    )
+
+
+def materialize_dual(definition: ViewDefinition, graph) -> MaterializedView:
+    """Materialize a view's extension under dual simulation semantics."""
+    from repro.simulation.dual import dual_match
+
+    result = dual_match(definition.pattern, graph)
+    if not result:
+        return MaterializedView(
+            definition, {edge: set() for edge in definition.pattern.edges()}
+        )
+    return MaterializedView(definition, result.edge_matches)
+
+
+def _dual_fixpoint(
+    query: Pattern, sets: Dict[PEdge, Set[NodePair]]
+) -> Union[Dict[PEdge, Dict[Node, Set[Node]]], None]:
+    """Scan-until-stable refinement with child *and* parent witnesses."""
+    edges = query.edges()
+    current: Dict[PEdge, Set[NodePair]] = {e: set(sets[e]) for e in edges}
+    if any(not current[e] for e in edges):
+        return None
+    changed = True
+    while changed:
+        changed = False
+        sources = {e: {pair[0] for pair in current[e]} for e in edges}
+        targets = {e: {pair[1] for pair in current[e]} for e in edges}
+
+        def valid(u: PNode, v: Node) -> bool:
+            return all(
+                v in sources[e1] for e1 in query.out_edges(u)
+            ) and all(v in targets[e0] for e0 in query.in_edges(u))
+
+        for edge in edges:
+            u, u_prime = edge
+            doomed = [
+                pair
+                for pair in current[edge]
+                if not (valid(u, pair[0]) and valid(u_prime, pair[1]))
+            ]
+            if doomed:
+                current[edge] -= set(doomed)
+                if not current[edge]:
+                    return None
+                changed = True
+    by_source: Dict[PEdge, Dict[Node, Set[Node]]] = {}
+    for edge in edges:
+        index: Dict[Node, Set[Node]] = {}
+        for v, w in current[edge]:
+            index.setdefault(v, set()).add(w)
+        by_source[edge] = index
+    return by_source
+
+
+def dual_match_join(
+    query: Pattern,
+    containment: Containment,
+    extensions: Union[Extensions, ViewSet],
+) -> MatchResult:
+    """Evaluate ``Qs`` under dual simulation from dual view extensions.
+
+    ``containment`` must come from :func:`dual_contains` and
+    ``extensions`` from :func:`materialize_dual` (plain simulation
+    extensions over-approximate dual ones, so they would also converge,
+    but dual extensions are smaller)."""
+    initial = merge_initial_sets(query, containment, _extensions_of(extensions))
+    by_source = _dual_fixpoint(query, initial)
+    if by_source is None:
+        return MatchResult.empty()
+    edge_matches: Dict[PEdge, Set[NodePair]] = {}
+    node_matches: Dict[PNode, Set[Node]] = {u: set() for u in query.nodes()}
+    for edge, index in by_source.items():
+        pairs = {(v, w) for v, ws in index.items() for w in ws}
+        edge_matches[edge] = pairs
+        u, u_prime = edge
+        for v, w in pairs:
+            node_matches[u].add(v)
+            node_matches[u_prime].add(w)
+    return MatchResult(node_matches, edge_matches)

@@ -1,0 +1,270 @@
+"""MatchJoin: answering pattern queries using views (Section III, Fig. 2).
+
+Given ``Qs ⊑ V`` with mapping λ and the materialized extensions
+``V(G)``, MatchJoin computes ``Qs(G)`` without accessing ``G``:
+
+1. initialize each pattern edge's match set as the union of the match
+   sets of its λ-images (taken from the extensions);
+2. run a fixpoint that removes invalid matches: a pair ``(v, v')`` in
+   ``Se`` for ``e = (u, u')`` survives only while ``v`` has, for every
+   out-edge of ``u``, some remaining pair, and likewise ``v'`` for the
+   out-edges of ``u'`` (the simulation conditions of Section II-A).
+
+Two fixpoint engines are provided:
+
+* the **optimized** engine (default) uses per-(edge, source) witness
+  counters with an invalidation worklist processed in ascending SCC
+  *rank* order -- the bottom-up strategy of Section III.  Lemma 2's
+  guarantee holds: on DAG patterns every match set is visited at most
+  once.
+* the **naive** engine (``optimized=False``) is the literal Fig. 2
+  loop: scan all edges until a full pass makes no change.  It exists so
+  Exp-2 (Fig. 8(f)) can measure the optimization, exactly like the
+  paper's ``MatchJoin_nopt``.
+
+Total cost of the optimized engine is ``O(|Qs||V(G)| + |V(G)|^2)``
+(Theorem 1(2)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.core.containment import Containment
+from repro.errors import NotContainedError, NotMaterializedError, UnsupportedPatternError
+from repro.graph.pattern import Pattern
+from repro.graph.scc import node_ranks
+from repro.simulation.result import MatchResult
+from repro.views.storage import ViewSet
+from repro.views.view import MaterializedView
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+Node = Hashable
+NodePair = Tuple[Node, Node]
+Extensions = Mapping[str, MaterializedView]
+
+
+def merge_initial_sets(
+    query: Pattern,
+    containment: Containment,
+    extensions: Extensions,
+) -> Dict[PEdge, Set[NodePair]]:
+    """Fig. 2 lines 1-4: ``Se := ∪_{e' ∈ λ(e)} Se'`` from the extensions."""
+    if not containment.holds:
+        raise NotContainedError(containment.uncovered)
+    if query.isolated_nodes():
+        raise UnsupportedPatternError(
+            "pattern has isolated nodes; view extensions store edges, so "
+            "evaluate such patterns directly with match()"
+        )
+    initial: Dict[PEdge, Set[NodePair]] = {}
+    for edge in query.edges():
+        refs = containment.mapping.get(edge, ())
+        merged: Set[NodePair] = set()
+        for view_name, view_edge in refs:
+            if view_name not in extensions:
+                raise NotMaterializedError(
+                    f"extension for view {view_name!r} is required by λ "
+                    "but was not provided"
+                )
+            merged |= extensions[view_name].pairs_of(view_edge)
+        initial[edge] = merged
+    return initial
+
+
+# ----------------------------------------------------------------------
+# Optimized fixpoint: witness counters + rank-ordered worklist
+# ----------------------------------------------------------------------
+def _fixpoint_ranked(
+    query: Pattern, sets: Dict[PEdge, Set[NodePair]]
+) -> Optional[Dict[PEdge, Dict[Node, Set[Node]]]]:
+    """Refine ``sets`` to the simulation fixpoint, bottom-up.
+
+    Returns per-edge ``{source: {targets}}`` adjacency, or ``None`` when
+    some match set empties (no match, Fig. 2 line 11).
+    """
+    edges = query.edges()
+    by_source: Dict[PEdge, Dict[Node, Set[Node]]] = {}
+    by_target: Dict[PEdge, Dict[Node, Set[Node]]] = {}
+    for edge in edges:
+        source_index: Dict[Node, Set[Node]] = {}
+        target_index: Dict[Node, Set[Node]] = {}
+        for v, w in sets[edge]:
+            source_index.setdefault(v, set()).add(w)
+            target_index.setdefault(w, set()).add(v)
+        if not source_index:
+            return None
+        by_source[edge] = source_index
+        by_target[edge] = target_index
+
+    # Candidate pools and validity.  A candidate v of pattern node u is
+    # valid while every out-edge of u still has a pair sourced at v.
+    candidates: Dict[PNode, Set[Node]] = {}
+    for u in query.nodes():
+        pool: Set[Node] = set()
+        for edge in query.out_edges(u):
+            pool.update(by_source[edge])
+        for edge in query.in_edges(u):
+            pool.update(by_target[edge])
+        candidates[u] = pool
+
+    def valid(u: PNode, v: Node) -> bool:
+        return all(
+            v in by_source[edge] and by_source[edge][v]
+            for edge in query.out_edges(u)
+        )
+
+    ranks = node_ranks(query)
+    counter = 0
+    heap: List[Tuple[int, int, PNode, Node]] = []
+    invalidated: Dict[PNode, Set[Node]] = {u: set() for u in query.nodes()}
+    # Seed with invalid candidates, lowest rank first (bottom-up).
+    for u in sorted(query.nodes(), key=lambda n: ranks[n]):
+        for v in candidates[u]:
+            if not valid(u, v):
+                invalidated[u].add(v)
+                heapq.heappush(heap, (ranks[u], counter, u, v))
+                counter += 1
+
+    while heap:
+        _, _, u, v = heapq.heappop(heap)
+        # Remove v's outgoing pairs (v is no longer a match of u).
+        for edge in query.out_edges(u):
+            targets = by_source[edge].pop(v, None)
+            if targets is None:
+                continue
+            for w in targets:
+                sources = by_target[edge].get(w)
+                if sources is not None:
+                    sources.discard(v)
+                    if not sources:
+                        del by_target[edge][w]
+            if not by_source[edge]:
+                return None
+        # Remove v's incoming pairs and propagate to the sources.
+        for edge in query.in_edges(u):
+            w_source_u = edge[0]
+            sources = by_target[edge].pop(v, None)
+            if sources is None:
+                continue
+            for y in sources:
+                remaining = by_source[edge].get(y)
+                if remaining is None:
+                    continue
+                remaining.discard(v)
+                if not remaining:
+                    del by_source[edge][y]
+                    if not by_source[edge]:
+                        return None
+                    if y not in invalidated[w_source_u]:
+                        invalidated[w_source_u].add(y)
+                        heapq.heappush(
+                            heap, (ranks[w_source_u], counter, w_source_u, y)
+                        )
+                        counter += 1
+    return by_source
+
+
+# ----------------------------------------------------------------------
+# Naive fixpoint: the literal Fig. 2 while-loop (MatchJoin_nopt)
+# ----------------------------------------------------------------------
+def _fixpoint_naive(
+    query: Pattern, sets: Dict[PEdge, Set[NodePair]]
+) -> Optional[Dict[PEdge, Dict[Node, Set[Node]]]]:
+    edges = query.edges()
+    current: Dict[PEdge, Set[NodePair]] = {e: set(sets[e]) for e in edges}
+    if any(not current[e] for e in edges):
+        return None
+    changed = True
+    while changed:
+        changed = False
+        # Rebuild the source index from scratch every pass: no worklist,
+        # no rank order -- each Se is revisited until a quiet pass.
+        sources: Dict[PEdge, Set[Node]] = {
+            e: {pair[0] for pair in current[e]} for e in edges
+        }
+        for edge in edges:
+            u, u_prime = edge
+            out_u = query.out_edges(u)
+            out_u_prime = query.out_edges(u_prime)
+            doomed: List[NodePair] = []
+            for v, w in current[edge]:
+                ok = all(v in sources[e1] for e1 in out_u) and all(
+                    w in sources[e2] for e2 in out_u_prime
+                )
+                if not ok:
+                    doomed.append((v, w))
+            if doomed:
+                current[edge] -= set(doomed)
+                if not current[edge]:
+                    return None
+                changed = True
+    by_source: Dict[PEdge, Dict[Node, Set[Node]]] = {}
+    for edge in edges:
+        index: Dict[Node, Set[Node]] = {}
+        for v, w in current[edge]:
+            index.setdefault(v, set()).add(w)
+        by_source[edge] = index
+    return by_source
+
+
+def run_fixpoint(
+    query: Pattern,
+    sets: Dict[PEdge, Set[NodePair]],
+    optimized: bool = True,
+) -> Optional[MatchResult]:
+    """Run the chosen fixpoint engine and package the result."""
+    engine = _fixpoint_ranked if optimized else _fixpoint_naive
+    by_source = engine(query, sets)
+    if by_source is None:
+        return None
+    edge_matches: Dict[PEdge, Set[NodePair]] = {}
+    node_matches: Dict[PNode, Set[Node]] = {u: set() for u in query.nodes()}
+    for edge, index in by_source.items():
+        pairs = {(v, w) for v, targets in index.items() for w in targets}
+        edge_matches[edge] = pairs
+        u, u_prime = edge
+        for v, w in pairs:
+            node_matches[u].add(v)
+            node_matches[u_prime].add(w)
+    return MatchResult(node_matches, edge_matches)
+
+
+def _extensions_of(views: Union[Extensions, ViewSet]) -> Extensions:
+    if isinstance(views, ViewSet):
+        return views.extensions()
+    return views
+
+
+def match_join(
+    query: Pattern,
+    containment: Containment,
+    extensions: Union[Extensions, ViewSet],
+    optimized: bool = True,
+) -> MatchResult:
+    """Evaluate ``Qs`` from view extensions only (algorithm MatchJoin).
+
+    Parameters
+    ----------
+    query:
+        The pattern query ``Qs``.
+    containment:
+        A holding :class:`Containment` for ``Qs`` against the views
+        whose extensions are supplied (its λ guides the merge).
+    extensions:
+        ``{view name: MaterializedView}`` or a materialized
+        :class:`ViewSet`.  The data graph itself is never consulted.
+    optimized:
+        Use the rank-ordered worklist engine (default) or the literal
+        Fig. 2 loop (``MatchJoin_nopt``).
+
+    Returns the unique maximum result ``{(e, Se)}``; empty when ``G``
+    does not match ``Qs``.  Node match sets in the returned result are
+    the nodes participating in edge matches (the paper's ``Qs(G)`` is
+    the edge-level object).
+    """
+    initial = merge_initial_sets(query, containment, _extensions_of(extensions))
+    result = run_fixpoint(query, initial, optimized=optimized)
+    return result if result is not None else MatchResult.empty()

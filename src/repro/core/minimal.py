@@ -1,0 +1,73 @@
+"""Minimal containment (Section V-B, Fig. 5; Theorem 5).
+
+Find a subset ``V' ⊆ V`` with ``Qs ⊑ V'`` such that no proper subset of
+``V'`` still contains ``Qs``.  The algorithm mirrors Fig. 5: accumulate
+view matches until the edges are covered (early break), then eliminate
+redundant views -- a view is dropped when every edge it covers is also
+covered by another kept view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.containment import (
+    Containment,
+    Views,
+    _normalize,
+    _view_match_fn,
+    merge_view_matches,
+)
+from repro.core.view_match import ViewMatch
+from repro.graph.pattern import Pattern
+
+PEdge = Tuple[Hashable, Hashable]
+
+
+def minimal_views(query: Pattern, views: Views) -> Containment:
+    """Algorithm ``minimal``: a minimally contained subset with its λ.
+
+    Returns a :class:`Containment` whose λ only references views in the
+    minimal subset; ``holds`` is False when ``Q ⋢ V`` (then the mapping
+    is the partial coverage found, as in algorithm ``contain``).
+
+    Complexity ``O(card(V)|Q|^2 + |V|^2 + |Q||V|)`` (Theorem 5).
+    """
+    definitions = _normalize(views)
+    view_match = _view_match_fn(query, definitions)
+    edge_set = query.edge_set()
+
+    # Phase 1 (Fig. 5 lines 2-7): accumulate views that contribute new
+    # edges; stop as soon as the query is covered.
+    selected: List[ViewMatch] = []
+    covered: Set[PEdge] = set()
+    # M: edge -> names of selected views covering it (Fig. 5's index).
+    index: Dict[PEdge, Set[str]] = {}
+    for definition in definitions:
+        match = view_match(query, definition)
+        contributes = (match.covered & edge_set) - covered
+        if not contributes:
+            continue
+        selected.append(match)
+        for edge in match.covered & edge_set:
+            covered.add(edge)
+            index.setdefault(edge, set()).add(match.view_name)
+        if covered == edge_set:
+            break
+
+    if covered != edge_set:
+        return merge_view_matches(query, selected)
+
+    # Phase 2 (lines 9-11): drop views whose removal leaves every edge
+    # they cover still covered by some other selected view.
+    kept: List[ViewMatch] = []
+    for match in selected:
+        removable = all(
+            len(index[edge]) > 1 for edge in match.covered & edge_set
+        )
+        if removable:
+            for edge in match.covered & edge_set:
+                index[edge].discard(match.view_name)
+        else:
+            kept.append(match)
+    return merge_view_matches(query, kept)

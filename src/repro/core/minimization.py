@@ -1,0 +1,89 @@
+"""Pattern query minimization via containment (application of Corollary 4).
+
+"Like for relational queries, the query containment analysis is
+important in minimizing and optimizing pattern queries" (Section IV).
+A pattern edge is *redundant* when dropping it leaves a query that is
+mutually contained with the original: the smaller query retrieves the
+same information, and the dropped edge's match set is recoverable
+through the containment mapping.  :func:`minimize` removes redundant
+edges greedily until none remains and reports how to reconstruct the
+original result.
+
+Example: two parallel branches ``A->B1``, ``A->B2`` with identical
+conditions on ``B1``/``B2`` collapse to one branch (the paper's notion
+of equivalent queries; see tests for Fig.-4-style cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.containment import contains
+from repro.graph.pattern import Pattern
+from repro.views.view import ViewDefinition
+
+PEdge = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class Minimization:
+    """Outcome of :func:`minimize`.
+
+    ``mapping`` sends every edge of the *original* query to the edges of
+    the minimized query whose match sets jointly contain (and, by
+    mutual containment, equal the union of) the original edge's
+    matches.
+    """
+
+    original: Pattern
+    minimized: Pattern
+    mapping: Dict[PEdge, Tuple[PEdge, ...]]
+
+    @property
+    def removed_edges(self) -> int:
+        return self.original.num_edges - self.minimized.num_edges
+
+    @property
+    def removed_nodes(self) -> int:
+        return self.original.num_nodes - self.minimized.num_nodes
+
+
+def _mutually_contained(small: Pattern, big: Pattern) -> bool:
+    forward = contains(big, [ViewDefinition("small", small)])
+    if not forward.holds:
+        return False
+    backward = contains(small, [ViewDefinition("big", big)])
+    return backward.holds
+
+
+def minimize(query: Pattern) -> Minimization:
+    """Greedily drop redundant edges while preserving equivalence.
+
+    Runs in ``O(|Ep|^2)`` containment checks, each quadratic in the
+    pattern size (Corollary 4) -- trivially fast for the pattern sizes
+    simulation queries use.  The result is connected-or-smaller but may
+    not be globally minimum (minimization, like its relational cousin,
+    is order-sensitive; the greedy pass is the standard practical
+    choice).
+    """
+    current = query.copy()
+    changed = True
+    while changed:
+        changed = False
+        for edge in current.edges():
+            remaining = [e for e in current.edges() if e != edge]
+            if not remaining:
+                continue
+            candidate = current.subpattern(remaining)
+            if _mutually_contained(candidate, current):
+                current = candidate
+                changed = True
+                break
+
+    final = contains(query, [ViewDefinition("minimized", current)])
+    mapping: Dict[PEdge, Tuple[PEdge, ...]] = {
+        edge: tuple(view_edge for _, view_edge in refs)
+        for edge, refs in final.mapping.items()
+    }
+    return Minimization(original=query, minimized=current, mapping=mapping)

@@ -1,0 +1,86 @@
+"""Minimum containment (Section V-C; Theorem 6).
+
+The decision version of MMCP is NP-complete (reduction from set cover)
+and the optimization version APX-hard, so :func:`minimum_views` is the
+paper's greedy ``O(log |Ep|)``-approximation: repeatedly pick the view
+whose match covers the most still-uncovered pattern edges (largest
+``α(V) = |M^Qs_V \\ Ec| / |Ep|``), until the query is covered or no view
+helps.
+
+:func:`minimum_views_exact` additionally provides the brute-force
+optimum for small inputs; the test suite uses it to validate the greedy
+bound, and it doubles as a reference for users with tiny view caches.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, List, Optional, Set, Tuple
+
+from repro.core.containment import (
+    Containment,
+    Views,
+    _normalize,
+    _view_match_fn,
+    merge_view_matches,
+)
+from repro.core.view_match import ViewMatch
+from repro.graph.pattern import Pattern
+
+PEdge = Tuple[Hashable, Hashable]
+
+
+def minimum_views(query: Pattern, views: Views) -> Containment:
+    """Algorithm ``minimum``: greedy set-cover view selection.
+
+    Returns a :class:`Containment` over the chosen subset with
+    ``card(V') <= log(|Ep|) * card(V_OPT)`` whenever ``Q ⊑ V``; when
+    ``Q ⋢ V``, ``holds`` is False and the mapping holds the partial
+    cover accumulated before the greedy loop stalled.
+
+    Complexity ``O(card(V)|Q|^2 + |V|^2 + |Q||V| + (|Q| card(V))^{3/2})``
+    (Theorem 6(2)).
+    """
+    definitions = _normalize(views)
+    view_match = _view_match_fn(query, definitions)
+    edge_set = query.edge_set()
+
+    matches: List[ViewMatch] = [view_match(query, d) for d in definitions]
+    remaining = list(matches)
+    selected: List[ViewMatch] = []
+    covered: Set[PEdge] = set()
+    while covered != edge_set and remaining:
+        best = max(remaining, key=lambda m: len((m.covered & edge_set) - covered))
+        gain = (best.covered & edge_set) - covered
+        if not gain:
+            break
+        remaining.remove(best)
+        selected.append(best)
+        covered |= gain
+    return merge_view_matches(query, selected)
+
+
+def minimum_views_exact(query: Pattern, views: Views) -> Optional[Containment]:
+    """Brute-force MMCP (exponential; reference implementation).
+
+    Tries subsets in increasing cardinality and returns the first that
+    contains the query, or ``None`` when ``Q ⋢ V``.  Only sensible for
+    small ``card(V)``.
+    """
+    definitions = _normalize(views)
+    view_match = _view_match_fn(query, definitions)
+    edge_set = query.edge_set()
+    matches = [view_match(query, d) for d in definitions]
+    total: Set[PEdge] = set()
+    for match in matches:
+        total |= match.covered & edge_set
+    if total != edge_set:
+        return None
+    for size in range(1, len(matches) + 1):
+        for combo in combinations(matches, size):
+            covered: Set[PEdge] = set()
+            for match in combo:
+                covered |= match.covered & edge_set
+            if covered == edge_set:
+                return merge_view_matches(query, list(combo))
+    return None  # pragma: no cover - unreachable given the early union check

@@ -1,0 +1,205 @@
+"""Partial answering when ``Q ⋢ V`` (Section VIII, future-work item 2).
+
+When a query is *not* contained in the available views, Theorem 1 rules
+out answering it from the views alone.  Two useful fallbacks are
+provided:
+
+* :func:`partial_answer` -- evaluate the *covered subpattern* (the
+  query restricted to edges some view match covers) from the views
+  only.  Because constraints were dropped, each returned match set is a
+  **superset** of the full query's (restricted to covered edges): an
+  over-approximation suitable for pruning, previews, or routing.
+* :func:`hybrid_answer` -- compute the **exact** ``Q(G)``, touching
+  ``G`` only for the uncovered edges: covered edges merge from the
+  views (as in MatchJoin), uncovered edges scan label-compatible data
+  edges, and one shared fixpoint refines both.  When most of the query
+  is covered this does a small fraction of Match's work while staying
+  exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Mapping, Set, Tuple, Union
+
+from repro.core.containment import Containment, Views, contains, _normalize
+from repro.core.matchjoin import merge_initial_sets, run_fixpoint, _extensions_of
+from repro.errors import UnsupportedPatternError
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import BoundedPattern, Pattern
+from repro.simulation.result import MatchResult
+from repro.views.storage import ViewSet
+from repro.views.view import MaterializedView
+
+PEdge = Tuple[Hashable, Hashable]
+Extensions = Mapping[str, MaterializedView]
+
+
+@dataclass
+class PartialAnswer:
+    """Result of :func:`partial_answer`."""
+
+    result: MatchResult
+    covered_subpattern: Pattern
+    covered: FrozenSet[PEdge]
+    uncovered: FrozenSet[PEdge]
+    containment: Containment
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.covered) + len(self.uncovered)
+        return len(self.covered) / total if total else 1.0
+
+
+def partial_answer(
+    query: Pattern,
+    views: ViewSet,
+    graph: DataGraph = None,
+) -> PartialAnswer:
+    """Answer the covered subpattern of ``query`` from views only.
+
+    The subpattern keeps exactly the edges some view match covers; its
+    match sets over-approximate the full query's on those edges (the
+    uncovered edges' constraints are not enforced).  ``graph`` is used
+    only to materialize missing extensions, mirroring
+    :func:`repro.core.answer.answer_with_views`.
+    """
+    if isinstance(query, BoundedPattern):
+        from repro.core.bounded.bcontainment import bounded_contains
+
+        containment = bounded_contains(query, views)
+    else:
+        containment = contains(query, views)
+    covered = frozenset(containment.mapping)
+    if not covered:
+        return PartialAnswer(
+            MatchResult.empty(), Pattern(), covered,
+            frozenset(query.edge_set()), containment,
+        )
+    subpattern = query.subpattern(covered)
+    sub_containment = Containment(
+        holds=True,
+        mapping={e: containment.mapping[e] for e in covered},
+        uncovered=frozenset(),
+        view_names=containment.view_names,
+    )
+    needed = [
+        name
+        for name in containment.views_used()
+        if any(ref[0] == name for refs in sub_containment.mapping.values() for ref in refs)
+    ]
+    if graph is not None:
+        missing = [n for n in needed if not views.is_materialized(n)]
+        if missing:
+            views.materialize(graph, names=missing)
+    extensions = {name: views.extension(name) for name in needed}
+    if isinstance(query, BoundedPattern):
+        from repro.core.bounded.bmatchjoin import bounded_match_join
+
+        result = bounded_match_join(subpattern, sub_containment, extensions)
+    else:
+        from repro.core.matchjoin import match_join
+
+        result = match_join(subpattern, sub_containment, extensions)
+    return PartialAnswer(
+        result, subpattern, covered, containment.uncovered, containment
+    )
+
+
+def hybrid_answer(
+    query: Pattern,
+    views: ViewSet,
+    graph: DataGraph,
+) -> MatchResult:
+    """Exact ``Q(G)`` touching ``G`` only for uncovered edges.
+
+    Initial match sets: covered edges merge their λ-image view pairs;
+    uncovered edges take every data edge whose endpoints satisfy the
+    pattern conditions.  Both initializations are supersets of the true
+    match sets, so the shared MatchJoin fixpoint converges to exactly
+    ``Q(G)`` (the Theorem 1 invariant).  Bounded queries are supported:
+    uncovered edges enumerate bounded-BFS pairs.
+    """
+    if query.isolated_nodes():
+        raise UnsupportedPatternError(
+            "pattern has isolated nodes; evaluate directly with match()"
+        )
+    bounded = isinstance(query, BoundedPattern)
+    if bounded:
+        from repro.core.bounded.bcontainment import bounded_contains
+        from repro.core.bounded.bmatchjoin import merge_initial_sets_bounded
+
+        containment = bounded_contains(query, views)
+    else:
+        containment = contains(query, views)
+
+    covered = frozenset(containment.mapping)
+    needed = {ref[0] for refs in containment.mapping.values() for ref in refs}
+    missing = [n for n in needed if not views.is_materialized(n)]
+    if missing:
+        views.materialize(graph, names=missing)
+    extensions = {name: views.extension(name) for name in needed}
+
+    # Covered part: exactly MatchJoin's merge, on the covered subpattern.
+    initial: Dict[PEdge, Set] = {}
+    if covered:
+        subpattern = query.subpattern(covered)
+        sub_containment = Containment(
+            holds=True,
+            mapping={e: containment.mapping[e] for e in covered},
+            uncovered=frozenset(),
+            view_names=containment.view_names,
+        )
+        if bounded:
+            initial.update(
+                merge_initial_sets_bounded(subpattern, sub_containment, extensions)
+            )
+        else:
+            initial.update(
+                merge_initial_sets(subpattern, sub_containment, extensions)
+            )
+
+    # Uncovered part: scan G with the pattern's own conditions.
+    candidates: Dict = {}
+
+    def matches_of(u):
+        if u not in candidates:
+            condition = query.condition(u)
+            candidates[u] = {
+                v
+                for v in graph.nodes()
+                if condition.matches(graph.labels(v), graph.attrs(v))
+            }
+        return candidates[u]
+
+    for edge in query.edges():
+        if edge in covered:
+            continue
+        u, u1 = edge
+        sources = matches_of(u)
+        targets = matches_of(u1)
+        pairs: Set = set()
+        if bounded:
+            bound = query.bound(edge)
+            from repro.graph.pattern import ANY
+            from repro.simulation.distance import BoundedDistanceCache
+
+            cache = BoundedDistanceCache(graph)
+            for v in sources:
+                if bound is ANY:
+                    pairs.update(
+                        (v, w) for w in cache.reachable(v) if w in targets
+                    )
+                else:
+                    pairs.update(
+                        (v, w)
+                        for w in cache.descendants(v, bound)
+                        if w in targets
+                    )
+        else:
+            for v in sources:
+                pairs.update((v, w) for w in graph.successors(v) if w in targets)
+        initial[edge] = pairs
+
+    result = run_fixpoint(query, initial, optimized=True)
+    return result if result is not None else MatchResult.empty()

@@ -1,0 +1,50 @@
+"""Dataset generators: synthetic graphs and real-dataset stand-ins.
+
+The paper evaluates on three SNAP/ArnetMiner datasets (Amazon, Citation,
+YouTube) and on random synthetic graphs.  The real downloads are not
+redistributable nor available offline, so this package provides
+*schema-faithful generators* (see DESIGN.md "Substitutions"): same node
+attribute schemas, skewed label distributions, power-law-ish degrees and
+within-category clustering, at laptop scale by default and any scale on
+request.  Users with the original files can load them via
+:func:`repro.graph.io.read_snap_edges` instead.
+
+* :func:`~repro.datasets.synthetic.random_graph` and
+  :func:`~repro.datasets.synthetic.densification_graph` -- the paper's
+  synthetic generator (``|V|``, ``|E| = 2|V|`` or ``|E| = |V|^alpha``).
+* :func:`~repro.datasets.amazon.amazon_graph`,
+  :func:`~repro.datasets.citation.citation_graph`,
+  :func:`~repro.datasets.youtube.youtube_graph`.
+* :mod:`~repro.datasets.patterns` -- random (bounded) pattern and view
+  generators, plus ``query_from_views`` which builds queries *guaranteed*
+  to be contained in a view set.
+* :mod:`~repro.datasets.youtube_views` -- the twelve predicate views of
+  Fig. 7.
+"""
+
+from repro.datasets.amazon import amazon_graph, amazon_views
+from repro.datasets.citation import citation_graph, citation_views
+from repro.datasets.patterns import (
+    generate_views,
+    query_from_views,
+    random_bounded_pattern,
+    random_query,
+)
+from repro.datasets.synthetic import densification_graph, random_graph
+from repro.datasets.youtube import youtube_graph
+from repro.datasets.youtube_views import youtube_views
+
+__all__ = [
+    "amazon_graph",
+    "amazon_views",
+    "citation_graph",
+    "citation_views",
+    "densification_graph",
+    "generate_views",
+    "query_from_views",
+    "random_bounded_pattern",
+    "random_query",
+    "random_graph",
+    "youtube_graph",
+    "youtube_views",
+]

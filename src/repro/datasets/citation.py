@@ -1,0 +1,135 @@
+"""Citation network stand-in (ArnetMiner Citation, [2]).
+
+The original has 1.4M papers and 3M citations; nodes carry title,
+authors, year and venue.  The generator reproduces:
+
+* venue-area labels (DB, AI, SYS, NET, THEORY, IR) with realistic skew;
+* ``year`` attributes and *temporal direction*: papers only cite older
+  papers, so the citation graph is a DAG -- an important structural
+  property (cyclic patterns never match it, DAG patterns do);
+* citation popularity skew (preferential attachment toward highly
+  cited papers) and area locality (most citations stay in-area).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.graph.digraph import DataGraph
+from repro.views.storage import ViewSet
+
+AREAS: Sequence[str] = ("DB", "AI", "SYS", "NET", "THEORY", "IR")
+_AREA_WEIGHTS: Sequence[int] = (25, 25, 15, 12, 13, 10)
+_VENUES: Dict[str, Sequence[str]] = {
+    "DB": ("SIGMOD", "VLDB", "ICDE"),
+    "AI": ("AAAI", "IJCAI", "NIPS"),
+    "SYS": ("OSDI", "SOSP", "EuroSys"),
+    "NET": ("SIGCOMM", "NSDI", "INFOCOM"),
+    "THEORY": ("STOC", "FOCS", "SODA"),
+    "IR": ("SIGIR", "WWW", "CIKM"),
+}
+
+
+def citation_graph(
+    num_nodes: int = 25_000,
+    num_edges: int = 60_000,
+    seed: int = 0,
+    same_area_bias: float = 0.7,
+    year_range: tuple = (1980, 2013),
+) -> DataGraph:
+    """Generate the citation network (a DAG by construction)."""
+    rng = random.Random(seed)
+    graph = DataGraph()
+    members: Dict[str, List[int]] = {a: [] for a in AREAS}
+    years: Dict[int, int] = {}
+    for node in range(num_nodes):
+        area = rng.choices(AREAS, weights=_AREA_WEIGHTS, k=1)[0]
+        year = rng.randint(*year_range)
+        graph.add_node(
+            node,
+            labels=area,
+            attrs={
+                "area": area,
+                "venue": rng.choice(_VENUES[area]),
+                "year": year,
+            },
+        )
+        members[area].append(node)
+        years[node] = year
+
+    popular: Dict[str, List[int]] = {a: [] for a in AREAS}
+    added = 0
+    attempts = 0
+    while added < num_edges and attempts < num_edges * 6:
+        attempts += 1
+        source = rng.randrange(num_nodes)
+        area = next(iter(graph.labels(source)))
+        if rng.random() < same_area_bias:
+            pool = popular[area] if popular[area] and rng.random() < 0.6 else members[area]
+        else:
+            other = AREAS[rng.randrange(len(AREAS))]
+            pool = members[other] or members[area]
+        target = pool[rng.randrange(len(pool))]
+        # Citations point strictly backward in time: DAG guarantee.
+        if years[target] >= years[source] or graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+        bucket = popular[next(iter(graph.labels(target)))]
+        bucket.append(target)
+        if len(bucket) > 5_000:
+            del bucket[:2_500]
+        added += 1
+    return graph
+
+
+def citation_views(seed: int = 0, count: int = 12) -> ViewSet:
+    """Twelve views "to search for papers and authors in computer
+    science" (Section VII): cross-area and in-area citation chains and
+    stars, narrowed with year predicates (recent papers citing older
+    foundational work) so extensions stay a small fraction of the
+    graph, as the paper reports (~12%).  All are DAG patterns, matching
+    the data's acyclicity."""
+    from repro.graph.conditions import P
+    from repro.datasets.patterns import chain_view, star_view
+
+    def area(name, since=None, until=None):
+        cond = None
+        if since is not None:
+            cond = P("year") >= since
+        if until is not None:
+            until_cond = P("year") <= until
+            cond = until_cond if cond is None else cond & until_cond
+        if cond is None:
+            from repro.graph.conditions import AttributeCondition
+
+            return AttributeCondition((), label=name)
+        return cond.with_label(name)
+
+    rng = random.Random(seed)
+    recent, classic = 2005, 2000
+    base = [
+        chain_view("CV1", [area("DB", since=recent), area("DB", until=classic)]),
+        chain_view("CV2", [area("AI", since=recent), area("AI", until=classic)]),
+        chain_view("CV3", [area("DB", since=recent), area("AI")]),
+        chain_view("CV4", [area("AI", since=recent), area("THEORY")]),
+        chain_view("CV5", [area("DB", since=recent), area("SYS")]),
+        star_view("CV6", area("DB", since=recent), [area("DB"), area("IR")]),
+        star_view("CV7", area("AI", since=recent), [area("AI"), area("DB")]),
+        star_view("CV8", area("IR", since=recent), [area("DB"), area("AI")]),
+        chain_view("CV9", [area("IR", since=recent), area("DB"), area("THEORY", until=classic)]),
+        chain_view("CV10", [area("SYS", since=recent), area("NET")]),
+        star_view("CV11", area("DB", since=recent), [area("AI"), area("IR"), area("THEORY")]),
+        chain_view("CV12", [area("NET", since=recent), area("SYS"), area("THEORY")]),
+    ]
+    views = ViewSet(base[: min(count, len(base))])
+    index = len(base)
+    while len(views) < count:
+        index += 1
+        views.add(
+            chain_view(
+                f"CV{index}",
+                [area(rng.choice(AREAS), since=recent), area(rng.choice(AREAS))],
+            )
+        )
+    return views

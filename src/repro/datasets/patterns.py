@@ -1,0 +1,333 @@
+"""Pattern and view generators (Section VII, "(3) Pattern and view
+generator").
+
+The paper's generator is controlled by ``(|Vp|, |Ep|)`` (plus an edge
+bound ``k`` for bounded patterns).  Two families are provided:
+
+* :func:`random_query` / :func:`random_bounded_pattern` -- arbitrary
+  connected patterns with a DAG/cyclic switch, used by the containment
+  benchmarks (Fig. 8(g)/(h)), where containment may or may not hold.
+* :func:`query_from_views` -- queries built by *stitching renamed copies
+  of view patterns* and merging condition-equal nodes across copies.
+  Every edge of such a query is a copy of a view edge, and every copy
+  keeps its out-edges, so the identity-on-copies relation witnesses the
+  (bounded) simulation of each view over the query: the query is
+  contained in the views **by construction**.  This is how the
+  MatchJoin benchmarks (Fig. 8(a)-(f), (i)-(l)) obtain answerable
+  workloads, mirroring the paper's setup where queries are built to be
+  coverable by the cached views.
+
+Small named view shapes (:func:`chain_view`, :func:`star_view`,
+:func:`cycle_view`, :func:`diamond_view`) are shared by the dataset
+modules.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.conditions import Condition
+from repro.graph.pattern import ANY, Bound, BoundedPattern, Pattern
+from repro.graph.scc import is_dag
+from repro.views.storage import ViewSet
+from repro.views.view import ViewDefinition
+
+
+# ----------------------------------------------------------------------
+# Named small shapes
+# ----------------------------------------------------------------------
+def chain_view(name: str, labels: Sequence, bounds: Optional[Sequence[Bound]] = None) -> ViewDefinition:
+    """A chain ``l0 -> l1 -> ... -> lk`` (bounded when bounds given)."""
+    if len(labels) < 2:
+        raise ValueError("chain needs at least two labels")
+    bounded = bounds is not None
+    pattern: Pattern = BoundedPattern() if bounded else Pattern()
+    for i, label in enumerate(labels):
+        pattern.add_node(f"n{i}", label)
+    for i in range(len(labels) - 1):
+        if bounded:
+            pattern.add_edge(f"n{i}", f"n{i+1}", bounds[i])  # type: ignore[call-arg]
+        else:
+            pattern.add_edge(f"n{i}", f"n{i+1}")
+    return ViewDefinition(name, pattern)
+
+
+def star_view(
+    name: str, center, leaves: Sequence, bounds: Optional[Sequence[Bound]] = None
+) -> ViewDefinition:
+    """A star: the center points at each leaf."""
+    bounded = bounds is not None
+    pattern: Pattern = BoundedPattern() if bounded else Pattern()
+    pattern.add_node("c", center)
+    for i, leaf in enumerate(leaves):
+        pattern.add_node(f"leaf{i}", leaf)
+        if bounded:
+            pattern.add_edge("c", f"leaf{i}", bounds[i])  # type: ignore[call-arg]
+        else:
+            pattern.add_edge("c", f"leaf{i}")
+    return ViewDefinition(name, pattern)
+
+
+def cycle_view(name: str, labels: Sequence, bounds: Optional[Sequence[Bound]] = None) -> ViewDefinition:
+    """A directed cycle over the given labels."""
+    if len(labels) < 2:
+        raise ValueError("cycle needs at least two labels")
+    bounded = bounds is not None
+    pattern: Pattern = BoundedPattern() if bounded else Pattern()
+    for i, label in enumerate(labels):
+        pattern.add_node(f"n{i}", label)
+    for i in range(len(labels)):
+        j = (i + 1) % len(labels)
+        if bounded:
+            pattern.add_edge(f"n{i}", f"n{j}", bounds[i])  # type: ignore[call-arg]
+        else:
+            pattern.add_edge(f"n{i}", f"n{j}")
+    return ViewDefinition(name, pattern)
+
+
+def diamond_view(name: str, top, left, right, bottom) -> ViewDefinition:
+    """top -> {left, right} -> bottom."""
+    pattern = Pattern()
+    pattern.add_node("t", top)
+    pattern.add_node("l", left)
+    pattern.add_node("r", right)
+    pattern.add_node("b", bottom)
+    pattern.add_edge("t", "l")
+    pattern.add_edge("t", "r")
+    pattern.add_edge("l", "b")
+    pattern.add_edge("r", "b")
+    return ViewDefinition(name, pattern)
+
+
+# ----------------------------------------------------------------------
+# Random patterns (containment benchmarks)
+# ----------------------------------------------------------------------
+def random_query(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[str],
+    seed: int = 0,
+    cyclic: bool = False,
+) -> Pattern:
+    """A connected random pattern with ``|Vp| = num_nodes`` and
+    ``|Ep| ~ num_edges``; a DAG unless ``cyclic``.
+
+    DAG patterns orient every edge from a lower to a higher node index;
+    cyclic ones additionally close at least one back edge, matching the
+    paper's QDAG / QCyclic workloads of Fig. 8(g).
+    """
+    if num_edges < num_nodes - 1:
+        raise ValueError("need at least num_nodes - 1 edges for connectivity")
+    rng = random.Random(seed)
+    q = Pattern()
+    for i in range(num_nodes):
+        q.add_node(i, labels[rng.randrange(len(labels))])
+    # Connected backbone (forward edges keep the DAG property).
+    for i in range(1, num_nodes):
+        q.add_edge(rng.randrange(i), i)
+    attempts = 0
+    while q.num_edges < num_edges and attempts < num_edges * 10:
+        attempts += 1
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a == b:
+            continue
+        if not cyclic and a > b:
+            a, b = b, a
+        if not q.has_edge(a, b):
+            q.add_edge(a, b)
+    if cyclic and is_dag(q):
+        # Close one backward edge along the backbone.
+        hi = num_nodes - 1
+        lo = rng.randrange(hi)
+        if not q.has_edge(hi, lo):
+            q.add_edge(hi, lo)
+    return q
+
+
+def random_bounded_pattern(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[str],
+    max_bound: int = 3,
+    seed: int = 0,
+    cyclic: bool = False,
+    star_probability: float = 0.0,
+) -> BoundedPattern:
+    """A random bounded pattern; bounds drawn uniformly from
+    ``[1, max_bound]`` (with probability ``star_probability``, ``*``)."""
+    rng = random.Random(seed)
+    base = random_query(num_nodes, num_edges, labels, seed=seed, cyclic=cyclic)
+    qb = BoundedPattern()
+    for node in base.nodes():
+        qb.add_node(node, base.condition(node))
+    for source, target in base.edges():
+        bound: Bound = (
+            ANY if rng.random() < star_probability else rng.randint(1, max_bound)
+        )
+        qb.add_edge(source, target, bound)
+    return qb
+
+
+# ----------------------------------------------------------------------
+# Random view suites
+# ----------------------------------------------------------------------
+def generate_views(
+    labels: Sequence[str],
+    count: int = 22,
+    seed: int = 0,
+    bounded: bool = False,
+    max_bound: int = 3,
+    name_prefix: str = "SV",
+) -> ViewSet:
+    """A suite of small random views over ``labels`` (the paper uses 22
+    random views over |Σ| = 10 for the synthetic experiments)."""
+    rng = random.Random(seed)
+    views = ViewSet()
+    for index in range(count):
+        shape = rng.choice(("chain2", "chain3", "star2", "cycle2", "cycle3"))
+        name = f"{name_prefix}{index}"
+        picks = [labels[rng.randrange(len(labels))] for _ in range(3)]
+        bnd = (lambda n: [rng.randint(1, max_bound) for _ in range(n)]) if bounded else (lambda n: None)
+        if shape == "chain2":
+            views.add(chain_view(name, picks[:2], bounds=bnd(1)))
+        elif shape == "chain3":
+            views.add(chain_view(name, picks, bounds=bnd(2)))
+        elif shape == "star2":
+            views.add(star_view(name, picks[0], picks[1:], bounds=bnd(2)))
+        elif shape == "cycle2":
+            views.add(cycle_view(name, picks[:2], bounds=bnd(2)))
+        else:
+            views.add(cycle_view(name, picks, bounds=bnd(3)))
+    return views
+
+
+# ----------------------------------------------------------------------
+# Queries contained in a view set by construction
+# ----------------------------------------------------------------------
+def query_from_views(
+    views: ViewSet,
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    require_dag: bool = False,
+) -> Pattern:
+    """Stitch renamed view copies into a query with ``Q ⊑ V`` guaranteed.
+
+    Copies of randomly chosen view patterns are unioned until the edge
+    target is met; then condition-equal nodes from *different* copies
+    are merged until the node target is met (or no merge is possible).
+    Merging never removes edges, so every copy keeps witnessing its view
+    and containment is preserved; with ``require_dag`` a merge that
+    would create a cycle is rolled back.
+
+    Returns a :class:`BoundedPattern` when any chosen view is bounded,
+    else a plain :class:`Pattern`.  Actual sizes can deviate slightly
+    from the targets; callers that need exact ``(|Vp|, |Ep|)`` labels
+    should report ``pattern.num_nodes`` / ``pattern.num_edges``.
+    """
+    rng = random.Random(seed)
+    definitions = views.definitions()
+    if not definitions:
+        raise ValueError("view set is empty")
+    any_bounded = any(d.is_bounded for d in definitions)
+
+    # --- copy phase ---------------------------------------------------
+    query: Pattern = BoundedPattern() if any_bounded else Pattern()
+    copy_of: Dict = {}
+    copy_index = 0
+    guard = 0
+    while query.num_edges < num_edges and guard < 100:
+        guard += 1
+        definition = definitions[rng.randrange(len(definitions))]
+        pattern = definition.pattern
+        prefix = f"c{copy_index}"
+        copy_index += 1
+        for node in pattern.nodes():
+            name = (prefix, node)
+            query.add_node(name, pattern.condition(node))
+            copy_of[name] = copy_index
+        for edge in pattern.edges():
+            source, target = (prefix, edge[0]), (prefix, edge[1])
+            if isinstance(query, BoundedPattern):
+                bound = (
+                    pattern.bound(edge)
+                    if isinstance(pattern, BoundedPattern)
+                    else 1
+                )
+                query.add_edge(source, target, bound)
+            else:
+                query.add_edge(source, target)
+
+    # --- merge phase ----------------------------------------------------
+    guard = 0
+    while query.num_nodes > num_nodes and guard < num_nodes * 20 + 100:
+        guard += 1
+        pair = _pick_merge_pair(query, copy_of, rng)
+        if pair is None:
+            break
+        keep, drop = pair
+        merged = _merged_pattern(query, keep, drop)
+        if require_dag and not is_dag(merged):
+            # Mark the pair as same-copy so it is not retried forever.
+            copy_of[drop] = copy_of[keep]
+            continue
+        query = merged
+    return query
+
+
+def _pick_merge_pair(query: Pattern, copy_of: Dict, rng) -> Optional[Tuple]:
+    """Pick a condition-equal node pair from different copies, or None."""
+    by_condition: Dict[Condition, List] = {}
+    for node in query.nodes():
+        by_condition.setdefault(query.condition(node), []).append(node)
+    candidates = [
+        nodes
+        for nodes in by_condition.values()
+        if len({copy_of[n] for n in nodes}) > 1
+    ]
+    if not candidates:
+        return None
+    group = candidates[rng.randrange(len(candidates))]
+    rng.shuffle(group)
+    for i, node in enumerate(group):
+        for other in group[i + 1:]:
+            if copy_of[node] == copy_of[other]:
+                continue
+            # Adjacent nodes would collapse into a self loop, which makes
+            # the query unmatchable on most data; skip such pairs.
+            if query.has_edge(node, other) or query.has_edge(other, node):
+                continue
+            return node, other
+    return None
+
+
+def _merged_pattern(query: Pattern, keep, drop) -> Pattern:
+    """A fresh pattern with ``drop`` folded into ``keep``.
+
+    Parallel edges that collapse onto each other keep the *tighter*
+    bound: the collapsed edge is covered by both origin view edges, and
+    ``min(b1, b2) <= b`` holds for each, so per-edge coverage survives.
+    """
+    bounded = isinstance(query, BoundedPattern)
+    merged: Pattern = BoundedPattern() if bounded else Pattern()
+
+    def image(node):
+        return keep if node == drop else node
+
+    for node in query.nodes():
+        if node != drop:
+            merged.add_node(node, query.condition(node))
+    for edge in query.edges():
+        source, target = image(edge[0]), image(edge[1])
+        if bounded:
+            bound = query.bound(edge)
+            if merged.has_edge(source, target):
+                current = merged.bound((source, target))
+                if current is ANY or (bound is not ANY and bound < current):
+                    merged._bound[(source, target)] = bound
+            else:
+                merged.add_edge(source, target, bound)
+        else:
+            merged.add_edge(source, target)
+    return merged

@@ -1,0 +1,98 @@
+"""The twelve YouTube views of Fig. 7.
+
+Fig. 7 defines views ``P1..P12`` whose nodes carry Boolean search
+conditions over video attributes: age ``A``, length ``L``, category
+``C``, rate ``R`` and visits ``V`` (e.g. ``C="Music" && V>=10K``).  The
+published figure fixes the conditions but its topologies are small
+(2-4 node) chains, stars and cycles; this module reconstructs the suite
+with the figure's conditions on those shapes.  The properties the
+experiments rely on are preserved: 12 views, predicate-labeled nodes,
+extensions that are a small fraction of the graph (the paper reports
+about 4% of the YouTube graph in total).
+
+Attribute thresholds follow the figure: ``V >= 10K``, ``R >= 4`` or
+``R >= 5``, ``A <= 100`` / ``A >= 100`` / ``A >= 200``, ``L <= 200`` /
+``L >= 200``, categories Music / Sports / Comedy / News / Ent.
+"""
+
+from __future__ import annotations
+
+from repro.graph.conditions import AttributeCondition, P
+from repro.graph.pattern import Pattern
+from repro.views.storage import ViewSet
+from repro.views.view import ViewDefinition
+
+# Shared node conditions (named after the figure's annotations).
+MUSIC = P("C") == "Music"
+SPORTS = P("C") == "Sports"
+COMEDY = P("C") == "Comedy"
+NEWS = P("C") == "News"
+ENT = P("C") == "Ent."
+POPULAR = P("V") >= 10_000
+HIGH_RATE = P("R") >= 4
+TOP_RATE = P("R") >= 5
+FRESH = P("A") <= 100
+OLD = P("A") >= 100
+OLDER = P("A") >= 200
+SHORT = P("L") <= 200
+LONG = P("L") >= 1800
+
+
+def _chain(name: str, conditions) -> ViewDefinition:
+    pattern = Pattern()
+    for i, condition in enumerate(conditions):
+        pattern.add_node(f"n{i}", condition)
+    for i in range(len(conditions) - 1):
+        pattern.add_edge(f"n{i}", f"n{i+1}")
+    return ViewDefinition(name, pattern)
+
+
+def _star(name: str, center, leaves) -> ViewDefinition:
+    pattern = Pattern()
+    pattern.add_node("c", center)
+    for i, leaf in enumerate(leaves):
+        pattern.add_node(f"x{i}", leaf)
+        pattern.add_edge("c", f"x{i}")
+    return ViewDefinition(name, pattern)
+
+
+def _cycle(name: str, conditions) -> ViewDefinition:
+    pattern = Pattern()
+    for i, condition in enumerate(conditions):
+        pattern.add_node(f"n{i}", condition)
+    n = len(conditions)
+    for i in range(n):
+        pattern.add_edge(f"n{i}", f"n{(i + 1) % n}")
+    return ViewDefinition(name, pattern)
+
+
+def youtube_views() -> ViewSet:
+    """Build the P1..P12 suite of Fig. 7."""
+    views = [
+        # P1: popular highly rated Music videos recommending each other.
+        _cycle("P1", [MUSIC & POPULAR, MUSIC & HIGH_RATE]),
+        # P2: fresh highly rated videos leading to Sports content.
+        _chain("P2", [FRESH & HIGH_RATE, SPORTS]),
+        # P3: Sports-to-Sports recommendation with a high rating hub.
+        _chain("P3", [SPORTS & HIGH_RATE, SPORTS, HIGH_RATE & POPULAR]),
+        # P4: short top-rated clips pointing at highly rated videos.
+        _chain("P4", [SHORT & TOP_RATE, HIGH_RATE]),
+        # P5: popular Entertainment hub with News and Music spokes.
+        _star("P5", ENT & POPULAR, [NEWS & HIGH_RATE, MUSIC]),
+        # P6: aged popular videos recommending News coverage.
+        _chain("P6", [OLD & POPULAR, NEWS & HIGH_RATE]),
+        # P7: Comedy funnel into popular videos.
+        _chain("P7", [COMEDY, COMEDY & POPULAR]),
+        # P8: aged popular Entertainment triangle.
+        _cycle("P8", [OLD & POPULAR, ENT]),
+        # P9: long top-rated videos chained to long popular content.
+        _chain("P9", [LONG & TOP_RATE, LONG & POPULAR]),
+        # P10: top-rated Comedy hub with older and Sports spokes.
+        _star("P10", TOP_RATE & COMEDY, [OLDER & TOP_RATE, SPORTS & HIGH_RATE]),
+        # P11: Sports and Music mutual recommendation.
+        _cycle("P11", [SPORTS, MUSIC & POPULAR]),
+        # P12: highly rated Entertainment in mutual recommendation with
+        # popular Entertainment.
+        _cycle("P12", [HIGH_RATE & ENT, POPULAR & ENT]),
+    ]
+    return ViewSet(views)

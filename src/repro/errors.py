@@ -1,0 +1,34 @@
+"""Exception types raised by the public API."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Tuple
+
+PEdge = Tuple[Hashable, Hashable]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NotContainedError(ReproError):
+    """Raised when a query is asked to be answered using views that do
+    not contain it (Theorem 1: containment is *necessary*)."""
+
+    def __init__(self, uncovered: FrozenSet[PEdge]) -> None:
+        self.uncovered = uncovered
+        rendered = ", ".join(f"{a}->{b}" for a, b in sorted(uncovered, key=repr))
+        super().__init__(
+            f"query is not contained in the views; uncovered pattern "
+            f"edges: {rendered}"
+        )
+
+
+class NotMaterializedError(ReproError):
+    """Raised when MatchJoin needs an extension that was never built."""
+
+
+class UnsupportedPatternError(ReproError):
+    """Raised for pattern shapes outside the algorithms' contract, e.g.
+    isolated pattern nodes in the view-based pipeline (view extensions
+    store edges, so an edge-less node cannot be covered by any view)."""

@@ -1,0 +1,41 @@
+"""Graph substrate: data graphs, patterns, search conditions and SCC tools.
+
+This subpackage provides everything the matching algorithms stand on:
+
+* :class:`~repro.graph.digraph.DataGraph` -- a directed graph whose nodes
+  carry label sets and attribute dictionaries (Section II-A of the paper).
+* :mod:`~repro.graph.conditions` -- node search conditions ``fv`` (plain
+  labels or Boolean predicates as in Fig. 7) together with a sound
+  implication test used by view-match computation.
+* :class:`~repro.graph.pattern.Pattern` and
+  :class:`~repro.graph.pattern.BoundedPattern` -- graph pattern queries
+  ``Qs`` and bounded pattern queries ``Qb``.
+* :mod:`~repro.graph.scc` -- Tarjan strongly connected components and the
+  edge *ranks* driving the bottom-up MatchJoin optimization (Section III).
+* :mod:`~repro.graph.io` -- serialization, including a SNAP edge-list
+  reader for users who have the original datasets.
+"""
+
+from repro.graph.conditions import (
+    AttributeCondition,
+    Condition,
+    Label,
+    P,
+    TrueCondition,
+    implies,
+)
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import ANY, BoundedPattern, Pattern
+
+__all__ = [
+    "ANY",
+    "AttributeCondition",
+    "BoundedPattern",
+    "Condition",
+    "DataGraph",
+    "Label",
+    "P",
+    "Pattern",
+    "TrueCondition",
+    "implies",
+]

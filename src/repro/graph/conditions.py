@@ -1,0 +1,296 @@
+"""Node search conditions and a sound implication test.
+
+Pattern nodes carry a search condition ``fv(u)`` (Section II-A).  In the
+basic setting this is a single label; the paper remarks that ``fv`` "can
+be readily extended to specify search conditions in terms of Boolean
+predicates" and its YouTube views (Fig. 7) use conjunctions such as
+``C = "Music" and V >= 10K``.  Both forms are supported here:
+
+* :class:`Label` -- matches a data node iff the label is in the node's
+  label set.
+* :class:`AttributeCondition` -- a conjunction of comparison atoms over
+  node attributes, built with the :class:`P` helper::
+
+      cond = (P("C") == "Music") & (P("V") >= 10_000)
+
+Two operations are needed by the algorithms:
+
+* ``condition.matches(labels, attrs)`` -- does a data node satisfy the
+  condition?  Used when evaluating patterns on data graphs.
+* :func:`implies` -- does *every* node satisfying ``sub`` also satisfy
+  ``sup``?  Used when computing view matches, where a pattern node ``u``
+  may be matched by a view node ``x`` only if ``fv(u)`` guarantees
+  ``fv(x)`` (evaluating ``V`` over ``Qs`` treated as a data graph).
+
+The implication test is *sound but not complete*: it only recognizes
+implications derivable per-atom (interval reasoning on comparisons,
+label equality).  Incompleteness only ever makes containment checking
+more conservative -- a view is never used unsoundly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Mapping, Tuple
+
+__all__ = [
+    "Atom",
+    "AttributeCondition",
+    "Condition",
+    "Label",
+    "P",
+    "TrueCondition",
+    "implies",
+]
+
+_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+class Condition:
+    """Base class for node search conditions."""
+
+    def matches(self, labels: FrozenSet[str], attrs: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def key(self) -> Any:
+        """A hashable normal form used for equality and hashing."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Condition) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class TrueCondition(Condition):
+    """The always-true condition (wildcard node)."""
+
+    def matches(self, labels: FrozenSet[str], attrs: Mapping[str, Any]) -> bool:
+        return True
+
+    def key(self) -> Any:
+        return ("true",)
+
+    def __repr__(self) -> str:
+        return "TrueCondition()"
+
+
+class Label(Condition):
+    """Membership of a single label in the node's label set."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"label must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def matches(self, labels: FrozenSet[str], attrs: Mapping[str, Any]) -> bool:
+        return self.name in labels
+
+    def key(self) -> Any:
+        return ("label", self.name)
+
+    def __repr__(self) -> str:
+        return f"Label({self.name!r})"
+
+
+class Atom:
+    """A single comparison ``attr op value``."""
+
+    __slots__ = ("attr", "op", "value")
+
+    def __init__(self, attr: str, op: str, value: Any) -> None:
+        if op not in _OPS:
+            raise ValueError(f"unknown operator {op!r}; expected one of {_OPS}")
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def holds(self, attrs: Mapping[str, Any]) -> bool:
+        if self.attr not in attrs:
+            return False
+        actual = attrs[self.attr]
+        try:
+            if self.op == "==":
+                return bool(actual == self.value)
+            if self.op == "!=":
+                return bool(actual != self.value)
+            if self.op == "<=":
+                return bool(actual <= self.value)
+            if self.op == ">=":
+                return bool(actual >= self.value)
+            if self.op == "<":
+                return bool(actual < self.value)
+            return bool(actual > self.value)
+        except TypeError:
+            return False
+
+    def key(self) -> Tuple[str, str, Any]:
+        return (self.attr, self.op, self.value)
+
+    def __repr__(self) -> str:
+        return f"P({self.attr!r}) {self.op} {self.value!r}"
+
+
+def _atom_implies(a: Atom, b: Atom) -> bool:
+    """Sound test: does ``a`` (on the same attribute) guarantee ``b``?"""
+    if a.attr != b.attr:
+        return False
+    av, bv = a.value, b.value
+    try:
+        if a.op == "==":
+            if b.op == "==":
+                return bool(av == bv)
+            if b.op == "!=":
+                return bool(av != bv)
+            if b.op == "<=":
+                return bool(av <= bv)
+            if b.op == ">=":
+                return bool(av >= bv)
+            if b.op == "<":
+                return bool(av < bv)
+            if b.op == ">":
+                return bool(av > bv)
+        if a.op == "<=":
+            if b.op == "<=":
+                return bool(av <= bv)
+            if b.op == "<":
+                return bool(av < bv)
+        if a.op == "<":
+            if b.op == "<=":
+                return bool(av <= bv)
+            if b.op == "<":
+                return bool(av <= bv)
+            if b.op == "!=":
+                return bool(av <= bv)
+        if a.op == ">=":
+            if b.op == ">=":
+                return bool(av >= bv)
+            if b.op == ">":
+                return bool(av > bv)
+        if a.op == ">":
+            if b.op == ">=":
+                return bool(av >= bv)
+            if b.op == ">":
+                return bool(av >= bv)
+            if b.op == "!=":
+                return bool(av >= bv)
+        if a.op == "!=" and b.op == "!=":
+            return bool(av == bv)
+    except TypeError:
+        return False
+    return False
+
+
+class AttributeCondition(Condition):
+    """A conjunction of comparison atoms over node attributes.
+
+    An optional ``label`` restricts the node's label set as well, so one
+    can express "a Video node with category Music": ``AttributeCondition
+    ([...], label="video")``.
+    """
+
+    __slots__ = ("atoms", "label")
+
+    def __init__(self, atoms: Tuple[Atom, ...], label: str = "") -> None:
+        self.atoms = tuple(atoms)
+        self.label = label
+
+    def matches(self, labels: FrozenSet[str], attrs: Mapping[str, Any]) -> bool:
+        if self.label and self.label not in labels:
+            return False
+        return all(atom.holds(attrs) for atom in self.atoms)
+
+    def key(self) -> Any:
+        return ("attrs", self.label, tuple(sorted(a.key() for a in self.atoms)))
+
+    def __and__(self, other: "AttributeCondition") -> "AttributeCondition":
+        if not isinstance(other, AttributeCondition):
+            return NotImplemented
+        if self.label and other.label and self.label != other.label:
+            raise ValueError(
+                f"cannot conjoin conditions with distinct labels "
+                f"{self.label!r} and {other.label!r}"
+            )
+        return AttributeCondition(
+            self.atoms + other.atoms, label=self.label or other.label
+        )
+
+    def with_label(self, label: str) -> "AttributeCondition":
+        return AttributeCondition(self.atoms, label=label)
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.atoms]
+        if self.label:
+            parts.insert(0, f"label={self.label!r}")
+        return "AttributeCondition(" + " & ".join(parts) + ")"
+
+
+class P:
+    """Attribute-predicate builder: ``P("rate") >= 4`` etc."""
+
+    __slots__ = ("attr",)
+
+    def __init__(self, attr: str) -> None:
+        self.attr = attr
+
+    def _make(self, op: str, value: Any) -> AttributeCondition:
+        return AttributeCondition((Atom(self.attr, op, value),))
+
+    def __eq__(self, value: object) -> AttributeCondition:  # type: ignore[override]
+        return self._make("==", value)
+
+    def __ne__(self, value: object) -> AttributeCondition:  # type: ignore[override]
+        return self._make("!=", value)
+
+    def __le__(self, value: Any) -> AttributeCondition:
+        return self._make("<=", value)
+
+    def __ge__(self, value: Any) -> AttributeCondition:
+        return self._make(">=", value)
+
+    def __lt__(self, value: Any) -> AttributeCondition:
+        return self._make("<", value)
+
+    def __gt__(self, value: Any) -> AttributeCondition:
+        return self._make(">", value)
+
+    def __hash__(self) -> int:
+        return hash(("P", self.attr))
+
+
+def as_condition(value: Any) -> Condition:
+    """Coerce ``value`` into a :class:`Condition` (strings become labels)."""
+    if isinstance(value, Condition):
+        return value
+    if isinstance(value, str):
+        return Label(value)
+    raise TypeError(f"cannot interpret {value!r} as a node condition")
+
+
+def implies(sub: Condition, sup: Condition) -> bool:
+    """Sound test that every node satisfying ``sub`` satisfies ``sup``.
+
+    Used for node compatibility in view-match computation: a view node
+    with condition ``sup`` may simulate a pattern node with condition
+    ``sub`` only when this holds, because then each data-graph match of
+    the pattern node is guaranteed to appear in the view's extension.
+    """
+    if isinstance(sup, TrueCondition):
+        return True
+    if isinstance(sub, TrueCondition):
+        return False
+    if isinstance(sub, Label) and isinstance(sup, Label):
+        return sub.name == sup.name
+    if isinstance(sub, AttributeCondition) and isinstance(sup, Label):
+        return sub.label == sup.name
+    if isinstance(sub, Label) and isinstance(sup, AttributeCondition):
+        return not sup.atoms and sup.label == sub.name
+    if isinstance(sub, AttributeCondition) and isinstance(sup, AttributeCondition):
+        if sup.label and sup.label != sub.label:
+            return False
+        return all(
+            any(_atom_implies(a, b) for a in sub.atoms) for b in sup.atoms
+        )
+    return False

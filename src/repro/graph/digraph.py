@@ -1,0 +1,235 @@
+"""Directed data graphs with node labels and attributes.
+
+A data graph (Section II-A of the paper) is a directed graph
+``G = (V, E, L)`` where ``L`` assigns each node a *set* of labels drawn
+from an alphabet.  We additionally let nodes carry an attribute
+dictionary so that patterns may use Boolean search conditions such as
+``C = "Music" and V >= 10_000`` (Fig. 7 of the paper); plain labels are
+kept in a separate set for fast label-only matching.
+
+The class is deliberately dictionary-based (adjacency sets) rather than a
+wrapper over an external library: the matching engines need O(1) access
+to successor/predecessor sets and cheap membership tests, and nothing
+else.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DataGraph:
+    """A directed graph whose nodes carry label sets and attributes.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of ``(node, labels, attrs)`` triples; ``labels``
+        may be a single string or an iterable of strings, ``attrs`` a
+        mapping or ``None``.
+    edges:
+        Optional iterable of ``(source, target)`` pairs.  Nodes appearing
+        only in ``edges`` are created with empty labels.
+
+    Examples
+    --------
+    >>> g = DataGraph()
+    >>> g.add_node("Ann", labels="PM")
+    >>> g.add_node("Bob", labels="DBA", attrs={"years": 4})
+    >>> g.add_edge("Ann", "Bob")
+    >>> sorted(g.successors("Ann"))
+    ['Bob']
+    >>> g.labels("Bob")
+    frozenset({'DBA'})
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels", "_attrs", "_num_edges")
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[Tuple[Node, Any, Optional[Mapping[str, Any]]]]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._labels: Dict[Node, FrozenSet[str]] = {}
+        self._attrs: Dict[Node, Dict[str, Any]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node, labels, attrs in nodes:
+                self.add_node(node, labels=labels, attrs=attrs)
+        if edges is not None:
+            for source, target in edges:
+                self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node: Node,
+        labels: Any = (),
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Add ``node`` (or update its labels/attributes if present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+            self._labels[node] = frozenset()
+            self._attrs[node] = {}
+        if labels:
+            new = frozenset([labels]) if isinstance(labels, str) else frozenset(labels)
+            self._labels[node] = self._labels[node] | new
+        if attrs:
+            self._attrs[node].update(attrs)
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add the directed edge ``source -> target`` (idempotent)."""
+        if source not in self._succ:
+            self.add_node(source)
+        if target not in self._succ:
+            self.add_node(target)
+        if target not in self._succ[source]:
+            self._succ[source].add(target)
+            self._pred[target].add(source)
+            self._num_edges += 1
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove the edge ``source -> target``; raise ``KeyError`` if absent."""
+        if source not in self._succ or target not in self._succ[source]:
+            raise KeyError((source, target))
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._succ:
+            raise KeyError(node)
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            self.remove_edge(source, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._labels[node]
+        del self._attrs[node]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G|`` in the paper: total number of nodes and edges."""
+        return self.num_nodes + self.num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        targets = self._succ.get(source)
+        return targets is not None and target in targets
+
+    def successors(self, node: Node) -> Set[Node]:
+        return self._succ[node]
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        return self._pred[node]
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred[node])
+
+    def labels(self, node: Node) -> FrozenSet[str]:
+        return self._labels[node]
+
+    def attrs(self, node: Node) -> Dict[str, Any]:
+        return self._attrs[node]
+
+    def nodes_with_label(self, label: str) -> Iterator[Node]:
+        """Yield all nodes carrying ``label`` (linear scan)."""
+        for node, labels in self._labels.items():
+            if label in labels:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+    def descendants_within(self, source: Node, bound: int) -> Dict[Node, int]:
+        """Map each node reachable from ``source`` by a path of length in
+        ``[1, bound]`` to its shortest such distance.
+
+        The empty path does not count: ``source`` itself appears in the
+        result only if it lies on a cycle of length <= ``bound``.
+        """
+        if bound < 1:
+            return {}
+        dist: Dict[Node, int] = {}
+        frontier = deque((target, 1) for target in self._succ[source])
+        while frontier:
+            node, d = frontier.popleft()
+            if node in dist:
+                continue
+            dist[node] = d
+            if d < bound:
+                for target in self._succ[node]:
+                    if target not in dist:
+                        frontier.append((target, d + 1))
+        return dist
+
+    def copy(self) -> "DataGraph":
+        """Return an independent deep-enough copy (attribute dicts copied)."""
+        clone = DataGraph()
+        for node in self._succ:
+            clone._succ[node] = set(self._succ[node])
+            clone._pred[node] = set(self._pred[node])
+            clone._labels[node] = self._labels[node]
+            clone._attrs[node] = dict(self._attrs[node])
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:
+        return f"DataGraph(nodes={self.num_nodes}, edges={self.num_edges})"

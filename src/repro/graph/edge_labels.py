@@ -1,0 +1,118 @@
+"""Edge-labeled graphs via the paper's dummy-node transformation.
+
+Section II, Remark (2): "Our techniques can be readily extended to
+graphs and queries with edge labels.  Indeed, an edge-labeled graph can
+be transformed to a node-labeled graph: for each edge e, add a 'dummy'
+node carrying the edge label of e, along with two unlabeled edges."
+
+This module implements that reduction for both data graphs and
+patterns, so every algorithm in the library works on edge-labeled
+inputs unchanged:
+
+* :func:`encode_graph` turns ``(source, label, target)`` triples into a
+  node-labeled :class:`~repro.graph.digraph.DataGraph` where each edge
+  becomes ``source -> dummy(label) -> target``;
+* :func:`encode_pattern` performs the same rewrite on an edge-labeled
+  pattern specification;
+* :func:`decode_edge_matches` folds a match result on the encoded graph
+  back to triples over the original graph (each pattern edge's matches
+  are pairs (dummy in, dummy out) stitched at the dummy node).
+
+Dummy nodes carry the reserved label prefix ``"edge:"`` plus the edge
+label, so they can never collide with ordinary node labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import Pattern
+
+Node = Hashable
+Triple = Tuple[Node, str, Node]
+
+#: Reserved prefix for dummy-node labels.
+EDGE_LABEL_PREFIX = "edge:"
+
+
+def dummy_label(edge_label: str) -> str:
+    return EDGE_LABEL_PREFIX + edge_label
+
+
+def encode_graph(
+    nodes: Iterable[Tuple[Node, object]],
+    triples: Iterable[Triple],
+) -> DataGraph:
+    """Build the node-labeled encoding of an edge-labeled graph.
+
+    ``nodes`` yields ``(node, labels)``; ``triples`` yields
+    ``(source, edge_label, target)``.  Each triple becomes the two-edge
+    path ``source -> ('edge', source, edge_label, target) -> target``
+    whose middle node carries ``edge:<label>``.
+    """
+    graph = DataGraph()
+    for node, labels in nodes:
+        graph.add_node(node, labels=labels)
+    for source, edge_label, target in triples:
+        if source not in graph:
+            graph.add_node(source)
+        if target not in graph:
+            graph.add_node(target)
+        dummy = ("edge", source, edge_label, target)
+        graph.add_node(dummy, labels=dummy_label(edge_label))
+        graph.add_edge(source, dummy)
+        graph.add_edge(dummy, target)
+    return graph
+
+
+def encode_pattern(
+    nodes: Dict[Node, object],
+    triples: Iterable[Tuple[Node, str, Node]],
+) -> Tuple[Pattern, Dict[Triple, Tuple[Tuple[Node, Node], Tuple[Node, Node]]]]:
+    """Encode an edge-labeled pattern.
+
+    Returns ``(pattern, edge_map)`` where ``edge_map`` sends each
+    original labeled edge to its pair of encoded pattern edges
+    ``((u, dummy), (dummy, u'))`` -- the handle needed to decode match
+    results.
+    """
+    pattern = Pattern()
+    for node, condition in nodes.items():
+        pattern.add_node(node, condition)
+    edge_map: Dict[Triple, Tuple[Tuple[Node, Node], Tuple[Node, Node]]] = {}
+    for index, (source, edge_label, target) in enumerate(triples):
+        dummy = ("edge", index, edge_label)
+        pattern.add_node(dummy, dummy_label(edge_label))
+        pattern.add_edge(source, dummy)
+        pattern.add_edge(dummy, target)
+        edge_map[(source, edge_label, target)] = (
+            (source, dummy),
+            (dummy, target),
+        )
+    return pattern, edge_map
+
+
+def decode_edge_matches(
+    result,
+    edge_map: Dict[Triple, Tuple[Tuple[Node, Node], Tuple[Node, Node]]],
+) -> Dict[Triple, Set[Tuple[Node, Node]]]:
+    """Fold an encoded match result back to labeled-edge matches.
+
+    For each original edge ``(u, l, u')``, every match is a data pair
+    ``(v, v')`` such that some dummy node links ``v`` to ``v'`` in the
+    encoded graph: stitch the in-pairs and out-pairs of the dummy
+    pattern node at their shared dummy data node.
+    """
+    decoded: Dict[Triple, Set[Tuple[Node, Node]]] = {}
+    for triple, (in_edge, out_edge) in edge_map.items():
+        into_dummy = result.edge_matches_of(in_edge)
+        out_of_dummy: Dict[Node, List[Node]] = {}
+        for dummy_node, target in result.edge_matches_of(out_edge):
+            out_of_dummy.setdefault(dummy_node, []).append(target)
+        pairs: Set[Tuple[Node, Node]] = set()
+        for source, dummy_node in into_dummy:
+            for target in out_of_dummy.get(dummy_node, ()):
+                pairs.add((source, target))
+        decoded[triple] = pairs
+    return decoded

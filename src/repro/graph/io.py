@@ -1,0 +1,187 @@
+"""Serialization for data graphs and patterns.
+
+Three formats are provided:
+
+* a JSON document for :class:`~repro.graph.digraph.DataGraph` (labels,
+  attributes and edges) -- lossless round trips;
+* a JSON document for (bounded) patterns, including search conditions;
+* a SNAP-style whitespace-separated edge list reader
+  (:func:`read_snap_edges`), so the original Amazon/YouTube downloads
+  can be loaded if available (comment lines starting with ``#`` are
+  skipped); labels/attributes can then be attached separately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.graph.conditions import (
+    Atom,
+    AttributeCondition,
+    Condition,
+    Label,
+    TrueCondition,
+)
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import ANY, BoundedPattern, Pattern
+
+
+# ----------------------------------------------------------------------
+# Conditions <-> JSON
+# ----------------------------------------------------------------------
+def condition_to_json(cond: Condition) -> Dict[str, Any]:
+    if isinstance(cond, TrueCondition):
+        return {"kind": "true"}
+    if isinstance(cond, Label):
+        return {"kind": "label", "name": cond.name}
+    if isinstance(cond, AttributeCondition):
+        return {
+            "kind": "attrs",
+            "label": cond.label,
+            "atoms": [[a.attr, a.op, a.value] for a in cond.atoms],
+        }
+    raise TypeError(f"cannot serialize condition {cond!r}")
+
+
+def condition_from_json(doc: Dict[str, Any]) -> Condition:
+    kind = doc.get("kind")
+    if kind == "true":
+        return TrueCondition()
+    if kind == "label":
+        return Label(doc["name"])
+    if kind == "attrs":
+        atoms = tuple(Atom(attr, op, value) for attr, op, value in doc["atoms"])
+        return AttributeCondition(atoms, label=doc.get("label", ""))
+    raise ValueError(f"unknown condition kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# DataGraph <-> JSON
+# ----------------------------------------------------------------------
+def graph_to_json(graph: DataGraph) -> Dict[str, Any]:
+    nodes = []
+    for node in graph.nodes():
+        nodes.append(
+            {
+                "id": node,
+                "labels": sorted(graph.labels(node)),
+                "attrs": graph.attrs(node),
+            }
+        )
+    return {"nodes": nodes, "edges": [list(edge) for edge in graph.edges()]}
+
+
+def graph_from_json(doc: Dict[str, Any]) -> DataGraph:
+    graph = DataGraph()
+    for node_doc in doc["nodes"]:
+        node = node_doc["id"]
+        node = tuple(node) if isinstance(node, list) else node
+        graph.add_node(node, labels=node_doc.get("labels", ()), attrs=node_doc.get("attrs"))
+    for source, target in doc["edges"]:
+        source = tuple(source) if isinstance(source, list) else source
+        target = tuple(target) if isinstance(target, list) else target
+        graph.add_edge(source, target)
+    return graph
+
+
+def write_graph(graph: DataGraph, path: Union[str, Path]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_json(graph), handle)
+
+
+def read_graph(path: Union[str, Path]) -> DataGraph:
+    with open(path, encoding="utf-8") as handle:
+        return graph_from_json(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Patterns <-> JSON
+# ----------------------------------------------------------------------
+def pattern_to_json(pattern: Pattern) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "bounded": isinstance(pattern, BoundedPattern),
+        "nodes": [
+            {"id": node, "condition": condition_to_json(pattern.condition(node))}
+            for node in pattern.nodes()
+        ],
+    }
+    if isinstance(pattern, BoundedPattern):
+        doc["edges"] = [
+            [source, target, "*" if pattern.bound((source, target)) is ANY
+             else pattern.bound((source, target))]
+            for source, target in pattern.edges()
+        ]
+    else:
+        doc["edges"] = [list(edge) for edge in pattern.edges()]
+    return doc
+
+
+def pattern_from_json(doc: Dict[str, Any]) -> Pattern:
+    bounded = doc.get("bounded", False)
+    pattern: Pattern = BoundedPattern() if bounded else Pattern()
+    for node_doc in doc["nodes"]:
+        pattern.add_node(node_doc["id"], condition_from_json(node_doc["condition"]))
+    for edge_doc in doc["edges"]:
+        if bounded:
+            source, target, bound = edge_doc
+            pattern.add_edge(source, target, ANY if bound == "*" else bound)  # type: ignore[call-arg]
+        else:
+            source, target = edge_doc
+            pattern.add_edge(source, target)
+    return pattern
+
+
+def write_pattern(pattern: Pattern, path: Union[str, Path]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(pattern_to_json(pattern), handle)
+
+
+def read_pattern(path: Union[str, Path]) -> Pattern:
+    with open(path, encoding="utf-8") as handle:
+        return pattern_from_json(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# SNAP edge lists
+# ----------------------------------------------------------------------
+def read_snap_edges(
+    path: Union[str, Path], limit: int = 0
+) -> List[Tuple[str, str]]:
+    """Read a SNAP whitespace-separated edge list (``# comments`` skipped).
+
+    ``limit`` > 0 truncates after that many edges, which is handy for
+    loading a prefix of the 1.78M-edge Amazon file on small machines.
+    """
+    edges: List[Tuple[str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                continue
+            edges.append((parts[0], parts[1]))
+            if limit and len(edges) >= limit:
+                break
+    return edges
+
+
+def graph_from_edges(
+    edges: Iterable[Tuple[str, str]], labeler=None
+) -> DataGraph:
+    """Build a :class:`DataGraph` from an edge list.
+
+    ``labeler(node_id) -> labels`` optionally assigns labels; by default
+    nodes get no labels (attach them later via ``add_node``).
+    """
+    graph = DataGraph()
+    for source, target in edges:
+        if source not in graph:
+            graph.add_node(source, labels=labeler(source) if labeler else ())
+        if target not in graph:
+            graph.add_node(target, labels=labeler(target) if labeler else ())
+        graph.add_edge(source, target)
+    return graph

@@ -1,0 +1,317 @@
+"""Graph pattern queries ``Qs`` and bounded pattern queries ``Qb``.
+
+A pattern query (Section II-A) is a directed graph ``Qs = (Vp, Ep, fv)``
+whose nodes carry search conditions.  A bounded pattern query (Section
+VI) additionally assigns each edge a bound ``fe(e)`` that is a positive
+integer ``k`` (the edge may match any path of length <= k) or ``*``
+(any nonempty path).  Plain patterns are exactly bounded patterns with
+``fe(e) = 1`` everywhere, and :meth:`Pattern.bounded` performs that
+promotion.
+
+Pattern nodes are identified by arbitrary hashable ids so that queries
+such as the paper's ``Qs`` in Fig. 1(c) can name nodes ``"PM"``,
+``"DBA1"``, ``"PRG1"`` etc. while two distinct nodes share the label
+``DBA``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.graph.conditions import Condition, as_condition
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+
+
+class _Any:
+    """Singleton sentinel for the unbounded edge bound ``*``."""
+
+    _instance: Optional["_Any"] = None
+
+    def __new__(cls) -> "_Any":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __reduce__(self) -> Tuple[Any, Tuple[Any, ...]]:
+        return (_Any, ())
+
+
+#: The ``*`` bound: an edge may match any nonempty path.
+ANY = _Any()
+
+Bound = Union[int, _Any]
+
+
+def bound_le(small: Bound, big: Bound) -> bool:
+    """Partial order on bounds: is every path allowed by ``small`` allowed
+    by ``big``?  ``k <= k'`` for integers, anything ``<= *``, and ``*``
+    only ``<= *``.
+    """
+    if big is ANY:
+        return True
+    if small is ANY:
+        return False
+    return small <= big
+
+
+def check_bound(bound: Bound) -> Bound:
+    if bound is ANY:
+        return bound
+    if isinstance(bound, bool) or not isinstance(bound, int):
+        raise ValueError(f"edge bound must be a positive int or ANY, got {bound!r}")
+    if bound < 1:
+        raise ValueError(f"edge bound must be >= 1, got {bound}")
+    return bound
+
+
+class Pattern:
+    """A graph pattern query ``Qs = (Vp, Ep, fv)``.
+
+    Examples
+    --------
+    The paper's Fig. 1(c) query::
+
+        q = Pattern()
+        q.add_node("PM", "PM")
+        q.add_node("DBA1", "DBA"); q.add_node("DBA2", "DBA")
+        q.add_node("PRG1", "PRG"); q.add_node("PRG2", "PRG")
+        q.add_edge("PM", "DBA1"); q.add_edge("PM", "PRG2")
+        q.add_edge("DBA1", "PRG1"); q.add_edge("PRG1", "DBA2")
+        q.add_edge("DBA2", "PRG2"); q.add_edge("PRG2", "DBA1")
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Mapping[PNode, Any]] = None,
+        edges: Optional[Iterable[PEdge]] = None,
+    ) -> None:
+        self._cond: Dict[PNode, Condition] = {}
+        self._succ: Dict[PNode, Set[PNode]] = {}
+        self._pred: Dict[PNode, Set[PNode]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node, cond in nodes.items():
+                self.add_node(node, cond)
+        if edges is not None:
+            for source, target in edges:
+                self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: PNode, condition: Any) -> None:
+        """Add a pattern node with a search condition (string = label)."""
+        self._cond[node] = as_condition(condition)
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, source: PNode, target: PNode) -> None:
+        """Add a pattern edge between two *existing* pattern nodes."""
+        if source not in self._cond:
+            raise KeyError(f"unknown pattern node {source!r}")
+        if target not in self._cond:
+            raise KeyError(f"unknown pattern node {target!r}")
+        if target not in self._succ[source]:
+            self._succ[source].add(target)
+            self._pred[target].add(source)
+            self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: PNode) -> bool:
+        return node in self._cond
+
+    def __len__(self) -> int:
+        return len(self._cond)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._cond)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|Qs|``: total number of nodes and edges."""
+        return self.num_nodes + self._num_edges
+
+    def nodes(self) -> Iterator[PNode]:
+        return iter(self._cond)
+
+    def edges(self) -> List[PEdge]:
+        return [
+            (source, target)
+            for source, targets in self._succ.items()
+            for target in targets
+        ]
+
+    def edge_set(self) -> FrozenSet[PEdge]:
+        return frozenset(self.edges())
+
+    def has_edge(self, source: PNode, target: PNode) -> bool:
+        return source in self._succ and target in self._succ[source]
+
+    def condition(self, node: PNode) -> Condition:
+        return self._cond[node]
+
+    def successors(self, node: PNode) -> Set[PNode]:
+        return self._succ[node]
+
+    def predecessors(self, node: PNode) -> Set[PNode]:
+        return self._pred[node]
+
+    def out_edges(self, node: PNode) -> List[PEdge]:
+        return [(node, target) for target in self._succ[node]]
+
+    def in_edges(self, node: PNode) -> List[PEdge]:
+        return [(source, node) for source in self._pred[node]]
+
+    def isolated_nodes(self) -> List[PNode]:
+        """Nodes with no incident pattern edges (handled by label-only
+        matching in direct evaluation; not coverable by views)."""
+        return [
+            node
+            for node in self._cond
+            if not self._succ[node] and not self._pred[node]
+        ]
+
+    def is_connected(self) -> bool:
+        """Weak connectivity (the paper assumes connected patterns)."""
+        if not self._cond:
+            return True
+        seen: Set[PNode] = set()
+        stack = [next(iter(self._cond))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ[node] - seen)
+            stack.extend(self._pred[node] - seen)
+        return len(seen) == len(self._cond)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def bounded(self, default: Bound = 1) -> "BoundedPattern":
+        """Promote to a :class:`BoundedPattern` with ``fe(e) = default``."""
+        qb = BoundedPattern()
+        for node, cond in self._cond.items():
+            qb.add_node(node, cond)
+        for source, target in self.edges():
+            qb.add_edge(source, target, bound=default)
+        return qb
+
+    def copy(self) -> "Pattern":
+        clone = Pattern()
+        for node, cond in self._cond.items():
+            clone.add_node(node, cond)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        return clone
+
+    def subpattern(self, edges: Iterable[PEdge]) -> "Pattern":
+        """The pattern induced by ``edges`` (nodes restricted to endpoints)."""
+        sub = Pattern()
+        edges = list(edges)
+        for source, target in edges:
+            if source not in self._cond or not self.has_edge(source, target):
+                raise KeyError(f"{(source, target)!r} is not an edge of the pattern")
+        for source, target in edges:
+            if source not in sub:
+                sub.add_node(source, self._cond[source])
+            if target not in sub:
+                sub.add_node(target, self._cond[target])
+            sub.add_edge(source, target)
+        return sub
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+class BoundedPattern(Pattern):
+    """A bounded pattern query ``Qb = (Vp, Ep, fv, fe)`` (Section VI)."""
+
+    def __init__(
+        self,
+        nodes: Optional[Mapping[PNode, Any]] = None,
+        edges: Optional[Iterable[Tuple[PNode, PNode, Bound]]] = None,
+    ) -> None:
+        self._bound: Dict[PEdge, Bound] = {}
+        super().__init__(nodes=nodes, edges=None)
+        if edges is not None:
+            for source, target, bound in edges:
+                self.add_edge(source, target, bound)
+
+    def add_edge(self, source: PNode, target: PNode, bound: Bound = 1) -> None:  # type: ignore[override]
+        super().add_edge(source, target)
+        self._bound[(source, target)] = check_bound(bound)
+
+    def bound(self, edge: PEdge) -> Bound:
+        return self._bound[edge]
+
+    def bounds(self) -> Dict[PEdge, Bound]:
+        return dict(self._bound)
+
+    def max_finite_bound(self) -> int:
+        """Largest finite edge bound (1 if all edges are ``*``)."""
+        finite = [b for b in self._bound.values() if b is not ANY]
+        return max(finite) if finite else 1
+
+    def has_unbounded_edge(self) -> bool:
+        return any(b is ANY for b in self._bound.values())
+
+    def bounded(self, default: Bound = 1) -> "BoundedPattern":
+        return self.copy()
+
+    def unbounded_pattern(self) -> Pattern:
+        """Drop the bounds (only meaningful when all bounds are 1)."""
+        q = Pattern()
+        for node in self.nodes():
+            q.add_node(node, self.condition(node))
+        for source, target in self.edges():
+            q.add_edge(source, target)
+        return q
+
+    def copy(self) -> "BoundedPattern":
+        clone = BoundedPattern()
+        for node in self.nodes():
+            clone.add_node(node, self.condition(node))
+        for edge in self.edges():
+            clone.add_edge(edge[0], edge[1], self._bound[edge])
+        return clone
+
+    def subpattern(self, edges: Iterable[PEdge]) -> "BoundedPattern":  # type: ignore[override]
+        sub = BoundedPattern()
+        edges = list(edges)
+        for source, target in edges:
+            if source not in self or not self.has_edge(source, target):
+                raise KeyError(f"{(source, target)!r} is not an edge of the pattern")
+        for source, target in edges:
+            if source not in sub:
+                sub.add_node(source, self.condition(source))
+            if target not in sub:
+                sub.add_node(target, self.condition(target))
+            sub.add_edge(source, target, self._bound[(source, target)])
+        return sub

@@ -1,0 +1,133 @@
+"""Strongly connected components and edge ranks for the bottom-up strategy.
+
+Section III of the paper optimizes MatchJoin by processing pattern edges
+in ascending *rank* order.  Ranks are defined on the condensation
+``G_SCC`` of the pattern: ``r(u) = 0`` when ``u``'s SCC is a leaf of the
+condensation, otherwise ``r(u) = max(1 + r(u'))`` over SCC successors;
+the rank of an edge ``(u', u)`` is ``r(u)``.
+
+The implementation is an iterative Tarjan (no recursion, so patterns of
+arbitrary depth are fine) over any object exposing ``nodes()`` and
+``successors(node)`` -- both :class:`~repro.graph.digraph.DataGraph` and
+:class:`~repro.graph.pattern.Pattern` qualify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+Node = Hashable
+
+
+def tarjan_scc(graph) -> List[List[Node]]:
+    """Strongly connected components in reverse topological order.
+
+    The returned list is ordered so that every SCC appears before any of
+    its predecessors in the condensation (i.e. leaves first), which is
+    exactly the order the rank computation wants.
+    """
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    result: List[List[Node]] = []
+    counter = 0
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        # Iterative Tarjan: work items are (node, iterator over successors).
+        work: List[Tuple[Node, List[Node]]] = [(root, list(graph.successors(root)))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            while successors:
+                succ = successors.pop()
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, list(graph.successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def condensation(graph) -> Tuple[Dict[Node, int], List[Set[int]]]:
+    """Map each node to its SCC id and return the condensation adjacency.
+
+    SCC ids follow the reverse-topological order of :func:`tarjan_scc`
+    (id 0 is a leaf).  The adjacency list contains, for each SCC id, the
+    set of successor SCC ids (excluding self loops).
+    """
+    components = tarjan_scc(graph)
+    comp_of: Dict[Node, int] = {}
+    for cid, members in enumerate(components):
+        for node in members:
+            comp_of[node] = cid
+    succ: List[Set[int]] = [set() for _ in components]
+    for node in graph.nodes():
+        for target in graph.successors(node):
+            a, b = comp_of[node], comp_of[target]
+            if a != b:
+                succ[a].add(b)
+    return comp_of, succ
+
+
+def node_ranks(graph) -> Dict[Node, int]:
+    """The rank ``r(u)`` of every node, per Section III of the paper."""
+    comp_of, succ = condensation(graph)
+    num_components = len(succ)
+    comp_rank: List[int] = [0] * num_components
+    # Components are in reverse topological order, so every successor of
+    # component i has an id < i and its rank is already final.
+    for cid in range(num_components):
+        if succ[cid]:
+            comp_rank[cid] = max(1 + comp_rank[s] for s in succ[cid])
+    return {node: comp_rank[cid] for node, cid in comp_of.items()}
+
+
+def edge_ranks(pattern) -> Dict[Tuple[Node, Node], int]:
+    """The rank of each pattern edge ``(u', u)`` is ``r(u)``."""
+    ranks = node_ranks(pattern)
+    return {(source, target): ranks[target] for source, target in pattern.edges()}
+
+
+def nontrivial_scc_nodes(graph) -> Set[Node]:
+    """Nodes in non-singleton SCCs or on self-loops (the 'cyclic part')."""
+    cyclic: Set[Node] = set()
+    for component in tarjan_scc(graph):
+        if len(component) > 1:
+            cyclic.update(component)
+        else:
+            node = component[0]
+            if node in graph.successors(node):
+                cyclic.add(node)
+    return cyclic
+
+
+def is_dag(graph) -> bool:
+    """True when the graph has no nontrivial SCC and no self loops."""
+    return not nontrivial_scc_nodes(graph)

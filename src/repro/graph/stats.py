@@ -1,0 +1,57 @@
+"""Descriptive statistics over data graphs.
+
+Used by the dataset generators (to verify they hit their target label
+and degree distributions) and by the benchmark reports (to quote the
+``|V(G)| / |G|`` view-size fractions the paper reports, e.g. "the
+overall size of V(G) is no more than 4% of the size of the Youtube
+graph").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.graph.digraph import DataGraph
+
+
+@dataclass
+class GraphStats:
+    """A summary of a data graph's shape."""
+
+    num_nodes: int
+    num_edges: int
+    label_counts: Dict[str, int] = field(default_factory=dict)
+    max_out_degree: int = 0
+    max_in_degree: int = 0
+    avg_out_degree: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.num_nodes + self.num_edges
+
+
+def graph_stats(graph: DataGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph`` in one pass."""
+    labels: Counter = Counter()
+    max_out = max_in = 0
+    for node in graph.nodes():
+        labels.update(graph.labels(node))
+        max_out = max(max_out, graph.out_degree(node))
+        max_in = max(max_in, graph.in_degree(node))
+    n = graph.num_nodes
+    return GraphStats(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        label_counts=dict(labels),
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+        avg_out_degree=(graph.num_edges / n) if n else 0.0,
+    )
+
+
+def size_fraction(part_size: int, whole: DataGraph) -> float:
+    """``part_size`` as a fraction of ``|G|`` (nodes + edges)."""
+    whole_size = whole.size
+    return part_size / whole_size if whole_size else 0.0

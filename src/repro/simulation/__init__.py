@@ -1,0 +1,29 @@
+"""Matching engines: graph simulation, bounded simulation and revisions.
+
+* :func:`~repro.simulation.simulation.match` -- the ``Match`` baseline:
+  evaluate a pattern on a data graph via graph simulation ([16], [21]).
+* :func:`~repro.simulation.bounded.bounded_match` -- the ``BMatch``
+  baseline: bounded simulation with edge-to-path semantics ([16]).
+* :mod:`~repro.simulation.dual` / :mod:`~repro.simulation.strong` --
+  dual and strong simulation ([28]), the Section VIII extensions.
+* :mod:`~repro.simulation.distance` -- BFS/Dijkstra distance oracles
+  shared by the bounded engines and the view distance index.
+
+All engines return a :class:`~repro.simulation.result.MatchResult`
+holding the unique maximum match: node match sets plus the per-edge
+match sets ``{(e, Se)}`` that constitute ``Qs(G)`` in the paper.
+"""
+
+from repro.simulation.bounded import bounded_match
+from repro.simulation.dual import dual_match
+from repro.simulation.result import MatchResult
+from repro.simulation.simulation import match
+from repro.simulation.strong import strong_match
+
+__all__ = [
+    "MatchResult",
+    "bounded_match",
+    "dual_match",
+    "match",
+    "strong_match",
+]

@@ -1,0 +1,116 @@
+"""Dual simulation ([28], Section VIII extension).
+
+Dual simulation strengthens simulation with *parent* constraints: for
+``(u, v) in S``, every incoming pattern edge ``(u0, u)`` must also be
+witnessed by some data edge ``(v0, v)`` with ``(u0, v0) in S``.  The
+paper notes (Section VIII) that its view techniques "can be extended to
+revisions of simulation such as dual and strong simulation ... retaining
+the same complexity"; this module provides the matching engine that the
+extended pipeline (``repro.core.answer`` with ``semantics="dual"``)
+builds on.
+
+The implementation mirrors :mod:`repro.simulation.simulation` with a
+second counter family for parents.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Optional, Set
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.simulation.result import MatchResult, edge_matches_from_nodes
+
+PNode = Hashable
+Node = Hashable
+
+
+def maximum_dual_simulation(
+    pattern,
+    target,
+    compatible: Callable[[PNode, Node], bool],
+) -> Optional[Dict[PNode, Set[Node]]]:
+    """Maximum dual simulation of ``pattern`` over ``target`` or ``None``."""
+    sim: Dict[PNode, Set[Node]] = {}
+    target_nodes = list(target.nodes())
+    for u in pattern.nodes():
+        candidates = {v for v in target_nodes if compatible(u, v)}
+        if not candidates:
+            return None
+        sim[u] = candidates
+
+    # child_counters[(u, u1)][v]: witnesses among successors of v in sim(u1).
+    # parent_counters[(u0, u)][v]: witnesses among predecessors of v in sim(u0).
+    child_counters: Dict[tuple, Dict[Node, int]] = {}
+    parent_counters: Dict[tuple, Dict[Node, int]] = {}
+    for u in pattern.nodes():
+        for u1 in pattern.successors(u):
+            targets = sim[u1]
+            child_counters[(u, u1)] = {
+                v: sum(1 for w in target.successors(v) if w in targets)
+                for v in sim[u]
+            }
+        for u0 in pattern.predecessors(u):
+            sources = sim[u0]
+            parent_counters[(u0, u)] = {
+                v: sum(1 for w in target.predecessors(v) if w in sources)
+                for v in sim[u]
+            }
+
+    removals: deque = deque()
+    for u in pattern.nodes():
+        doomed: Set[Node] = set()
+        for u1 in pattern.successors(u):
+            doomed.update(
+                v for v, count in child_counters[(u, u1)].items() if count == 0
+            )
+        for u0 in pattern.predecessors(u):
+            doomed.update(
+                v for v, count in parent_counters[(u0, u)].items() if count == 0
+            )
+        for v in doomed:
+            sim[u].discard(v)
+            removals.append((u, v))
+        if not sim[u]:
+            return None
+
+    while removals:
+        u1, w = removals.popleft()
+        # w left sim(u1): it may have been the last successor witness ...
+        for u in pattern.predecessors(u1):
+            counter = child_counters[(u, u1)]
+            candidates = sim[u]
+            for v in target.predecessors(w):
+                if v in candidates:
+                    counter[v] -= 1
+                    if counter[v] == 0:
+                        candidates.discard(v)
+                        removals.append((u, v))
+            if not candidates:
+                return None
+        # ... or the last predecessor witness.
+        for u2 in pattern.successors(u1):
+            counter = parent_counters[(u1, u2)]
+            candidates = sim[u2]
+            for v in target.successors(w):
+                if v in candidates:
+                    counter[v] -= 1
+                    if counter[v] == 0:
+                        candidates.discard(v)
+                        removals.append((u2, v))
+            if not candidates:
+                return None
+    return sim
+
+
+def dual_match(pattern: Pattern, graph: DataGraph) -> MatchResult:
+    """Evaluate ``Qs`` on ``G`` via dual simulation."""
+    def compatible(u: PNode, v: Node) -> bool:
+        return pattern.condition(u).matches(graph.labels(v), graph.attrs(v))
+
+    sim = maximum_dual_simulation(pattern, graph, compatible)
+    if sim is None:
+        return MatchResult.empty()
+    edge_matches = edge_matches_from_nodes(pattern.edges(), sim, graph.successors)
+    return MatchResult(sim, edge_matches)

@@ -1,0 +1,129 @@
+"""The result object shared by all matching engines.
+
+The paper defines the result of ``Qs`` in ``G`` as the unique maximum
+set ``{(e, Se) | e in Ep}`` derived from the maximum match relation
+``So``, with ``Qs(G) = {}`` when ``G`` does not match ``Qs``.  A
+:class:`MatchResult` carries both the node-level relation (``So`` as
+per-pattern-node match sets) and the per-edge match sets, because the
+node sets are what the fixpoint algorithms refine while the edge sets
+are what the user (and the views machinery) consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+Node = Hashable
+NodePair = Tuple[Node, Node]
+
+
+class MatchResult:
+    """The unique maximum match of a pattern in a data graph.
+
+    Attributes
+    ----------
+    node_matches:
+        ``{u: set of data nodes matching u}`` -- the relation ``So``
+        grouped by pattern node.  Empty dict for a failed match.
+    edge_matches:
+        ``{e: Se}`` -- for plain simulation ``Se`` contains data-graph
+        *edges*; for bounded simulation it contains node pairs connected
+        by a path within the edge's bound.
+    """
+
+    __slots__ = ("node_matches", "edge_matches")
+
+    def __init__(
+        self,
+        node_matches: Dict[PNode, Set[Node]],
+        edge_matches: Dict[PEdge, Set[NodePair]],
+    ) -> None:
+        self.node_matches = node_matches
+        self.edge_matches = edge_matches
+
+    @classmethod
+    def empty(cls) -> "MatchResult":
+        """The failed match, ``Qs(G) = {}``."""
+        return cls({}, {})
+
+    def __bool__(self) -> bool:
+        """True iff the pattern matched (``Qs E_sim G``)."""
+        return bool(self.node_matches)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchResult):
+            return NotImplemented
+        return (
+            self.node_matches == other.node_matches
+            and self.edge_matches == other.edge_matches
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - results are not hashed
+        raise TypeError("MatchResult is unhashable")
+
+    def matches_of(self, pattern_node: PNode) -> Set[Node]:
+        return self.node_matches.get(pattern_node, set())
+
+    def edge_matches_of(self, edge: PEdge) -> Set[NodePair]:
+        return self.edge_matches.get(edge, set())
+
+    @property
+    def result_size(self) -> int:
+        """``|Qs(G)|``: total number of pairs across all match sets."""
+        return sum(len(pairs) for pairs in self.edge_matches.values())
+
+    def total_node_matches(self) -> int:
+        return sum(len(nodes) for nodes in self.node_matches.values())
+
+    def as_relation(self) -> Set[Tuple[PNode, Node]]:
+        """The match relation ``So`` as a set of (pattern node, node) pairs."""
+        return {
+            (u, v) for u, nodes in self.node_matches.items() for v in nodes
+        }
+
+    def to_table(self) -> List[Tuple[PEdge, List[NodePair]]]:
+        """Rows like the paper's Example 2 table, deterministically sorted."""
+        rows = []
+        for edge in sorted(self.edge_matches, key=repr):
+            rows.append((edge, sorted(self.edge_matches[edge], key=repr)))
+        return rows
+
+    def pretty(self) -> str:
+        """A printable rendition of the Example 2 style table."""
+        lines = ["Edge -> Matches"]
+        for edge, pairs in self.to_table():
+            rendered = ", ".join(f"({a}, {b})" for a, b in pairs)
+            lines.append(f"  {edge[0]} -> {edge[1]}: {{{rendered}}}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        if not self:
+            return "MatchResult(empty)"
+        return (
+            f"MatchResult(nodes={self.total_node_matches()}, "
+            f"pairs={self.result_size})"
+        )
+
+
+def edge_matches_from_nodes(
+    pattern_edges: Iterable[PEdge],
+    node_matches: Dict[PNode, Set[Node]],
+    successors,
+) -> Dict[PEdge, Set[NodePair]]:
+    """Derive ``{(e, Se)}`` for plain simulation: ``Se`` contains every
+    data edge ``(v, v')`` with ``v`` matching ``u`` and ``v'`` matching
+    ``u'``.  ``successors(v)`` must return the data successor set.
+    """
+    edge_matches: Dict[PEdge, Set[NodePair]] = {}
+    for edge in pattern_edges:
+        source_u, target_u = edge
+        pairs: Set[NodePair] = set()
+        targets = node_matches[target_u]
+        for v in node_matches[source_u]:
+            for w in successors(v):
+                if w in targets:
+                    pairs.add((v, w))
+        edge_matches[edge] = pairs
+    return edge_matches

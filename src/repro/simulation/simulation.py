@@ -1,0 +1,122 @@
+"""Graph simulation: the ``Match`` baseline and the generic engine.
+
+Graph pattern matching via simulation (Section II-A): ``G`` matches
+``Qs`` iff there is a binary relation ``S`` over ``Vp x V`` such that
+every pattern node has a match and, for each ``(u, v) in S`` and each
+pattern edge ``(u, u')``, some data edge ``(v, v')`` has
+``(u', v') in S``.  When a match exists the *maximum* one is unique
+[21]; :func:`match` computes it (and the per-edge match sets) with a
+counter-based worklist refinement in the spirit of Henzinger, Henzinger
+and Kopke, giving the ``O(|Qs|^2 + |Qs||G| + |G|^2)`` bound the paper
+quotes for [16], [21].
+
+The engine is generic over the *candidate test*: evaluating a pattern
+over a data graph uses condition satisfaction, while view-match
+computation (Section IV) evaluates a view over ``Qs`` treated as a data
+graph using condition *implication*.  Both go through
+:func:`maximum_simulation`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Optional, Set
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.simulation.result import MatchResult, edge_matches_from_nodes
+
+PNode = Hashable
+Node = Hashable
+
+
+def maximum_simulation(
+    pattern,
+    target,
+    compatible: Callable[[PNode, Node], bool],
+) -> Optional[Dict[PNode, Set[Node]]]:
+    """Compute the maximum simulation of ``pattern`` over ``target``.
+
+    ``target`` must expose ``nodes()``, ``successors(v)`` and
+    ``predecessors(v)`` (both :class:`DataGraph` and :class:`Pattern`
+    do).  ``compatible(u, v)`` decides whether data node ``v`` may match
+    pattern node ``u`` at the node level.
+
+    Returns ``{u: sim(u)}`` with every set nonempty, or ``None`` when
+    the pattern has no match (some ``sim(u)`` became empty).
+    """
+    # --- candidate sets -------------------------------------------------
+    sim: Dict[PNode, Set[Node]] = {}
+    target_nodes = list(target.nodes())
+    for u in pattern.nodes():
+        candidates = {v for v in target_nodes if compatible(u, v)}
+        if not candidates:
+            return None
+        sim[u] = candidates
+
+    # --- witness counters ----------------------------------------------
+    # counters[(u, u1)][v] = |succ(v) & sim(u1)| for v in sim(u): how many
+    # witnesses v still has for pattern edge (u, u1).  All counters are
+    # built against the untouched candidate sets first; only then are the
+    # zero-count candidates removed, so that worklist decrements below
+    # stay consistent with the counters.
+    counters: Dict[tuple, Dict[Node, int]] = {}
+    for u in pattern.nodes():
+        for u1 in pattern.successors(u):
+            targets = sim[u1]
+            counters[(u, u1)] = {
+                v: sum(1 for w in target.successors(v) if w in targets)
+                for v in sim[u]
+            }
+    removals: deque = deque()
+    for u in pattern.nodes():
+        doomed = {
+            v
+            for u1 in pattern.successors(u)
+            for v, count in counters[(u, u1)].items()
+            if count == 0
+        }
+        for v in doomed:
+            sim[u].discard(v)
+            removals.append((u, v))
+        if not sim[u]:
+            return None
+
+    # --- worklist refinement ---------------------------------------------
+    while removals:
+        u1, w = removals.popleft()
+        for u in pattern.predecessors(u1):
+            edge_counter = counters[(u, u1)]
+            candidates = sim[u]
+            for v in target.predecessors(w):
+                if v in candidates:
+                    edge_counter[v] -= 1
+                    if edge_counter[v] == 0:
+                        candidates.discard(v)
+                        removals.append((u, v))
+            if not candidates:
+                return None
+    return sim
+
+
+def match(pattern: Pattern, graph: DataGraph) -> MatchResult:
+    """Evaluate ``Qs`` on ``G`` via graph simulation (the paper's Match).
+
+    Returns the unique maximum result ``{(e, Se)}`` as a
+    :class:`MatchResult`; the empty result when ``G`` does not match.
+    """
+    def compatible(u: PNode, v: Node) -> bool:
+        return pattern.condition(u).matches(graph.labels(v), graph.attrs(v))
+
+    sim = maximum_simulation(pattern, graph, compatible)
+    if sim is None:
+        return MatchResult.empty()
+    edge_matches = edge_matches_from_nodes(
+        pattern.edges(), sim, graph.successors
+    )
+    return MatchResult(sim, edge_matches)
+
+
+def simulates(pattern: Pattern, graph: DataGraph) -> bool:
+    """``Qs E_sim G``: does ``G`` match ``Qs`` via simulation?"""
+    return bool(match(pattern, graph))

@@ -1,0 +1,24 @@
+"""Views: definitions, materialized extensions, caching and maintenance.
+
+A *view definition* ``V`` is itself a (bounded) graph pattern query; its
+*extension* ``V(G)`` in a data graph is the query result, kept as
+per-view-edge match sets (Section II-B).  For bounded views the
+extension also carries the distance index ``I(V)`` of Section VI-A:
+the actual distance of every materialized pair, so that BMatchJoin can
+filter pairs against each query edge's own bound in O(1).
+
+* :class:`~repro.views.view.ViewDefinition`, :func:`~repro.views.view.materialize`
+* :class:`~repro.views.storage.ViewSet` -- a named cache of definitions
+  and extensions with size accounting (for the ``|V(G)|/|G|`` fractions
+  the paper reports).
+* :mod:`~repro.views.maintenance` -- incremental maintenance of cached
+  extensions under edge insertions/deletions (the paper defers this to
+  [15]; a correct recompute-localized variant is provided).
+* :mod:`~repro.views.selection` -- workload-driven view selection
+  (future-work item no. 1 in Section VIII).
+"""
+
+from repro.views.view import MaterializedView, ViewDefinition, materialize
+from repro.views.storage import ViewSet
+
+__all__ = ["MaterializedView", "ViewDefinition", "ViewSet", "materialize"]

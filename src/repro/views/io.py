@@ -1,0 +1,96 @@
+"""Serialization for view definitions and materialized extensions.
+
+A view cache lives across processes (that is its point), so extensions
+must round-trip to disk.  The JSON layout keeps the per-view-edge match
+sets and, for bounded views, the distance index ``I(V)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.graph.io import pattern_from_json, pattern_to_json
+from repro.views.storage import ViewSet
+from repro.views.view import MaterializedView, ViewDefinition
+
+
+def _node_to_json(node: Any) -> Any:
+    return list(node) if isinstance(node, tuple) else node
+
+
+def _node_from_json(node: Any) -> Any:
+    return tuple(node) if isinstance(node, list) else node
+
+
+def definition_to_json(definition: ViewDefinition) -> Dict[str, Any]:
+    return {
+        "name": definition.name,
+        "pattern": pattern_to_json(definition.pattern),
+    }
+
+
+def definition_from_json(doc: Dict[str, Any]) -> ViewDefinition:
+    return ViewDefinition(doc["name"], pattern_from_json(doc["pattern"]))
+
+
+def extension_to_json(extension: MaterializedView) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "definition": definition_to_json(extension.definition),
+        "edge_matches": [
+            {
+                "edge": [_node_to_json(edge[0]), _node_to_json(edge[1])],
+                "pairs": [
+                    [_node_to_json(v), _node_to_json(w)] for v, w in sorted(pairs, key=repr)
+                ],
+            }
+            for edge, pairs in extension.edge_matches.items()
+        ],
+    }
+    if extension.distances is not None:
+        doc["distances"] = [
+            [_node_to_json(v), _node_to_json(w), d]
+            for (v, w), d in sorted(extension.distances.items(), key=repr)
+        ]
+    return doc
+
+
+def extension_from_json(doc: Dict[str, Any]) -> MaterializedView:
+    definition = definition_from_json(doc["definition"])
+    edge_matches = {}
+    for entry in doc["edge_matches"]:
+        edge = (_node_from_json(entry["edge"][0]), _node_from_json(entry["edge"][1]))
+        edge_matches[edge] = {
+            (_node_from_json(v), _node_from_json(w)) for v, w in entry["pairs"]
+        }
+    distances = None
+    if "distances" in doc:
+        distances = {
+            (_node_from_json(v), _node_from_json(w)): d
+            for v, w, d in doc["distances"]
+        }
+    return MaterializedView(definition, edge_matches, distances=distances)
+
+
+def write_viewset(views: ViewSet, path: Union[str, Path]) -> None:
+    """Persist definitions and any materialized extensions."""
+    doc = {
+        "definitions": [definition_to_json(d) for d in views],
+        "extensions": [
+            extension_to_json(views.extension(name))
+            for name in views.names()
+            if views.is_materialized(name)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+
+
+def read_viewset(path: Union[str, Path]) -> ViewSet:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    views = ViewSet(definition_from_json(d) for d in doc["definitions"])
+    for ext_doc in doc.get("extensions", ()):
+        views.set_extension(extension_from_json(ext_doc))
+    return views

@@ -1,0 +1,227 @@
+"""Incremental maintenance of materialized simulation views.
+
+The paper's practicality argument leans on cached views staying fresh:
+"incremental methods are already in place to efficiently maintain
+cached pattern views (e.g., [15])".  This module provides a correct
+maintenance layer for *simulation* views:
+
+* **deletions are truly incremental**: the maximum simulation after an
+  edge deletion is contained in the one before, so a witness-counter
+  cascade (the same machinery as the matching engines) prunes exactly
+  the invalidated matches -- cost proportional to the affected area,
+  not to ``|G|``.
+* **insertions** use a relevance fast path: an inserted edge whose
+  endpoints cannot label-match any view edge provably leaves the
+  extension unchanged and costs O(|V|); relevant insertions trigger a
+  recomputation of the view's simulation (the paper's [15] develops the
+  full affected-area insertion algorithm; a greatest-fixpoint revival
+  can cascade arbitrarily far, so the safe simple choice is to recompute
+  -- still amortized-cheap when most updates do not touch view labels).
+
+The tracker owns its own copy of the graph so that callers cannot
+desynchronize it; updates go through :meth:`IncrementalView.insert_edge`
+and :meth:`IncrementalView.delete_edge`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import BoundedPattern
+from repro.simulation.simulation import maximum_simulation
+from repro.views.view import MaterializedView, ViewDefinition
+
+PNode = Hashable
+Node = Hashable
+
+
+class IncrementalView:
+    """A simulation view kept consistent under edge updates."""
+
+    def __init__(self, definition: ViewDefinition, graph: DataGraph) -> None:
+        if isinstance(definition.pattern, BoundedPattern):
+            raise TypeError(
+                "IncrementalView maintains simulation views; bounded views "
+                "change non-locally under updates (distances), rematerialize "
+                "them instead"
+            )
+        self.definition = definition
+        self._graph = graph.copy()
+        self._sim: Optional[Dict[PNode, Set[Node]]] = None
+        self._counters: Dict[Tuple[PNode, PNode], Dict[Node, int]] = {}
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _compatible(self, x: PNode, v: Node) -> bool:
+        return self.definition.pattern.condition(x).matches(
+            self._graph.labels(v), self._graph.attrs(v)
+        )
+
+    def _recompute(self) -> None:
+        pattern = self.definition.pattern
+        self._sim = maximum_simulation(pattern, self._graph, self._compatible)
+        self._counters = {}
+        if self._sim is None:
+            return
+        for x in pattern.nodes():
+            for y in pattern.successors(x):
+                targets = self._sim[y]
+                self._counters[(x, y)] = {
+                    v: sum(1 for w in self._graph.successors(v) if w in targets)
+                    for v in self._sim[x]
+                }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, source: Node, target: Node) -> None:
+        """Apply an edge insertion and refresh the view state."""
+        if self._graph.has_edge(source, target):
+            return
+        self._graph.add_edge(source, target)
+        if self._relevant(source, target) or self._sim is None:
+            # Revival may cascade arbitrarily far for a greatest
+            # fixpoint; recompute (see module docstring).
+            self._recompute()
+
+    def delete_edge(self, source: Node, target: Node) -> None:
+        """Apply an edge deletion, pruning invalidated matches only."""
+        self._graph.remove_edge(source, target)
+        self._prune_after_deletion(source, target)
+
+    def _prune_after_deletion(self, source: Node, target: Node) -> None:
+        """Counter cascade after ``source -> target`` left the graph."""
+        if self._sim is None:
+            # The view was empty; deletions cannot revive it.
+            return
+        pattern = self.definition.pattern
+        removals: deque = deque()
+        for x in pattern.nodes():
+            if source not in self._sim[x]:
+                continue
+            for y in pattern.successors(x):
+                if target not in self._sim[y]:
+                    continue
+                counter = self._counters[(x, y)]
+                counter[source] -= 1
+                if counter[source] == 0 and source in self._sim[x]:
+                    self._sim[x].discard(source)
+                    removals.append((x, source))
+        while removals:
+            y, w = removals.popleft()
+            if not self._sim[y]:
+                self._sim = None
+                self._counters = {}
+                return
+            for x in pattern.predecessors(y):
+                counter = self._counters[(x, y)]
+                candidates = self._sim[x]
+                for v in self._graph.predecessors(w):
+                    if v in candidates:
+                        counter[v] -= 1
+                        if counter[v] == 0:
+                            candidates.discard(v)
+                            removals.append((x, v))
+            if not self._sim[y]:
+                self._sim = None
+                self._counters = {}
+                return
+
+    def _relevant(self, source: Node, target: Node) -> bool:
+        """Could the inserted edge interact with any view edge?"""
+        pattern = self.definition.pattern
+        for x in pattern.nodes():
+            if not self._compatible(x, source):
+                continue
+            for y in pattern.successors(x):
+                if self._compatible(y, target):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Extension access
+    # ------------------------------------------------------------------
+    def extension(self) -> MaterializedView:
+        """The current (always consistent) materialized extension."""
+        pattern = self.definition.pattern
+        if self._sim is None:
+            return MaterializedView(
+                self.definition, {edge: set() for edge in pattern.edges()}
+            )
+        edge_matches: Dict[Tuple[PNode, PNode], Set[Tuple[Node, Node]]] = {}
+        for edge in pattern.edges():
+            x, y = edge
+            targets = self._sim[y]
+            edge_matches[edge] = {
+                (v, w)
+                for v in self._sim[x]
+                for w in self._graph.successors(v)
+                if w in targets
+            }
+        return MaterializedView(self.definition, edge_matches)
+
+    @property
+    def graph(self) -> DataGraph:
+        """Read-only view of the tracker's graph copy (for assertions)."""
+        return self._graph
+
+
+class IncrementalViewSet:
+    """Maintain a whole view cache under one shared update stream.
+
+    Tracks one graph copy (not one per view) and fans each update out to
+    per-view :class:`IncrementalView`-style state.  The public surface
+    mirrors the cache workflow: apply updates, then read a fully
+    consistent :class:`~repro.views.storage.ViewSet` snapshot via
+    :meth:`as_viewset`.
+    """
+
+    def __init__(self, definitions, graph: DataGraph) -> None:
+        self._graph = graph.copy()
+        self._trackers = {}
+        for definition in definitions:
+            tracker = IncrementalView.__new__(IncrementalView)
+            tracker.definition = definition
+            tracker._graph = self._graph  # shared copy
+            tracker._sim = None
+            tracker._counters = {}
+            tracker._recompute()
+            self._trackers[definition.name] = tracker
+
+    def names(self):
+        return list(self._trackers)
+
+    def insert_edge(self, source: Node, target: Node) -> None:
+        if self._graph.has_edge(source, target):
+            return
+        # Decide relevance per view *before* mutating the shared graph,
+        # then recompute only the affected trackers.
+        affected = [
+            tracker
+            for tracker in self._trackers.values()
+            if tracker._sim is None or tracker._relevant(source, target)
+        ]
+        self._graph.add_edge(source, target)
+        for tracker in affected:
+            tracker._recompute()
+
+    def delete_edge(self, source: Node, target: Node) -> None:
+        # One shared removal, then each tracker's counter cascade.
+        self._graph.remove_edge(source, target)
+        for tracker in self._trackers.values():
+            tracker._prune_after_deletion(source, target)
+
+    def extension(self, name: str) -> MaterializedView:
+        return self._trackers[name].extension()
+
+    def as_viewset(self):
+        from repro.views.storage import ViewSet
+
+        views = ViewSet(t.definition for t in self._trackers.values())
+        for name, tracker in self._trackers.items():
+            views.set_extension(tracker.extension())
+        return views

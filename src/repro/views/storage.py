@@ -1,0 +1,118 @@
+"""A named cache of view definitions and their materialized extensions.
+
+``ViewSet`` plays the role of ``V`` / ``V(G)`` in the paper: an ordered
+collection of view definitions, optionally materialized against a data
+graph, with the size accounting used throughout Section VII ("the views
+take 14.4% of ... the entire Amazon dataset", "no more than 4% of the
+size of the Youtube graph").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.graph.digraph import DataGraph
+from repro.views.view import MaterializedView, ViewDefinition, materialize
+
+
+class ViewSet:
+    """An ordered, name-keyed set of views with optional extensions."""
+
+    def __init__(self, definitions: Optional[Iterable[ViewDefinition]] = None) -> None:
+        self._definitions: Dict[str, ViewDefinition] = {}
+        self._extensions: Dict[str, MaterializedView] = {}
+        for definition in definitions or ():
+            self.add(definition)
+
+    # ------------------------------------------------------------------
+    # Definition management
+    # ------------------------------------------------------------------
+    def add(self, definition: ViewDefinition) -> None:
+        if definition.name in self._definitions:
+            raise ValueError(f"duplicate view name {definition.name!r}")
+        self._definitions[definition.name] = definition
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._definitions
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def __iter__(self) -> Iterator[ViewDefinition]:
+        return iter(self._definitions.values())
+
+    def definition(self, name: str) -> ViewDefinition:
+        return self._definitions[name]
+
+    def definitions(self) -> List[ViewDefinition]:
+        return list(self._definitions.values())
+
+    def names(self) -> List[str]:
+        return list(self._definitions)
+
+    def subset(self, names: Iterable[str]) -> "ViewSet":
+        """A new ViewSet over the given definitions, sharing extensions."""
+        chosen = ViewSet(self._definitions[name] for name in names)
+        for name in chosen.names():
+            if name in self._extensions:
+                chosen._extensions[name] = self._extensions[name]
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Size accounting (Table I)
+    # ------------------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        """``card(V)``: number of view definitions."""
+        return len(self._definitions)
+
+    @property
+    def definition_size(self) -> int:
+        """``|V|``: total size of all view definitions."""
+        return sum(d.size for d in self._definitions.values())
+
+    @property
+    def extension_size(self) -> int:
+        """``|V(G)|``: total size of all materialized extensions."""
+        return sum(e.size for e in self._extensions.values())
+
+    def extension_fraction(self, graph: DataGraph) -> float:
+        """``|V(G)| / |G|`` -- the fractions quoted in Section VII."""
+        return self.extension_size / graph.size if graph.size else 0.0
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def materialize(self, graph: DataGraph, names: Optional[Iterable[str]] = None) -> None:
+        """Materialize (cache) extensions for the given views on ``graph``."""
+        for name in names if names is not None else list(self._definitions):
+            self._extensions[name] = materialize(self._definitions[name], graph)
+
+    def is_materialized(self, name: str) -> bool:
+        return name in self._extensions
+
+    def extension(self, name: str) -> MaterializedView:
+        if name not in self._extensions:
+            raise KeyError(
+                f"view {name!r} has no materialized extension; call "
+                "materialize() first"
+            )
+        return self._extensions[name]
+
+    def extensions(self) -> Dict[str, MaterializedView]:
+        return dict(self._extensions)
+
+    def set_extension(self, extension: MaterializedView) -> None:
+        """Install an externally built/maintained extension."""
+        if extension.name not in self._definitions:
+            raise KeyError(f"unknown view {extension.name!r}")
+        self._extensions[extension.name] = extension
+
+    def drop_extension(self, name: str) -> None:
+        self._extensions.pop(name, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewSet(card={self.cardinality}, "
+            f"materialized={len(self._extensions)})"
+        )

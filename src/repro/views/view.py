@@ -1,0 +1,162 @@
+"""View definitions and materialized view extensions.
+
+A :class:`ViewDefinition` wraps a (bounded) pattern with a stable name.
+:func:`materialize` evaluates it on a data graph and returns a
+:class:`MaterializedView` -- the view extension ``V(G)``: for every view
+edge ``e``, the match set ``Se`` (data-graph edges for simulation views,
+node pairs for bounded views), plus the distance index ``I(V)`` mapping
+each materialized pair to its actual shortest-path distance in ``G``
+(bounded views only; Section VI-A).
+
+The extension deliberately does *not* keep a reference to ``G``:
+MatchJoin must run "without accessing G at all" (Theorem 1), and keeping
+the graph out of the extension object makes that guarantee structural.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import BoundedPattern, Pattern
+from repro.simulation.bounded import bounded_match_with_distances
+from repro.simulation.simulation import match as _match
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+Node = Hashable
+NodePair = Tuple[Node, Node]
+
+
+class ViewDefinition:
+    """A named view: a (bounded) graph pattern query used as a view.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier used by caches and reports.
+    pattern:
+        The defining :class:`Pattern` or :class:`BoundedPattern`.
+    """
+
+    __slots__ = ("name", "pattern")
+
+    def __init__(self, name: str, pattern: Pattern) -> None:
+        if not name:
+            raise ValueError("view name must be non-empty")
+        if pattern.num_edges == 0:
+            raise ValueError(
+                f"view {name!r} has no edges; edge-less views cannot "
+                "contribute match sets"
+            )
+        self.name = name
+        self.pattern = pattern
+
+    @property
+    def is_bounded(self) -> bool:
+        return isinstance(self.pattern, BoundedPattern)
+
+    @property
+    def size(self) -> int:
+        """``|V|`` for a single definition: nodes + edges."""
+        return self.pattern.size
+
+    def __repr__(self) -> str:
+        kind = "bounded" if self.is_bounded else "simulation"
+        return (
+            f"ViewDefinition({self.name!r}, {kind}, "
+            f"nodes={self.pattern.num_nodes}, edges={self.pattern.num_edges})"
+        )
+
+
+class MaterializedView:
+    """The extension ``V(G)`` of a view in some data graph.
+
+    Attributes
+    ----------
+    definition:
+        The :class:`ViewDefinition` this extension belongs to.
+    edge_matches:
+        ``{view edge: Se}``; empty sets everywhere when the view did not
+        match the graph.
+    distances:
+        For bounded views, ``{(v, v'): d}`` over all materialized pairs
+        -- the index ``I(V)``.  ``None`` for simulation views, whose
+        pairs are data edges (distance 1 by construction).
+    """
+
+    __slots__ = ("definition", "edge_matches", "distances")
+
+    def __init__(
+        self,
+        definition: ViewDefinition,
+        edge_matches: Dict[PEdge, Set[NodePair]],
+        distances: Optional[Dict[NodePair, int]] = None,
+    ) -> None:
+        self.definition = definition
+        self.edge_matches = edge_matches
+        self.distances = distances
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self.edge_matches.values())
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(len(pairs) for pairs in self.edge_matches.values())
+
+    @property
+    def size(self) -> int:
+        """``|V(G)|`` contribution: nodes touched + pairs stored."""
+        nodes: Set[Node] = set()
+        for pairs in self.edge_matches.values():
+            for v, w in pairs:
+                nodes.add(v)
+                nodes.add(w)
+        return len(nodes) + self.num_pairs
+
+    def pairs_of(self, view_edge: PEdge) -> Set[NodePair]:
+        return self.edge_matches[view_edge]
+
+    def distance_of(self, pair: NodePair) -> int:
+        """``I(V)`` lookup: actual distance of a materialized pair."""
+        if self.distances is None:
+            return 1
+        return self.distances[pair]
+
+    def __repr__(self) -> str:
+        return f"MaterializedView({self.name!r}, pairs={self.num_pairs})"
+
+
+def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedView:
+    """Evaluate a view on ``G`` and build its extension.
+
+    Simulation views store the match sets of the unique maximum match;
+    bounded views additionally store the distance index ``I(V)``.
+    """
+    pattern = definition.pattern
+    if isinstance(pattern, BoundedPattern):
+        result, per_edge_distances = bounded_match_with_distances(pattern, graph)
+        if not result:
+            return MaterializedView(
+                definition,
+                {edge: set() for edge in pattern.edges()},
+                distances={},
+            )
+        index: Dict[NodePair, int] = {}
+        for pair_distances in per_edge_distances.values():
+            for pair, distance in pair_distances.items():
+                previous = index.get(pair)
+                if previous is None or distance < previous:
+                    index[pair] = distance
+        return MaterializedView(definition, result.edge_matches, distances=index)
+    result = _match(pattern, graph)
+    if not result:
+        return MaterializedView(
+            definition, {edge: set() for edge in pattern.edges()}
+        )
+    return MaterializedView(definition, result.edge_matches)

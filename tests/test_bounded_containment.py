@@ -1,0 +1,228 @@
+"""Tests for bounded view matches and Bcontain/Bminimal/Bminimum
+(Section VI-B; Proposition 11, Theorem 10, Example 9)."""
+
+import random
+
+import pytest
+
+from repro.core.bounded.bcontainment import bounded_contains
+from repro.core.bounded.bminimal import bounded_minimal_views
+from repro.core.bounded.bminimum import bounded_minimum_views
+from repro.core.bounded.bview_match import view_match_bounded
+from repro.graph import ANY, BoundedPattern
+from repro.views import ViewDefinition
+
+from helpers import build_bounded
+
+
+def fig6_query():
+    """A Fig. 6-style weighted query with the two facts Example 9 states:
+    V3 covers {(A,B), (B,E)} and V7 covers nothing because the C-to-D
+    distance in Qb exceeds V7's bound."""
+    return build_bounded(
+        {"A": "A", "B": "B", "C": "C", "D": "D", "E": "E"},
+        [
+            ("A", "B", 2),
+            ("A", "C", 3),
+            ("B", "D", 3),
+            ("C", "D", 3),
+            ("B", "E", 3),
+        ],
+    )
+
+
+def view_v3():
+    return ViewDefinition(
+        "V3",
+        build_bounded({"A": "A", "B": "B", "E": "E"}, [("A", "B", 3), ("B", "E", 3)]),
+    )
+
+
+def view_v7():
+    return ViewDefinition(
+        "V7",
+        build_bounded(
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B", 3), ("A", "C", 3), ("C", "D", 2)],
+        ),
+    )
+
+
+class TestExample9:
+    def test_v3_view_match(self):
+        match = view_match_bounded(fig6_query(), view_v3())
+        assert match.covered == {("A", "B"), ("B", "E")}
+
+    def test_v7_view_match_empty(self):
+        match = view_match_bounded(fig6_query(), view_v7())
+        assert match.covered == frozenset()
+
+    def test_full_cover_with_enough_views(self):
+        views = [
+            view_v3(),
+            ViewDefinition(
+                "Vrest",
+                build_bounded(
+                    {"A": "A", "B": "B", "C": "C", "D": "D"},
+                    [("A", "C", 3), ("B", "D", 3), ("C", "D", 3)],
+                ),
+            ),
+        ]
+        result = bounded_contains(fig6_query(), views)
+        assert result.holds
+
+
+class TestSoundnessGuard:
+    """The direct-weight guard from DESIGN.md: a view edge with a bound
+    smaller than the pattern edge's own bound must not be credited for
+    that edge, even when a shorter alternate path exists in Qb."""
+
+    def make_query(self):
+        return build_bounded(
+            {"A": "A", "C": "C", "B": "B"},
+            [("A", "C", 1), ("C", "B", 2), ("A", "B", 5)],
+        )
+
+    def test_alternate_path_does_not_cover_long_edge(self):
+        view = ViewDefinition(
+            "V", build_bounded({"A": "A", "B": "B"}, [("A", "B", 3)])
+        )
+        match = view_match_bounded(self.make_query(), view)
+        # Weighted distance A->B through C is 3 <= 3, but fe(A,B) = 5:
+        # matches of the pattern edge may sit at distance 4 or 5, which
+        # the view does not materialize.
+        assert ("A", "B") not in match.covered
+
+    def test_equal_bound_covers(self):
+        view = ViewDefinition(
+            "V", build_bounded({"A": "A", "B": "B"}, [("A", "B", 5)])
+        )
+        match = view_match_bounded(self.make_query(), view)
+        assert ("A", "B") in match.covered
+
+    def test_star_view_bound_covers_everything_reachable(self):
+        view = ViewDefinition(
+            "V", build_bounded({"A": "A", "B": "B"}, [("A", "B", ANY)])
+        )
+        match = view_match_bounded(self.make_query(), view)
+        assert ("A", "B") in match.covered
+
+    def test_star_pattern_edge_needs_star_view(self):
+        query = build_bounded({"A": "A", "B": "B"}, [("A", "B", ANY)])
+        finite = ViewDefinition(
+            "Vf", build_bounded({"A": "A", "B": "B"}, [("A", "B", 100)])
+        )
+        star = ViewDefinition(
+            "Vs", build_bounded({"A": "A", "B": "B"}, [("A", "B", ANY)])
+        )
+        assert ("A", "B") not in view_match_bounded(query, finite).covered
+        assert ("A", "B") in view_match_bounded(query, star).covered
+
+
+class TestWeightedPathReachability:
+    """Node-level weighted-path matching is kept (it is sound): a view
+    edge may traverse several pattern edges when checking structure."""
+
+    def test_view_edge_spans_pattern_path(self):
+        # Qb: A -(1)-> X -(1)-> B ; view: A -(2)-> B plus nothing else.
+        query = build_bounded(
+            {"A": "A", "X": "X", "B": "B"}, [("A", "X", 1), ("X", "B", 1)]
+        )
+        view = ViewDefinition(
+            "V",
+            build_bounded(
+                {"A": "A", "X": "X", "B": "B"},
+                [("A", "X", 1), ("A", "B", 2), ("X", "B", 1)],
+            ),
+        )
+        match = view_match_bounded(query, view)
+        # The view's (A,B,2) edge is satisfied by the A->X->B path when
+        # simulating the view over Qb, so A/X/B all survive and the two
+        # pattern edges are covered by the view's (A,X,1) and (X,B,1).
+        assert match.covered == {("A", "X"), ("X", "B")}
+
+    def test_star_pattern_edge_blocks_finite_traversal(self):
+        # The A->X leg is *, so no finite view bound can rely on it.
+        query = build_bounded(
+            {"A": "A", "X": "X", "B": "B"}, [("A", "X", ANY), ("X", "B", 1)]
+        )
+        view = ViewDefinition(
+            "V", build_bounded({"A": "A", "B": "B"}, [("A", "B", 10)])
+        )
+        assert view_match_bounded(query, view).covered == frozenset()
+
+
+class TestBminimalBminimum:
+    def views(self):
+        q = fig6_query()
+        singles = [
+            ViewDefinition(f"E{i}", q.subpattern([edge]))
+            for i, edge in enumerate(q.edges())
+        ]
+        big = ViewDefinition(
+            "BIG",
+            build_bounded(
+                {"A": "A", "B": "B", "C": "C", "D": "D"},
+                [("A", "B", 2), ("A", "C", 3), ("B", "D", 3), ("C", "D", 3)],
+            ),
+        )
+        return singles + [big]
+
+    def test_bminimal_holds_and_is_minimal(self):
+        q = fig6_query()
+        result = bounded_minimal_views(q, self.views())
+        assert result.holds
+        chosen = [v for v in self.views() if v.name in result.views_used()]
+        for leave_out in result.views_used():
+            rest = [v for v in chosen if v.name != leave_out]
+            assert not bounded_contains(q, rest).holds
+
+    def test_bminimum_smaller_or_equal(self):
+        q = fig6_query()
+        mnl = bounded_minimal_views(q, self.views())
+        mnm = bounded_minimum_views(q, self.views())
+        assert mnm.holds
+        # Greedy grabs BIG (4 edges) + the (B,E) single = 2 views.
+        assert len(mnm.views_used()) == 2
+        assert len(mnm.views_used()) <= len(mnl.views_used())
+
+    def test_not_contained_reports_uncovered(self):
+        q = fig6_query()
+        views = [view_v7()]
+        result = bounded_contains(q, views)
+        assert not result.holds
+        assert result.uncovered == q.edge_set()
+
+
+class TestMixedPlainAndBounded:
+    def test_plain_query_bounded_views(self):
+        from repro.core.containment import contains
+
+        query = build_bounded(
+            {"A": "A", "B": "B"}, [("A", "B", 1)]
+        ).unbounded_pattern()
+        view = ViewDefinition(
+            "V", build_bounded({"A": "A", "B": "B"}, [("A", "B", 2)])
+        )
+        result = contains(query, [view])
+        assert result.holds  # bound 1 <= 2
+
+    def test_bounded_query_plain_views(self):
+        from repro.core.containment import contains
+
+        query = build_bounded({"A": "A", "B": "B"}, [("A", "B", 2)])
+        plain_view = ViewDefinition(
+            "V", build_bounded({"A": "A", "B": "B"}, [("A", "B", 1)]).unbounded_pattern()
+        )
+        result = contains(query, [plain_view])
+        assert not result.holds  # bound 2 > 1
+
+    def test_bound_one_query_plain_views(self):
+        from repro.core.containment import contains
+
+        query = build_bounded({"A": "A", "B": "B"}, [("A", "B", 1)])
+        plain_view = ViewDefinition(
+            "V",
+            build_bounded({"A": "A", "B": "B"}, [("A", "B", 1)]).unbounded_pattern(),
+        )
+        assert contains(query, [plain_view]).holds

@@ -1,0 +1,174 @@
+"""Tests for bounded simulation (BMatch) and its distance machinery."""
+
+import random
+
+import pytest
+
+from repro.graph import ANY, BoundedPattern, DataGraph
+from repro.simulation import bounded_match, match
+from repro.simulation.bounded import (
+    bounded_match_with_distances,
+    bounded_simulates,
+    maximum_bounded_simulation,
+)
+
+from helpers import (
+    build_bounded,
+    build_graph,
+    build_pattern,
+    random_labeled_graph,
+    random_pattern,
+    reference_bounded_simulation,
+)
+
+
+class TestBasics:
+    def test_edge_to_path(self):
+        g = build_graph({1: "A", 2: "X", 3: "B"}, [(1, 2), (2, 3)])
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+        result = bounded_match(q, g)
+        assert result
+        assert result.edge_matches[("a", "b")] == {(1, 3)}
+
+    def test_bound_too_small(self):
+        g = build_graph({1: "A", 2: "X", 3: "B"}, [(1, 2), (2, 3)])
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", 1)])
+        assert not bounded_match(q, g)
+
+    def test_star_bound_reaches_any_depth(self):
+        nodes = {i: "X" for i in range(2, 9)}
+        nodes[1] = "A"
+        nodes[9] = "B"
+        edges = [(i, i + 1) for i in range(1, 9)]
+        g = build_graph(nodes, edges)
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", ANY)])
+        result = bounded_match(q, g)
+        assert result.edge_matches[("a", "b")] == {(1, 9)}
+
+    def test_nonempty_path_semantics_self(self):
+        # A->A requires a cycle; a single node does not match.
+        g = build_graph({1: "A"}, [])
+        q = build_bounded({"a1": "A", "a2": "A"}, [("a1", "a2", 2)])
+        assert not bounded_match(q, g)
+        g2 = build_graph({1: "A"}, [(1, 1)])
+        assert bounded_match(q, g2)
+
+    def test_bound_one_equals_plain_simulation(self):
+        rng = random.Random(3)
+        g = random_labeled_graph(rng, 20, 45)
+        plain = random_pattern(rng, 3, 4)
+        bounded = plain.bounded(default=1)
+        plain_result = match(plain, g)
+        bounded_result = bounded_match(bounded, g)
+        assert bool(plain_result) == bool(bounded_result)
+        if plain_result:
+            assert plain_result.edge_matches == {
+                e: set(pairs) for e, pairs in bounded_result.edge_matches.items()
+            }
+
+    def test_larger_bound_matches_superset(self):
+        rng = random.Random(4)
+        g = random_labeled_graph(rng, 25, 60)
+        base = random_pattern(rng, 3, 3)
+        q2 = base.bounded(default=2)
+        q4 = base.bounded(default=4)
+        r2 = bounded_match(q2, g)
+        r4 = bounded_match(q4, g)
+        if r2:
+            assert r4
+            for edge, pairs in r2.edge_matches.items():
+                assert pairs <= r4.edge_matches[edge]
+
+
+class TestPaperExample8:
+    """Fig. 3 graph with the bounds of Example 8."""
+
+    def setup_method(self):
+        self.g = build_graph(
+            {
+                "PM1": "PM", "DB1": "DB", "DB2": "DB", "AI1": "AI", "AI2": "AI",
+                "SE1": "SE", "SE2": "SE", "Bio1": "Bio",
+            },
+            [
+                ("PM1", "AI2"), ("DB1", "AI2"), ("DB2", "AI2"),
+                ("AI1", "SE1"), ("AI2", "SE2"), ("SE1", "DB2"), ("SE2", "DB1"),
+                ("AI2", "Bio1"), ("SE1", "Bio1"),
+                ("PM1", "AI1"),
+            ],
+        )
+        q = BoundedPattern()
+        for node, label in [
+            ("PM", "PM"), ("AI", "AI"), ("DB", "DB"), ("SE", "SE"), ("Bio", "Bio"),
+        ]:
+            q.add_node(node, label)
+        q.add_edge("PM", "AI", 1)
+        q.add_edge("DB", "AI", 1)
+        q.add_edge("AI", "SE", 1)
+        q.add_edge("SE", "DB", 1)
+        q.add_edge("AI", "Bio", 2)
+        self.q = q
+
+    def test_example_8_table(self):
+        result = bounded_match(self.q, self.g)
+        em = result.edge_matches
+        assert em[("PM", "AI")] == {("PM1", "AI1"), ("PM1", "AI2")}
+        assert em[("AI", "Bio")] == {("AI1", "Bio1"), ("AI2", "Bio1")}
+        assert em[("DB", "AI")] == {("DB1", "AI2"), ("DB2", "AI2")}
+        assert em[("AI", "SE")] == {("AI1", "SE1"), ("AI2", "SE2")}
+        assert em[("SE", "DB")] == {("SE1", "DB2"), ("SE2", "DB1")}
+
+    def test_example_8_distances(self):
+        _, distances = bounded_match_with_distances(self.q, self.g)
+        assert distances[("AI", "Bio")][("AI1", "Bio1")] == 2
+        assert distances[("AI", "Bio")][("AI2", "Bio1")] == 1
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed + 1000)
+        g = random_labeled_graph(rng, rng.randint(3, 18), rng.randint(3, 45))
+        base = random_pattern(rng, rng.randint(2, 4), rng.randint(1, 5))
+        q = BoundedPattern()
+        for node in base.nodes():
+            q.add_node(node, base.condition(node))
+        for source, target in base.edges():
+            bound = rng.choice([1, 2, 3, ANY])
+            q.add_edge(source, target, bound)
+        expected = reference_bounded_simulation(q, g)
+        actual = maximum_bounded_simulation(q, g)
+        assert actual == expected
+
+    def test_match_sets_respect_bounds(self):
+        rng = random.Random(0)
+        g = random_labeled_graph(rng, 20, 50)
+        base = random_pattern(rng, 3, 4)
+        q = base.bounded(default=2)
+        result = bounded_match(q, g)
+        if not result:
+            pytest.skip("no match for this instance")
+        for edge, pairs in result.edge_matches.items():
+            for v, w in pairs:
+                assert w in g.descendants_within(v, 2)
+
+
+class TestDistancesOutput:
+    def test_distances_match_bfs(self):
+        g = build_graph(
+            {1: "A", 2: "X", 3: "B", 4: "B"}, [(1, 2), (2, 3), (1, 4)]
+        )
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", 3)])
+        _, distances = bounded_match_with_distances(q, g)
+        assert distances[("a", "b")] == {(1, 3): 2, (1, 4): 1}
+
+    def test_empty_result_distances(self):
+        g = build_graph({1: "A"}, [])
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+        result, distances = bounded_match_with_distances(q, g)
+        assert not result
+        assert distances == {}
+
+    def test_bounded_simulates(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", 5)])
+        assert bounded_simulates(q, g)

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface and view-set serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import write_pattern
+from repro.graph.pattern import BoundedPattern
+from repro.views.io import (
+    extension_from_json,
+    extension_to_json,
+    read_viewset,
+    write_viewset,
+)
+from repro.views import ViewDefinition, ViewSet
+from repro.views.view import materialize
+
+from helpers import build_bounded, build_graph, build_pattern
+
+
+class TestViewSetSerialization:
+    def test_definition_round_trip(self, tmp_path):
+        views = ViewSet(
+            [ViewDefinition("V", build_pattern({"a": "A", "b": "B"}, [("a", "b")]))]
+        )
+        path = tmp_path / "views.json"
+        write_viewset(views, path)
+        loaded = read_viewset(path)
+        assert loaded.names() == ["V"]
+        assert not loaded.is_materialized("V")
+
+    def test_extension_round_trip(self, tmp_path):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        views = ViewSet(
+            [ViewDefinition("V", build_pattern({"a": "A", "b": "B"}, [("a", "b")]))]
+        )
+        views.materialize(g)
+        path = tmp_path / "views.json"
+        write_viewset(views, path)
+        loaded = read_viewset(path)
+        assert loaded.is_materialized("V")
+        assert loaded.extension("V").pairs_of(("a", "b")) == {(1, 2)}
+
+    def test_bounded_extension_keeps_distances(self):
+        g = build_graph({1: "A", 2: "X", 3: "B"}, [(1, 2), (2, 3)])
+        view = ViewDefinition(
+            "V", build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+        )
+        ext = materialize(view, g)
+        doc = extension_to_json(ext)
+        json.dumps(doc)
+        back = extension_from_json(doc)
+        assert back.distance_of((1, 3)) == 2
+        assert isinstance(back.definition.pattern, BoundedPattern)
+
+
+class TestCli:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        views_path = tmp_path / "v.json"
+        rc = main([
+            "generate", "--dataset", "synthetic", "--nodes", "200",
+            "--edges", "500", "--out", str(graph_path),
+            "--views", str(views_path),
+        ])
+        assert rc == 0
+        assert graph_path.exists() and views_path.exists()
+        rc = main(["stats", "--graph", str(graph_path), "--views", str(views_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nodes: 200" in out
+
+    def test_full_workflow(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        views_path = tmp_path / "v.json"
+        query_path = tmp_path / "q.json"
+        out_path = tmp_path / "result.json"
+
+        main([
+            "generate", "--dataset", "amazon", "--nodes", "800",
+            "--edges", "2500", "--out", str(graph_path),
+            "--views", str(views_path),
+        ])
+        rc = main(["materialize", "--graph", str(graph_path), "--views", str(views_path)])
+        assert rc == 0
+
+        # A query matching one of the cached view shapes (AV1).
+        from repro.graph.conditions import P
+
+        book4 = (P("rating") >= 4).with_label("Book")
+        q = build_pattern({}, [])
+        q.add_node("x", book4)
+        q.add_node("y", book4)
+        q.add_edge("x", "y")
+        write_pattern(q, query_path)
+
+        rc = main([
+            "contain", "--query", str(query_path), "--views", str(views_path),
+            "--strategy", "minimum",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contained: yes" in out
+
+        rc = main([
+            "query", "--query", str(query_path), "--views", str(views_path),
+            "--out", str(out_path),
+        ])
+        assert rc == 0
+        result = json.loads(out_path.read_text())
+        assert "x->y" in result
+
+    def test_contain_reports_uncovered(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        views_path = tmp_path / "v.json"
+        query_path = tmp_path / "q.json"
+        main([
+            "generate", "--dataset", "synthetic", "--nodes", "100",
+            "--edges", "300", "--out", str(graph_path),
+            "--views", str(views_path),
+        ])
+        q = build_pattern({"a": "zz-unknown", "b": "zz-unknown"}, [("a", "b")])
+        write_pattern(q, query_path)
+        rc = main(["contain", "--query", str(query_path), "--views", str(views_path)])
+        assert rc == 1
+        assert "uncovered" in capsys.readouterr().out
+
+    def test_query_not_contained_errors(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        views_path = tmp_path / "v.json"
+        query_path = tmp_path / "q.json"
+        main([
+            "generate", "--dataset", "synthetic", "--nodes", "100",
+            "--edges", "300", "--out", str(graph_path),
+            "--views", str(views_path),
+        ])
+        main(["materialize", "--graph", str(graph_path), "--views", str(views_path)])
+        q = build_pattern({"a": "zz-unknown", "b": "zz-unknown"}, [("a", "b")])
+        write_pattern(q, query_path)
+        rc = main(["query", "--query", str(query_path), "--views", str(views_path)])
+        assert rc == 1

@@ -1,0 +1,144 @@
+"""Unit tests for node search conditions and the implication engine."""
+
+import pytest
+
+from repro.graph.conditions import (
+    AttributeCondition,
+    Atom,
+    Label,
+    P,
+    TrueCondition,
+    as_condition,
+    implies,
+)
+
+
+class TestLabel:
+    def test_matches_membership(self):
+        cond = Label("DBA")
+        assert cond.matches(frozenset({"DBA", "PM"}), {})
+        assert not cond.matches(frozenset({"PM"}), {})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Label("")
+
+    def test_equality_and_hash(self):
+        assert Label("A") == Label("A")
+        assert Label("A") != Label("B")
+        assert len({Label("A"), Label("A"), Label("B")}) == 2
+
+
+class TestTrueCondition:
+    def test_always_matches(self):
+        cond = TrueCondition()
+        assert cond.matches(frozenset(), {})
+        assert cond.matches(frozenset({"X"}), {"a": 1})
+
+
+class TestAtoms:
+    def test_all_operators(self):
+        attrs = {"v": 10}
+        assert Atom("v", "==", 10).holds(attrs)
+        assert Atom("v", "!=", 9).holds(attrs)
+        assert Atom("v", "<=", 10).holds(attrs)
+        assert Atom("v", ">=", 10).holds(attrs)
+        assert Atom("v", "<", 11).holds(attrs)
+        assert Atom("v", ">", 9).holds(attrs)
+
+    def test_missing_attribute_fails(self):
+        assert not Atom("v", "==", 1).holds({})
+
+    def test_type_error_fails_closed(self):
+        assert not Atom("v", "<", 5).holds({"v": "string"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("v", "~", 1)
+
+
+class TestPredicateBuilder:
+    def test_builder_produces_condition(self):
+        cond = P("rate") >= 4
+        assert isinstance(cond, AttributeCondition)
+        assert cond.matches(frozenset(), {"rate": 5})
+        assert not cond.matches(frozenset(), {"rate": 3})
+
+    def test_conjunction(self):
+        cond = (P("category") == "Music") & (P("visits") >= 10_000)
+        assert cond.matches(frozenset(), {"category": "Music", "visits": 20_000})
+        assert not cond.matches(frozenset(), {"category": "Music", "visits": 5})
+
+    def test_with_label(self):
+        cond = ((P("rate") >= 4) & (P("age") <= 100)).with_label("video")
+        assert cond.matches(frozenset({"video"}), {"rate": 5, "age": 50})
+        assert not cond.matches(frozenset({"user"}), {"rate": 5, "age": 50})
+
+    def test_conflicting_labels_rejected(self):
+        a = (P("x") == 1).with_label("u")
+        b = (P("y") == 2).with_label("w")
+        with pytest.raises(ValueError):
+            a & b
+
+
+class TestImplication:
+    def test_label_implication_is_equality(self):
+        assert implies(Label("A"), Label("A"))
+        assert not implies(Label("A"), Label("B"))
+
+    def test_everything_implies_true(self):
+        assert implies(Label("A"), TrueCondition())
+        assert implies(P("x") >= 1, TrueCondition())
+
+    def test_true_implies_nothing_else(self):
+        assert not implies(TrueCondition(), Label("A"))
+
+    def test_equality_atom_implications(self):
+        assert implies(P("v") == 10, P("v") >= 5)
+        assert implies(P("v") == 10, P("v") <= 10)
+        assert implies(P("v") == 10, P("v") != 3)
+        assert not implies(P("v") == 10, P("v") > 10)
+        assert implies(P("v") == 10, P("v") == 10)
+
+    def test_interval_implications(self):
+        assert implies(P("v") >= 10, P("v") >= 5)
+        assert not implies(P("v") >= 5, P("v") >= 10)
+        assert implies(P("v") <= 5, P("v") <= 10)
+        assert implies(P("v") > 10, P("v") >= 10)
+        assert implies(P("v") < 5, P("v") <= 5)
+        assert implies(P("v") > 10, P("v") != 10)
+        assert implies(P("v") < 10, P("v") != 10)
+
+    def test_cross_attribute_never_implies(self):
+        assert not implies(P("x") >= 10, P("y") >= 1)
+
+    def test_conjunction_implication(self):
+        sub = (P("c") == "Music") & (P("v") >= 20_000)
+        sup = P("v") >= 10_000
+        assert implies(sub, sup)
+        assert not implies(sup, sub)
+
+    def test_label_vs_attribute_condition(self):
+        labeled = (P("x") >= 1).with_label("video")
+        assert implies(labeled, Label("video"))
+        assert not implies(Label("video"), labeled)
+
+    def test_label_implies_bare_labeled_condition(self):
+        bare = AttributeCondition((), label="video")
+        assert implies(Label("video"), bare)
+
+    def test_incomparable_types_fail_closed(self):
+        assert not implies(P("v") >= "abc", P("v") >= 5)
+
+
+class TestCoercion:
+    def test_string_to_label(self):
+        assert as_condition("A") == Label("A")
+
+    def test_condition_passthrough(self):
+        cond = P("x") == 1
+        assert as_condition(cond) is cond
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_condition(42)

@@ -1,0 +1,198 @@
+"""Tests for view matches and pattern containment (contain, Proposition 7).
+
+The anchor fixtures are the paper's own examples: Fig. 1 / Example 3,
+Fig. 4 / Example 5, and Fig. 3 / Example 4.
+"""
+
+import pytest
+
+from repro.core.containment import contains, equivalent, query_contained
+from repro.core.view_match import view_match_simulation
+from repro.graph import Pattern
+from repro.views import ViewDefinition
+
+from helpers import build_pattern
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 fixture: Qs over labels A..E and seven views V1..V7
+# ----------------------------------------------------------------------
+def fig4_query():
+    return build_pattern(
+        {"A": "A", "B": "B", "C": "C", "D": "D", "E": "E"},
+        [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"), ("B", "E")],
+    )
+
+
+def fig4_views():
+    specs = {
+        "V1": ({"C": "C", "D": "D"}, [("C", "D")]),
+        "V2": ({"B": "B", "E": "E"}, [("B", "E")]),
+        "V3": ({"A": "A", "B": "B", "C": "C"}, [("A", "B"), ("A", "C")]),
+        "V4": ({"B": "B", "C": "C", "D": "D"}, [("B", "D"), ("C", "D")]),
+        "V5": ({"B": "B", "D": "D", "E": "E"}, [("B", "D"), ("B", "E")]),
+        "V6": (
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B"), ("A", "C"), ("C", "D")],
+        ),
+        "V7": (
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B"), ("A", "C"), ("B", "D")],
+        ),
+    }
+    return [ViewDefinition(name, build_pattern(*spec)) for name, spec in specs.items()]
+
+
+#: Example 5's view-match table.
+FIG4_EXPECTED = {
+    "V1": {("C", "D")},
+    "V2": {("B", "E")},
+    "V3": {("A", "B"), ("A", "C")},
+    "V4": {("B", "D"), ("C", "D")},
+    "V5": {("B", "D"), ("B", "E")},
+    "V6": {("A", "B"), ("A", "C"), ("C", "D")},
+    "V7": {("A", "B"), ("A", "C"), ("B", "D")},
+}
+
+
+class TestViewMatchFig4:
+    @pytest.mark.parametrize("name", sorted(FIG4_EXPECTED))
+    def test_example_5_table(self, name):
+        query = fig4_query()
+        view = next(v for v in fig4_views() if v.name == name)
+        match = view_match_simulation(query, view)
+        assert match.covered == FIG4_EXPECTED[name]
+
+    def test_union_covers_query(self):
+        query = fig4_query()
+        covered = set()
+        for view in fig4_views():
+            covered |= view_match_simulation(query, view).covered
+        assert covered == query.edge_set()
+
+
+class TestContainFig4:
+    def test_contains_holds(self):
+        result = contains(fig4_query(), fig4_views())
+        assert result.holds
+        assert result.uncovered == frozenset()
+        assert set(result.mapping) == fig4_query().edge_set()
+
+    def test_mapping_entries_point_to_covering_views(self):
+        result = contains(fig4_query(), fig4_views())
+        for edge, refs in result.mapping.items():
+            assert refs, f"empty λ for {edge}"
+            for view_name, _ in refs:
+                assert edge in FIG4_EXPECTED[view_name]
+
+    def test_not_contained_without_v2_and_v5(self):
+        views = [v for v in fig4_views() if v.name not in ("V2", "V5")]
+        result = contains(fig4_query(), views)
+        assert not result.holds
+        assert result.uncovered == frozenset({("B", "E")})
+
+
+class TestContainFig1:
+    def test_example_3(self):
+        query = build_pattern(
+            {"PM": "PM", "DBA1": "DBA", "DBA2": "DBA", "PRG1": "PRG", "PRG2": "PRG"},
+            [
+                ("PM", "DBA1"), ("PM", "PRG2"), ("DBA1", "PRG1"),
+                ("PRG1", "DBA2"), ("DBA2", "PRG2"), ("PRG2", "DBA1"),
+            ],
+        )
+        v1 = build_pattern(
+            {"PM": "PM", "DBA": "DBA", "PRG": "PRG"},
+            [("PM", "DBA"), ("PM", "PRG")],
+        )
+        v2 = build_pattern(
+            {"DBA": "DBA", "PRG": "PRG"}, [("DBA", "PRG"), ("PRG", "DBA")]
+        )
+        result = contains(
+            query, [ViewDefinition("V1", v1), ViewDefinition("V2", v2)]
+        )
+        assert result.holds
+        # The cycle edges must come from V2, the PM edges from V1.
+        for edge in [("DBA1", "PRG1"), ("DBA2", "PRG2")]:
+            assert all(name == "V2" for name, _ in result.mapping[edge])
+        for edge in [("PM", "DBA1"), ("PM", "PRG2")]:
+            assert all(name == "V1" for name, _ in result.mapping[edge])
+
+
+class TestContainFig3:
+    def test_example_4_mapping(self):
+        query = build_pattern(
+            {"PM": "PM", "AI": "AI", "DB": "DB", "SE": "SE", "Bio": "Bio"},
+            [("PM", "AI"), ("AI", "Bio"), ("DB", "AI"), ("AI", "SE"), ("SE", "DB")],
+        )
+        v1 = build_pattern(
+            {"PM": "PM", "AI": "AI", "Bio": "Bio"}, [("AI", "Bio"), ("PM", "AI")]
+        )
+        v2 = build_pattern(
+            {"DB": "DB", "AI": "AI", "SE": "SE"},
+            [("DB", "AI"), ("AI", "SE"), ("SE", "DB")],
+        )
+        result = contains(
+            query, [ViewDefinition("V1", v1), ViewDefinition("V2", v2)]
+        )
+        assert result.holds
+        assert {name for name, _ in result.mapping[("PM", "AI")]} == {"V1"}
+        assert {name for name, _ in result.mapping[("DB", "AI")]} == {"V2"}
+
+
+class TestQueryContainment:
+    def test_identical_patterns_contained(self):
+        q = fig4_query()
+        assert query_contained(q, fig4_query())
+
+    def test_subsumed_by_smaller_view(self):
+        # Q: A->B->C is contained in V: B->C? No: edge (A,B) uncovered.
+        q = build_pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+        v = build_pattern({"b": "B", "c": "C"}, [("b", "c")])
+        assert not query_contained(q, v)
+
+    def test_duplicate_branch_contained_in_single_branch(self):
+        # Q has two parallel A->B branches; V has one.
+        q = build_pattern(
+            {"a": "A", "b1": "B", "b2": "B"}, [("a", "b1"), ("a", "b2")]
+        )
+        v = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        assert query_contained(q, v)
+        assert query_contained(v, q)
+        assert equivalent(q, v)
+
+    def test_structural_restriction_blocks_containment(self):
+        # V requires B to have a C-successor; Q does not, so some match
+        # of Q's (A,B) edge need not appear in V's extension.
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        v = build_pattern(
+            {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+        )
+        assert not query_contained(q, v)
+        # And the other direction fails too: v's (b, c) edge has no
+        # counterpart in q.
+        assert not query_contained(v, q)
+
+    def test_cycle_not_contained_in_dag(self):
+        cyc = build_pattern({"a": "A", "b": "B"}, [("a", "b"), ("b", "a")])
+        dag = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        # The DAG view covers the (a,b) edge but not (b,a).
+        assert not query_contained(cyc, dag)
+        # The cyclic view's extension only has pairs on cycles, which
+        # need not include all matches of the DAG's edge.
+        assert not query_contained(dag, cyc)
+
+
+class TestContainmentObject:
+    def test_bool_protocol(self):
+        result = contains(fig4_query(), fig4_views())
+        assert bool(result) is True
+
+    def test_views_used_order(self):
+        result = contains(fig4_query(), fig4_views())
+        assert set(result.views_used()) <= {f"V{i}" for i in range(1, 8)}
+
+    def test_empty_view_list(self):
+        result = contains(fig4_query(), [])
+        assert not result.holds
+        assert result.uncovered == fig4_query().edge_set()

@@ -1,0 +1,218 @@
+"""Tests for the dataset generators and workload builders."""
+
+import pytest
+
+from repro.core.containment import contains
+from repro.core.bounded.bcontainment import bounded_contains
+from repro.datasets import (
+    amazon_graph,
+    amazon_views,
+    citation_graph,
+    citation_views,
+    densification_graph,
+    generate_views,
+    query_from_views,
+    random_bounded_pattern,
+    random_query,
+    random_graph,
+    youtube_graph,
+    youtube_views,
+)
+from repro.datasets.synthetic import DEFAULT_LABELS
+from repro.graph import ANY, BoundedPattern
+from repro.graph.scc import is_dag
+from repro.graph.stats import graph_stats
+
+
+class TestSyntheticGenerator:
+    def test_sizes(self):
+        g = random_graph(500, 1000, seed=1)
+        assert g.num_nodes == 500
+        assert 900 <= g.num_edges <= 1100
+
+    def test_deterministic(self):
+        a = random_graph(200, 400, seed=7)
+        b = random_graph(200, 400, seed=7)
+        assert set(a.edges()) == set(b.edges())
+        assert all(a.labels(n) == b.labels(n) for n in a.nodes())
+
+    def test_different_seeds_differ(self):
+        a = random_graph(200, 400, seed=1)
+        b = random_graph(200, 400, seed=2)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_labels_from_alphabet(self):
+        g = random_graph(100, 200, labels=("x", "y"), seed=0)
+        for node in g.nodes():
+            assert g.labels(node) <= {"x", "y"}
+
+    def test_densification_law(self):
+        g = densification_graph(1000, 1.15, seed=0)
+        expected = int(round(1000**1.15))
+        assert abs(g.num_edges - expected) < expected * 0.2
+
+    def test_densification_alpha_validation(self):
+        with pytest.raises(ValueError):
+            densification_graph(100, 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_graph(0, 10)
+
+    def test_no_self_loops(self):
+        g = random_graph(100, 300, seed=3)
+        assert all(s != t for s, t in g.edges())
+
+
+class TestRealDatasetStandins:
+    @pytest.mark.parametrize(
+        "factory,label_pool,attrs",
+        [
+            (amazon_graph, ("Book", "Music", "DVD", "Video", "Toy", "Software"),
+             ("group", "salesrank", "rating")),
+            (citation_graph, ("DB", "AI", "SYS", "NET", "THEORY", "IR"),
+             ("area", "venue", "year")),
+        ],
+    )
+    def test_schema(self, factory, label_pool, attrs):
+        g = factory(500, 1500, seed=2)
+        assert g.num_nodes == 500
+        some = next(iter(g.nodes()))
+        assert g.labels(some) & set(label_pool)
+        for attr in attrs:
+            assert attr in g.attrs(some)
+
+    def test_youtube_schema(self):
+        g = youtube_graph(500, 1400, seed=2)
+        some = next(iter(g.nodes()))
+        assert "video" in g.labels(some)
+        for attr in "CALRV":
+            assert attr in g.attrs(some)
+
+    def test_citation_is_dag(self):
+        g = citation_graph(800, 2500, seed=1)
+        assert is_dag(g)
+        # Citations point strictly backward in time.
+        for source, target in g.edges():
+            assert g.attrs(target)["year"] < g.attrs(source)["year"]
+
+    def test_stats_capture_label_skew(self):
+        g = amazon_graph(2000, 6000, seed=0)
+        stats = graph_stats(g)
+        assert stats.label_counts["Book"] > stats.label_counts["Software"]
+
+    def test_reciprocity_produces_mutual_edges(self):
+        g = youtube_graph(1000, 4000, seed=0)
+        mutual = sum(1 for s, t in g.edges() if g.has_edge(t, s))
+        assert mutual > 0
+
+
+class TestViewSuites:
+    @pytest.mark.parametrize(
+        "suite,graph_factory",
+        [
+            (amazon_views, lambda: amazon_graph(8000, 24000, seed=1)),
+            (citation_views, lambda: citation_graph(8000, 20000, seed=1)),
+            (youtube_views, lambda: youtube_graph(8000, 23000, seed=1)),
+        ],
+    )
+    def test_twelve_views_materialize(self, suite, graph_factory):
+        """All 12 views materialize, and (at this reduced scale) at most
+        one is empty -- at the benchmark scale of ~30K nodes all twelve
+        are nonempty."""
+        views = suite()
+        assert len(views) == 12
+        graph = graph_factory()
+        views.materialize(graph)
+        empty = [v.name for v in views if views.extension(v.name).is_empty]
+        assert len(empty) <= 1, empty
+
+    def test_extension_fraction_below_half(self):
+        views = youtube_views()
+        g = youtube_graph(3000, 9000, seed=1)
+        views.materialize(g)
+        assert views.extension_fraction(g) < 0.5
+
+    def test_amazon_views_count_extension(self):
+        views = amazon_views(count=15)
+        assert len(views) == 15
+
+
+class TestRandomQueries:
+    def test_dag_query(self):
+        q = random_query(6, 9, DEFAULT_LABELS, seed=1, cyclic=False)
+        assert q.num_nodes == 6
+        assert is_dag(q)
+        assert q.is_connected()
+
+    def test_cyclic_query(self):
+        q = random_query(6, 9, DEFAULT_LABELS, seed=1, cyclic=True)
+        assert not is_dag(q)
+        assert q.is_connected()
+
+    def test_bounded_pattern_bounds_in_range(self):
+        q = random_bounded_pattern(5, 8, DEFAULT_LABELS, max_bound=3, seed=2)
+        assert isinstance(q, BoundedPattern)
+        for edge in q.edges():
+            bound = q.bound(edge)
+            assert bound is ANY or 1 <= bound <= 3
+
+    def test_star_probability(self):
+        q = random_bounded_pattern(
+            5, 8, DEFAULT_LABELS, max_bound=3, seed=2, star_probability=1.0
+        )
+        assert all(q.bound(e) is ANY for e in q.edges())
+
+    def test_edge_floor_validation(self):
+        with pytest.raises(ValueError):
+            random_query(5, 2, DEFAULT_LABELS)
+
+
+class TestGenerateViews:
+    def test_count_and_determinism(self):
+        a = generate_views(DEFAULT_LABELS, 22, seed=5)
+        b = generate_views(DEFAULT_LABELS, 22, seed=5)
+        assert len(a) == 22
+        assert a.names() == b.names()
+        for name in a.names():
+            assert set(a.definition(name).pattern.edges()) == set(
+                b.definition(name).pattern.edges()
+            )
+
+    def test_bounded_views(self):
+        views = generate_views(DEFAULT_LABELS, 10, seed=1, bounded=True, max_bound=4)
+        assert all(v.is_bounded for v in views)
+
+
+class TestQueryFromViews:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_containment_by_construction(self, seed):
+        views = generate_views(DEFAULT_LABELS, 22, seed=3)
+        q = query_from_views(views, 5, 8, seed=seed)
+        assert contains(q, views).holds
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bounded_containment_by_construction(self, seed):
+        views = generate_views(DEFAULT_LABELS, 22, seed=3, bounded=True)
+        q = query_from_views(views, 5, 8, seed=seed)
+        assert isinstance(q, BoundedPattern)
+        assert bounded_contains(q, views).holds
+
+    def test_require_dag(self):
+        views = citation_views()
+        for seed in range(6):
+            q = query_from_views(views, 6, 9, seed=seed, require_dag=True)
+            assert is_dag(q)
+            assert contains(q, views).holds
+
+    def test_rejects_empty_viewset(self):
+        from repro.views import ViewSet
+
+        with pytest.raises(ValueError):
+            query_from_views(ViewSet(), 4, 4)
+
+    def test_sizes_approach_targets(self):
+        views = generate_views(DEFAULT_LABELS, 22, seed=3)
+        q = query_from_views(views, 6, 10, seed=0)
+        assert q.num_edges >= 10 - 3
+        assert q.num_nodes >= 4

@@ -1,0 +1,160 @@
+"""Unit tests for the DataGraph substrate."""
+
+import pytest
+
+from repro.graph import DataGraph
+
+
+def small_graph():
+    g = DataGraph()
+    g.add_node(1, labels="A", attrs={"x": 1})
+    g.add_node(2, labels=["B", "C"])
+    g.add_node(3, labels="B")
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(1, 3)
+    return g
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DataGraph()
+        assert len(g) == 0
+        assert g.num_edges == 0
+        assert g.size == 0
+
+    def test_add_node_labels_string(self):
+        g = DataGraph()
+        g.add_node("n", labels="A")
+        assert g.labels("n") == frozenset({"A"})
+
+    def test_add_node_labels_iterable(self):
+        g = DataGraph()
+        g.add_node("n", labels=["A", "B"])
+        assert g.labels("n") == frozenset({"A", "B"})
+
+    def test_add_node_merges_labels(self):
+        g = DataGraph()
+        g.add_node("n", labels="A")
+        g.add_node("n", labels="B")
+        assert g.labels("n") == frozenset({"A", "B"})
+
+    def test_add_node_merges_attrs(self):
+        g = DataGraph()
+        g.add_node("n", attrs={"x": 1})
+        g.add_node("n", attrs={"y": 2})
+        assert g.attrs("n") == {"x": 1, "y": 2}
+
+    def test_add_edge_creates_nodes(self):
+        g = DataGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_add_edge_idempotent(self):
+        g = DataGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.num_edges == 1
+
+    def test_constructor_bulk(self):
+        g = DataGraph(
+            nodes=[("a", "A", None), ("b", "B", {"k": 1})],
+            edges=[("a", "b")],
+        )
+        assert g.num_nodes == 2
+        assert g.attrs("b") == {"k": 1}
+
+    def test_size(self):
+        g = small_graph()
+        assert g.size == 3 + 3
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = small_graph()
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 2
+        assert 1 not in g.predecessors(2)
+
+    def test_remove_edge_missing_raises(self):
+        g = small_graph()
+        with pytest.raises(KeyError):
+            g.remove_edge(3, 1)
+
+    def test_remove_node(self):
+        g = small_graph()
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_node_missing_raises(self):
+        g = DataGraph()
+        with pytest.raises(KeyError):
+            g.remove_node("ghost")
+
+
+class TestInspection:
+    def test_degrees(self):
+        g = small_graph()
+        assert g.out_degree(1) == 2
+        assert g.in_degree(3) == 2
+        assert g.in_degree(1) == 0
+
+    def test_successors_predecessors(self):
+        g = small_graph()
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(3) == {1, 2}
+
+    def test_edges_iteration(self):
+        g = small_graph()
+        assert set(g.edges()) == {(1, 2), (2, 3), (1, 3)}
+
+    def test_nodes_with_label(self):
+        g = small_graph()
+        assert set(g.nodes_with_label("B")) == {2, 3}
+        assert set(g.nodes_with_label("Z")) == set()
+
+    def test_repr(self):
+        assert "nodes=3" in repr(small_graph())
+
+
+class TestTraversal:
+    def test_descendants_within_one(self):
+        g = small_graph()
+        assert g.descendants_within(1, 1) == {2: 1, 3: 1}
+
+    def test_descendants_within_two(self):
+        g = DataGraph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert g.descendants_within(1, 2) == {2: 1, 3: 2}
+
+    def test_descendants_within_zero(self):
+        g = small_graph()
+        assert g.descendants_within(1, 0) == {}
+
+    def test_descendants_cycle_includes_self(self):
+        g = DataGraph(edges=[(1, 2), (2, 1)])
+        assert g.descendants_within(1, 2) == {2: 1, 1: 2}
+
+    def test_self_loop(self):
+        g = DataGraph(edges=[(1, 1)])
+        assert g.descendants_within(1, 3) == {1: 1}
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        g = small_graph()
+        h = g.copy()
+        h.add_edge(3, 1)
+        assert not g.has_edge(3, 1)
+        h.attrs(1)["x"] = 99
+        assert g.attrs(1)["x"] == 1
+
+    def test_copy_equal_structure(self):
+        g = small_graph()
+        h = g.copy()
+        assert set(h.edges()) == set(g.edges())
+        assert h.labels(2) == g.labels(2)

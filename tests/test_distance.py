@@ -1,0 +1,169 @@
+"""Tests for the distance oracles (BFS caches, weighted pattern APSP)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import ANY, BoundedPattern, DataGraph
+from repro.simulation.distance import (
+    INF,
+    BoundedDistanceCache,
+    WeightedPatternDistances,
+    reachable_from,
+    reverse_reachable_within,
+)
+
+from helpers import build_graph, random_labeled_graph
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = build_graph({i: "X" for i in range(5)}, [(0, 1), (1, 2), (3, 4)])
+        assert reachable_from(g, 0) == {1, 2}
+        assert reachable_from(g, 2) == set()
+
+    def test_reachable_through_cycle_includes_self(self):
+        g = build_graph({1: "X", 2: "X"}, [(1, 2), (2, 1)])
+        assert reachable_from(g, 1) == {1, 2}
+
+
+class TestReverseReachableWithin:
+    def make(self):
+        return build_graph(
+            {i: "X" for i in range(6)},
+            [(0, 1), (1, 2), (2, 3), (4, 2), (5, 4)],
+        )
+
+    def test_bounded(self):
+        g = self.make()
+        assert reverse_reachable_within(g, {2}, 1) == {1, 4}
+        assert reverse_reachable_within(g, {2}, 2) == {0, 1, 4, 5}
+
+    def test_multi_source(self):
+        g = self.make()
+        assert reverse_reachable_within(g, {2, 3}, 1) == {1, 2, 4}
+
+    def test_unbounded(self):
+        g = self.make()
+        assert reverse_reachable_within(g, {3}, ANY) == {0, 1, 2, 4, 5}
+
+    def test_agrees_with_bfs_on_random_graphs(self):
+        rng = random.Random(9)
+        for _ in range(10):
+            g = random_labeled_graph(rng, 15, 40)
+            targets = {rng.randrange(15) for _ in range(3)}
+            bound = rng.randint(1, 4)
+            expected = {
+                v
+                for v in g.nodes()
+                if any(t in g.descendants_within(v, bound) for t in targets)
+            }
+            assert reverse_reachable_within(g, targets, bound) == expected
+
+
+class TestBoundedDistanceCache:
+    def test_descendants_and_memoization(self):
+        g = build_graph({i: "X" for i in range(4)}, [(0, 1), (1, 2), (2, 3)])
+        cache = BoundedDistanceCache(g)
+        assert cache.descendants(0, 2) == {1: 1, 2: 2}
+        # Narrower query answered from the cached wider one.
+        assert cache.descendants(0, 1) == {1: 1}
+        assert cache.descendants(0, 3) == {1: 1, 2: 2, 3: 3}
+
+    def test_within(self):
+        g = build_graph({i: "X" for i in range(4)}, [(0, 1), (1, 2)])
+        cache = BoundedDistanceCache(g)
+        assert cache.within(0, 2, 2)
+        assert not cache.within(0, 2, 1)
+        assert cache.within(0, 2, ANY)
+        assert not cache.within(2, 0, ANY)
+
+    def test_matches_networkx_shortest_paths(self):
+        rng = random.Random(13)
+        g = random_labeled_graph(rng, 20, 60)
+        nxg = nx.DiGraph(list(g.edges()))
+        cache = BoundedDistanceCache(g)
+        for source in list(g.nodes())[:10]:
+            mine = cache.descendants(source, 4)
+            if source not in nxg:
+                assert mine == {}
+                continue
+            lengths = nx.single_source_shortest_path_length(nxg, source, cutoff=4)
+            lengths.pop(source, None)
+            # Nonempty-path semantics: source reachable through a cycle.
+            if source in g.descendants_within(source, 4):
+                lengths[source] = g.descendants_within(source, 4)[source]
+            assert mine == lengths
+
+
+class TestWeightedPatternDistances:
+    def make(self):
+        q = BoundedPattern()
+        for n in "abcd":
+            q.add_node(n, n.upper())
+        q.add_edge("a", "b", 2)
+        q.add_edge("b", "c", 3)
+        q.add_edge("a", "c", 10)
+        q.add_edge("c", "d", ANY)
+        return q
+
+    def test_min_weight_paths(self):
+        d = WeightedPatternDistances(self.make())
+        assert d.distance("a", "b") == 2
+        assert d.distance("a", "c") == 5  # through b, cheaper than direct 10
+        assert d.distance("b", "c") == 3
+
+    def test_star_edges_are_infinite_for_distance(self):
+        d = WeightedPatternDistances(self.make())
+        assert d.distance("c", "d") == INF
+        assert d.distance("a", "d") == INF
+
+    def test_reaches_traverses_star_edges(self):
+        d = WeightedPatternDistances(self.make())
+        assert d.reaches("a", "d")
+        assert d.reaches("c", "d")
+        assert not d.reaches("d", "a")
+
+    def test_within(self):
+        d = WeightedPatternDistances(self.make())
+        assert d.within("a", "c", 5)
+        assert not d.within("a", "c", 4)
+        assert d.within("a", "d", ANY)
+        assert not d.within("a", "d", 100)
+
+    def test_nonempty_path_semantics(self):
+        q = BoundedPattern()
+        q.add_node("a", "A")
+        q.add_node("b", "B")
+        q.add_edge("a", "b", 1)
+        q.add_edge("b", "a", 2)
+        d = WeightedPatternDistances(q)
+        # a -> a only through the cycle: weight 3.
+        assert d.distance("a", "a") == 3
+        assert d.reaches("a", "a")
+
+    def test_matches_networkx_dijkstra(self):
+        rng = random.Random(21)
+        q = BoundedPattern()
+        n = 8
+        for i in range(n):
+            q.add_node(i, f"L{i}")
+        for _ in range(16):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b and not q.has_edge(a, b):
+                q.add_edge(a, b, rng.randint(1, 5))
+        d = WeightedPatternDistances(q)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        for edge in q.edges():
+            nxg.add_edge(*edge, weight=q.bound(edge))
+        for source in range(n):
+            for target in range(n):
+                if source == target:
+                    continue  # nonempty-path semantics differ; checked above
+                try:
+                    expected = nx.dijkstra_path_length(nxg, source, target)
+                except nx.NetworkXNoPath:
+                    expected = INF
+                assert d.distance(source, target) == expected

@@ -1,0 +1,121 @@
+"""Tests for the edge-label dummy-node reduction (Section II, Remark 2)."""
+
+import pytest
+
+from repro.graph.edge_labels import (
+    decode_edge_matches,
+    dummy_label,
+    encode_graph,
+    encode_pattern,
+)
+from repro.simulation import match
+from repro.views import ViewDefinition, ViewSet
+from repro.core.containment import contains
+from repro.core.matchjoin import match_join
+
+
+def social_graph():
+    """People connected by 'follows' and 'blocks' edges."""
+    return encode_graph(
+        nodes=[(name, "person") for name in ("ann", "bob", "cat", "dan")],
+        triples=[
+            ("ann", "follows", "bob"),
+            ("bob", "follows", "cat"),
+            ("ann", "blocks", "dan"),
+            ("cat", "follows", "ann"),
+        ],
+    )
+
+
+class TestEncoding:
+    def test_graph_structure(self):
+        g = social_graph()
+        # 4 people + 4 dummies; 8 encoded edges.
+        assert g.num_nodes == 8
+        assert g.num_edges == 8
+        dummies = [n for n in g.nodes() if isinstance(n, tuple)]
+        assert len(dummies) == 4
+        for dummy in dummies:
+            assert any(
+                label.startswith("edge:") for label in g.labels(dummy)
+            )
+
+    def test_pattern_structure(self):
+        pattern, edge_map = encode_pattern(
+            nodes={"x": "person", "y": "person"},
+            triples=[("x", "follows", "y")],
+        )
+        assert pattern.num_nodes == 3
+        assert pattern.num_edges == 2
+        (in_edge, out_edge) = edge_map[("x", "follows", "y")]
+        assert in_edge[0] == "x"
+        assert out_edge[1] == "y"
+
+    def test_dummy_label_reserved(self):
+        assert dummy_label("follows") == "edge:follows"
+
+
+class TestMatchingOnEncodedGraphs:
+    def test_edge_label_selectivity(self):
+        g = social_graph()
+        pattern, edge_map = encode_pattern(
+            nodes={"x": "person", "y": "person"},
+            triples=[("x", "follows", "y")],
+        )
+        result = match(pattern, g)
+        decoded = decode_edge_matches(result, edge_map)
+        assert decoded[("x", "follows", "y")] == {
+            ("ann", "bob"), ("bob", "cat"), ("cat", "ann"),
+        }
+
+    def test_different_label_different_matches(self):
+        g = social_graph()
+        pattern, edge_map = encode_pattern(
+            nodes={"x": "person", "y": "person"},
+            triples=[("x", "blocks", "y")],
+        )
+        decoded = decode_edge_matches(match(pattern, g), edge_map)
+        assert decoded[("x", "blocks", "y")] == {("ann", "dan")}
+
+    def test_two_hop_labeled_pattern(self):
+        g = social_graph()
+        pattern, edge_map = encode_pattern(
+            nodes={"x": "person", "y": "person", "z": "person"},
+            triples=[("x", "follows", "y"), ("y", "follows", "z")],
+        )
+        decoded = decode_edge_matches(match(pattern, g), edge_map)
+        # The follows-cycle makes every follows edge part of a 2-chain.
+        assert decoded[("x", "follows", "y")] == {
+            ("ann", "bob"), ("bob", "cat"), ("cat", "ann"),
+        }
+
+    def test_unmatched_label(self):
+        g = social_graph()
+        pattern, edge_map = encode_pattern(
+            nodes={"x": "person", "y": "person"},
+            triples=[("x", "admires", "y")],
+        )
+        result = match(pattern, g)
+        assert not result
+
+
+class TestViewsOverEncodedGraphs:
+    def test_matchjoin_on_edge_labeled_input(self):
+        """The whole view pipeline works on encoded graphs unchanged."""
+        g = social_graph()
+        query, edge_map = encode_pattern(
+            nodes={"x": "person", "y": "person", "z": "person"},
+            triples=[("x", "follows", "y"), ("y", "follows", "z")],
+        )
+        view_pattern, _ = encode_pattern(
+            nodes={"a": "person", "b": "person"},
+            triples=[("a", "follows", "b")],
+        )
+        views = ViewSet([ViewDefinition("follows", view_pattern)])
+        views.materialize(g)
+        containment = contains(query, views)
+        assert containment.holds
+        result = match_join(query, containment, views)
+        assert result.edge_matches == match(query, g).edge_matches
+        decoded = decode_edge_matches(result, edge_map)
+        assert ("ann", "bob") in decoded[("x", "follows", "y")]

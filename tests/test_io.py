@@ -1,0 +1,123 @@
+"""Tests for graph/pattern serialization and the SNAP reader."""
+
+import json
+
+import pytest
+
+from repro.graph import ANY, BoundedPattern, DataGraph, Label, P, Pattern
+from repro.graph.io import (
+    condition_from_json,
+    condition_to_json,
+    graph_from_edges,
+    graph_from_json,
+    graph_to_json,
+    pattern_from_json,
+    pattern_to_json,
+    read_graph,
+    read_pattern,
+    read_snap_edges,
+    write_graph,
+    write_pattern,
+)
+from repro.graph.conditions import TrueCondition
+
+
+class TestConditionRoundTrip:
+    @pytest.mark.parametrize(
+        "cond",
+        [
+            TrueCondition(),
+            Label("DBA"),
+            P("rate") >= 4,
+            ((P("C") == "Music") & (P("V") >= 10_000)).with_label("video"),
+        ],
+        ids=["true", "label", "atom", "conjunction"],
+    )
+    def test_round_trip(self, cond):
+        doc = condition_to_json(cond)
+        json.dumps(doc)  # must be JSON-serializable
+        assert condition_from_json(doc) == cond
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            condition_from_json({"kind": "mystery"})
+
+
+class TestGraphRoundTrip:
+    def make(self):
+        g = DataGraph()
+        g.add_node("x", labels=["A", "B"], attrs={"year": 2005, "venue": "ICDE"})
+        g.add_node("y", labels="C")
+        g.add_edge("x", "y")
+        g.add_edge("y", "x")
+        return g
+
+    def test_json_round_trip(self):
+        g = self.make()
+        doc = graph_to_json(g)
+        json.dumps(doc)
+        h = graph_from_json(doc)
+        assert set(h.edges()) == set(g.edges())
+        assert h.labels("x") == g.labels("x")
+        assert h.attrs("x") == g.attrs("x")
+
+    def test_file_round_trip(self, tmp_path):
+        g = self.make()
+        path = tmp_path / "graph.json"
+        write_graph(g, path)
+        h = read_graph(path)
+        assert set(h.edges()) == set(g.edges())
+
+
+class TestPatternRoundTrip:
+    def test_plain_pattern(self, tmp_path):
+        q = Pattern()
+        q.add_node("a", "A")
+        q.add_node("b", (P("rate") >= 4).with_label("video"))
+        q.add_edge("a", "b")
+        path = tmp_path / "q.json"
+        write_pattern(q, path)
+        r = read_pattern(path)
+        assert not isinstance(r, BoundedPattern)
+        assert set(r.edges()) == {("a", "b")}
+        assert r.condition("b") == q.condition("b")
+
+    def test_bounded_pattern(self, tmp_path):
+        q = BoundedPattern()
+        q.add_node("a", "A")
+        q.add_node("b", "B")
+        q.add_edge("a", "b", 3)
+        q.add_node("c", "C")
+        q.add_edge("b", "c", ANY)
+        path = tmp_path / "qb.json"
+        write_pattern(q, path)
+        r = read_pattern(path)
+        assert isinstance(r, BoundedPattern)
+        assert r.bound(("a", "b")) == 3
+        assert r.bound(("b", "c")) is ANY
+
+
+class TestSnapReader:
+    def test_reads_edge_list(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph\n"
+            "# FromNodeId\tToNodeId\n"
+            "0\t1\n"
+            "0\t2\n"
+            "1\t2\n"
+        )
+        edges = read_snap_edges(path)
+        assert edges == [("0", "1"), ("0", "2"), ("1", "2")]
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0 1\n1 2\n2 3\n")
+        assert len(read_snap_edges(path, limit=2)) == 2
+
+    def test_graph_from_edges_with_labeler(self):
+        edges = [("0", "1"), ("1", "2")]
+        g = graph_from_edges(edges, labeler=lambda n: "even" if int(n) % 2 == 0 else "odd")
+        assert g.num_edges == 2
+        assert g.labels("0") == frozenset({"even"})
+        assert g.labels("1") == frozenset({"odd"})

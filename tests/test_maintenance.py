@@ -1,0 +1,191 @@
+"""Tests for incremental view maintenance."""
+
+import random
+
+import pytest
+
+from repro.graph import BoundedPattern, DataGraph
+from repro.views import ViewDefinition
+from repro.views.maintenance import IncrementalView
+from repro.views.view import materialize
+
+from helpers import build_graph, build_pattern, random_labeled_graph
+
+
+def chain_view():
+    return ViewDefinition(
+        "chain", build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+    )
+
+
+class TestBasics:
+    def test_rejects_bounded_views(self):
+        q = BoundedPattern()
+        q.add_node("a", "A")
+        q.add_node("b", "B")
+        q.add_edge("a", "b", 2)
+        with pytest.raises(TypeError):
+            IncrementalView(ViewDefinition("b", q), DataGraph())
+
+    def test_initial_extension_matches_materialize(self):
+        g = build_graph({1: "A", 2: "B", 3: "B"}, [(1, 2), (1, 3)])
+        tracker = IncrementalView(chain_view(), g)
+        fresh = materialize(chain_view(), g)
+        assert tracker.extension().edge_matches == fresh.edge_matches
+
+    def test_tracker_owns_graph_copy(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        tracker = IncrementalView(chain_view(), g)
+        g.remove_edge(1, 2)  # external mutation must not desync tracker
+        assert tracker.extension().num_pairs == 1
+
+
+class TestDeletion:
+    def test_single_deletion(self):
+        g = build_graph({1: "A", 2: "B", 3: "B"}, [(1, 2), (1, 3)])
+        tracker = IncrementalView(chain_view(), g)
+        tracker.delete_edge(1, 2)
+        assert tracker.extension().pairs_of(("a", "b")) == {(1, 3)}
+
+    def test_deletion_cascade(self):
+        view = ViewDefinition(
+            "chain3",
+            build_pattern(
+                {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+            ),
+        )
+        g = build_graph({1: "A", 2: "B", 3: "C"}, [(1, 2), (2, 3)])
+        tracker = IncrementalView(view, g)
+        assert tracker.extension().num_pairs == 2
+        # Deleting b->c invalidates node 2 as a match of "b", which in
+        # turn kills the (1,2) pair of edge (a,b).
+        tracker.delete_edge(2, 3)
+        assert tracker.extension().is_empty
+
+    def test_deletion_to_empty_then_more_deletions(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        tracker = IncrementalView(chain_view(), g)
+        tracker.delete_edge(1, 2)
+        assert tracker.extension().is_empty
+        tracker.delete_edge(2, 1)  # must not crash on an empty view
+        assert tracker.extension().is_empty
+
+
+class TestInsertion:
+    def test_relevant_insertion_adds_matches(self):
+        g = build_graph({1: "A", 2: "B", 3: "B"}, [(1, 2)])
+        tracker = IncrementalView(chain_view(), g)
+        tracker.insert_edge(1, 3)
+        assert tracker.extension().pairs_of(("a", "b")) == {(1, 2), (1, 3)}
+
+    def test_irrelevant_insertion_is_noop(self):
+        g = build_graph({1: "A", 2: "B", 3: "C", 4: "C"}, [(1, 2)])
+        tracker = IncrementalView(chain_view(), g)
+        before = tracker.extension().edge_matches
+        tracker.insert_edge(3, 4)  # C->C cannot touch an A->B view
+        assert tracker.extension().edge_matches == before
+
+    def test_insertion_revives_empty_view(self):
+        g = build_graph({1: "A", 2: "B"}, [])
+        tracker = IncrementalView(chain_view(), g)
+        assert tracker.extension().is_empty
+        tracker.insert_edge(1, 2)
+        assert tracker.extension().pairs_of(("a", "b")) == {(1, 2)}
+
+    def test_duplicate_insertion_ignored(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        tracker = IncrementalView(chain_view(), g)
+        tracker.insert_edge(1, 2)
+        assert tracker.extension().num_pairs == 1
+
+
+class TestIncrementalViewSet:
+    def make(self):
+        from repro.views.maintenance import IncrementalViewSet
+
+        g = build_graph(
+            {1: "A", 2: "B", 3: "C", 4: "B"},
+            [(1, 2), (2, 3), (1, 4)],
+        )
+        definitions = [
+            ViewDefinition("ab", build_pattern({"a": "A", "b": "B"}, [("a", "b")])),
+            ViewDefinition("bc", build_pattern({"b": "B", "c": "C"}, [("b", "c")])),
+        ]
+        return g, IncrementalViewSet(definitions, g)
+
+    def test_initial_snapshot(self):
+        g, tracked = self.make()
+        snapshot = tracked.as_viewset()
+        for definition in snapshot:
+            fresh = materialize(definition, g)
+            assert snapshot.extension(definition.name).edge_matches == fresh.edge_matches
+
+    def test_shared_deletion_updates_all_views(self):
+        g, tracked = self.make()
+        tracked.delete_edge(2, 3)
+        g.remove_edge(2, 3)
+        assert tracked.extension("bc").is_empty
+        assert tracked.extension("ab").pairs_of(("a", "b")) == {(1, 2), (1, 4)}
+
+    def test_shared_insertion(self):
+        g, tracked = self.make()
+        tracked.insert_edge(4, 3)
+        g.add_edge(4, 3)
+        assert tracked.extension("bc").pairs_of(("b", "c")) == {(2, 3), (4, 3)}
+
+    def test_update_stream_matches_rematerialization(self):
+        import random
+
+        from repro.views.maintenance import IncrementalViewSet
+
+        rng = random.Random(11)
+        g = random_labeled_graph(rng, 25, 70)
+        definitions = [
+            ViewDefinition("v1", build_pattern({"x": "A", "y": "B"}, [("x", "y")])),
+            ViewDefinition(
+                "v2",
+                build_pattern({"x": "B", "y": "C", "z": "A"}, [("x", "y"), ("y", "z")]),
+            ),
+        ]
+        tracked = IncrementalViewSet(definitions, g)
+        for _ in range(30):
+            if rng.random() < 0.5 and g.num_edges:
+                edge = rng.choice(list(g.edges()))
+                g.remove_edge(*edge)
+                tracked.delete_edge(*edge)
+            else:
+                a, b = rng.randrange(25), rng.randrange(25)
+                if a == b or g.has_edge(a, b):
+                    continue
+                g.add_edge(a, b)
+                tracked.insert_edge(a, b)
+        for definition in definitions:
+            fresh = materialize(definition, g)
+            assert tracked.extension(definition.name).edge_matches == fresh.edge_matches
+
+
+class TestAgainstRematerialization:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_update_streams(self, seed):
+        rng = random.Random(seed)
+        g = random_labeled_graph(rng, 30, 80)
+        view = ViewDefinition(
+            "v",
+            build_pattern(
+                {"x": "A", "y": "B", "z": "C"}, [("x", "y"), ("y", "z")]
+            ),
+        )
+        tracker = IncrementalView(view, g)
+        for _ in range(40):
+            if rng.random() < 0.5 and g.num_edges:
+                edge = rng.choice(list(g.edges()))
+                g.remove_edge(*edge)
+                tracker.delete_edge(*edge)
+            else:
+                a, b = rng.randrange(30), rng.randrange(30)
+                if a == b or g.has_edge(a, b):
+                    continue
+                g.add_edge(a, b)
+                tracker.insert_edge(a, b)
+            fresh = materialize(view, g)
+            assert tracker.extension().edge_matches == fresh.edge_matches

@@ -1,0 +1,112 @@
+"""Tests for minimal and minimum containment (Examples 6 and 7)."""
+
+import random
+
+import pytest
+
+from repro.core.containment import contains
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views, minimum_views_exact
+from repro.views import ViewDefinition
+
+from helpers import build_pattern
+from test_containment import fig4_query, fig4_views
+
+
+class TestMinimalFig4:
+    def test_example_6(self):
+        """minimal sees V1..V4 cover Qs, then drops the redundant V1."""
+        result = minimal_views(fig4_query(), fig4_views())
+        assert result.holds
+        assert set(result.views_used()) == {"V2", "V3", "V4"}
+
+    def test_minimality_property(self):
+        result = minimal_views(fig4_query(), fig4_views())
+        chosen = [v for v in fig4_views() if v.name in result.views_used()]
+        # Dropping any one chosen view must break containment.
+        for leave_out in result.views_used():
+            remaining = [v for v in chosen if v.name != leave_out]
+            assert not contains(fig4_query(), remaining).holds
+
+    def test_mapping_restricted_to_selection(self):
+        result = minimal_views(fig4_query(), fig4_views())
+        names = set(result.views_used())
+        for refs in result.mapping.values():
+            assert {name for name, _ in refs} <= names
+
+    def test_not_contained_returns_partial(self):
+        views = [v for v in fig4_views() if v.name in ("V1", "V3")]
+        result = minimal_views(fig4_query(), views)
+        assert not result.holds
+        assert ("B", "E") in result.uncovered
+
+
+class TestMinimumFig4:
+    def test_example_7(self):
+        """Greedy picks V6 (covers 3 edges) then V5; {V5, V6} contains Qs."""
+        result = minimum_views(fig4_query(), fig4_views())
+        assert result.holds
+        assert set(result.views_used()) == {"V5", "V6"}
+
+    def test_minimum_no_bigger_than_minimal_here(self):
+        q = fig4_query()
+        assert len(minimum_views(q, fig4_views()).views_used()) <= len(
+            minimal_views(q, fig4_views()).views_used()
+        )
+
+    def test_exact_optimum_is_two(self):
+        result = minimum_views_exact(fig4_query(), fig4_views())
+        assert result is not None
+        assert len(result.views_used()) == 2
+
+    def test_not_contained(self):
+        views = [v for v in fig4_views() if v.name == "V1"]
+        assert not minimum_views(fig4_query(), views).holds
+        assert minimum_views_exact(fig4_query(), views) is None
+
+
+class TestGreedyGuarantee:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_log_approximation_bound(self, seed):
+        """card(greedy) <= ceil(log2(|Ep|)+1) * card(OPT) on random instances."""
+        import math
+
+        rng = random.Random(seed)
+        labels = "ABCDEF"
+        q = build_pattern(
+            {i: rng.choice(labels) for i in range(5)},
+            [(i, (i + 1) % 5) for i in range(5)] + [(0, 2), (1, 3)],
+        )
+        views = []
+        edges = q.edges()
+        for i in range(8):
+            chosen = rng.sample(edges, rng.randint(1, len(edges)))
+            try:
+                sub = q.subpattern(chosen)
+                views.append(ViewDefinition(f"W{i}", sub))
+            except KeyError:  # pragma: no cover
+                continue
+        full = contains(q, views)
+        if not full.holds:
+            pytest.skip("random views do not cover the query")
+        greedy = minimum_views(q, views)
+        exact = minimum_views_exact(q, views)
+        assert greedy.holds and exact is not None
+        bound = (math.log2(q.num_edges) + 1) * len(exact.views_used())
+        assert len(greedy.views_used()) <= bound
+
+
+class TestSubpatternViewsAlwaysContain:
+    def test_edge_partition_covers(self):
+        q = fig4_query()
+        edges = q.edges()
+        views = [
+            ViewDefinition(f"E{i}", q.subpattern([edge]))
+            for i, edge in enumerate(edges)
+        ]
+        result = contains(q, views)
+        assert result.holds
+        minimal = minimal_views(q, views)
+        # Single-edge views of distinct label pairs are all needed.
+        assert minimal.holds
+        assert len(minimal.views_used()) == len(edges)

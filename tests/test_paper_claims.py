@@ -1,0 +1,151 @@
+"""Integration tests pinning the paper's qualitative claims at small scale.
+
+These run the real dataset generators + view suites + query workloads
+(scaled down for test speed) and assert the *claims* the evaluation
+makes, so a regression in any layer shows up as a broken claim rather
+than a silent benchmark drift.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import timed
+from repro.core.bounded.bcontainment import bounded_contains
+from repro.core.bounded.bminimal import bounded_minimal_views
+from repro.core.bounded.bmatchjoin import bounded_match_join
+from repro.core.containment import contains
+from repro.core.matchjoin import match_join
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views
+from repro.datasets import (
+    amazon_graph,
+    amazon_views,
+    citation_graph,
+    citation_views,
+    query_from_views,
+    youtube_graph,
+    youtube_views,
+)
+from repro.bench.workloads import bounded_suite
+from repro.simulation import bounded_match, match
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    graph = amazon_graph(8000, 24000, seed=5)
+    views = amazon_views()
+    views.materialize(graph)
+    return graph, views
+
+
+@pytest.fixture(scope="module")
+def citation():
+    graph = citation_graph(8000, 20000, seed=5)
+    views = citation_views()
+    views.materialize(graph)
+    return graph, views
+
+
+@pytest.fixture(scope="module")
+def youtube():
+    graph = youtube_graph(8000, 23000, seed=5)
+    views = youtube_views()
+    views.materialize(graph)
+    return graph, views
+
+
+class TestTheorem1OnDatasets:
+    """MatchJoin == Match on every dataset for stitched workloads."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_amazon(self, amazon, seed):
+        graph, views = amazon
+        query = query_from_views(views, 5, 8, seed=seed)
+        containment = contains(query, views)
+        assert containment.holds
+        assert (
+            match_join(query, containment, views).edge_matches
+            == match(query, graph).edge_matches
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_citation(self, citation, seed):
+        graph, views = citation
+        query = query_from_views(views, 5, 8, seed=seed, require_dag=True)
+        containment = contains(query, views)
+        assert containment.holds
+        assert (
+            match_join(query, containment, views).edge_matches
+            == match(query, graph).edge_matches
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_youtube(self, youtube, seed):
+        graph, views = youtube
+        query = query_from_views(views, 5, 8, seed=seed)
+        containment = contains(query, views)
+        assert containment.holds
+        assert (
+            match_join(query, containment, views).edge_matches
+            == match(query, graph).edge_matches
+        )
+
+
+class TestTheorem8OnDatasets:
+    def test_bounded_amazon(self, amazon):
+        graph, plain_views = amazon
+        views = bounded_suite(plain_views, 2, tag="claims-amazon")
+        views.materialize(graph)
+        query = query_from_views(views, 4, 6, seed=1)
+        containment = bounded_contains(query, views)
+        assert containment.holds
+        minimal = bounded_minimal_views(query, views)
+        assert (
+            bounded_match_join(query, minimal, views).edge_matches
+            == bounded_match(query, graph).edge_matches
+        )
+
+
+class TestPerformanceClaims:
+    """Directional performance claims -- generous margins so CI noise
+    cannot flake them, but a complexity regression still trips them."""
+
+    def test_matchjoin_beats_match_on_youtube(self, youtube):
+        graph, views = youtube
+        query = query_from_views(views, 5, 8, seed=0)
+        containment = minimal_views(query, views)
+        t_match = timed(match, query, graph, repeat=2)
+        t_join = timed(match_join, query, containment, views, repeat=2)
+        assert t_join < t_match
+
+    def test_containment_analysis_under_budget(self, youtube):
+        """Paper: containment checking takes < 0.5s on complex patterns."""
+        graph, views = youtube
+        query = query_from_views(views, 8, 12, seed=2)
+        start = time.perf_counter()
+        minimal_views(query, views)
+        minimum_views(query, views)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.5
+
+    def test_extension_fraction_below_one(self, amazon, citation, youtube):
+        """V(G) is (much) smaller than G on every dataset."""
+        for graph, views in (amazon, citation, youtube):
+            assert views.extension_fraction(graph) < 0.8
+
+    def test_minimum_never_larger_than_minimal_on_suites(self, youtube):
+        graph, views = youtube
+        for seed in range(4):
+            query = query_from_views(views, 5, 8, seed=seed)
+            n_min = len(minimum_views(query, views).views_used())
+            n_mnl = len(minimal_views(query, views).views_used())
+            assert n_min <= n_mnl
+
+    def test_views_used_in_paper_band(self, youtube):
+        """Paper: 3-6 views answer a YouTube query."""
+        graph, views = youtube
+        for seed in range(4):
+            query = query_from_views(views, 5, 8, seed=seed)
+            used = len(minimum_views(query, views).views_used())
+            assert 1 <= used <= 6

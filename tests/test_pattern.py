@@ -1,0 +1,173 @@
+"""Unit tests for Pattern and BoundedPattern."""
+
+import pytest
+
+from repro.graph import ANY, BoundedPattern, Label, Pattern
+from repro.graph.pattern import bound_le, check_bound
+
+
+def diamond():
+    q = Pattern()
+    q.add_node("a", "A")
+    q.add_node("b", "B")
+    q.add_node("c", "C")
+    q.add_node("d", "D")
+    q.add_edge("a", "b")
+    q.add_edge("a", "c")
+    q.add_edge("b", "d")
+    q.add_edge("c", "d")
+    return q
+
+
+class TestPattern:
+    def test_sizes(self):
+        q = diamond()
+        assert q.num_nodes == 4
+        assert q.num_edges == 4
+        assert q.size == 8
+
+    def test_condition_coercion(self):
+        q = diamond()
+        assert q.condition("a") == Label("A")
+
+    def test_edge_requires_known_nodes(self):
+        q = Pattern()
+        q.add_node("a", "A")
+        with pytest.raises(KeyError):
+            q.add_edge("a", "ghost")
+        with pytest.raises(KeyError):
+            q.add_edge("ghost", "a")
+
+    def test_adjacency(self):
+        q = diamond()
+        assert q.successors("a") == {"b", "c"}
+        assert q.predecessors("d") == {"b", "c"}
+        assert set(q.out_edges("a")) == {("a", "b"), ("a", "c")}
+        assert set(q.in_edges("d")) == {("b", "d"), ("c", "d")}
+
+    def test_edge_set(self):
+        assert ("a", "b") in diamond().edge_set()
+
+    def test_duplicate_edge_ignored(self):
+        q = diamond()
+        q.add_edge("a", "b")
+        assert q.num_edges == 4
+
+    def test_isolated_nodes(self):
+        q = diamond()
+        q.add_node("lonely", "L")
+        assert q.isolated_nodes() == ["lonely"]
+        assert not q.is_connected()
+
+    def test_connectivity(self):
+        assert diamond().is_connected()
+
+    def test_copy_independent(self):
+        q = diamond()
+        r = q.copy()
+        r.add_node("e", "E")
+        r.add_edge("d", "e")
+        assert "e" not in q
+        assert q.num_edges == 4
+
+    def test_subpattern(self):
+        q = diamond()
+        sub = q.subpattern([("a", "b"), ("b", "d")])
+        assert set(sub.nodes()) == {"a", "b", "d"}
+        assert sub.num_edges == 2
+        assert sub.condition("b") == Label("B")
+
+    def test_subpattern_rejects_non_edges(self):
+        with pytest.raises(KeyError):
+            diamond().subpattern([("a", "d")])
+
+
+class TestBounds:
+    def test_check_bound_accepts_positive_ints(self):
+        assert check_bound(3) == 3
+        assert check_bound(ANY) is ANY
+
+    def test_check_bound_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            check_bound(0)
+        with pytest.raises(ValueError):
+            check_bound(-2)
+        with pytest.raises(ValueError):
+            check_bound(True)
+        with pytest.raises(ValueError):
+            check_bound("3")
+
+    def test_bound_partial_order(self):
+        assert bound_le(1, 2)
+        assert bound_le(2, 2)
+        assert not bound_le(3, 2)
+        assert bound_le(5, ANY)
+        assert bound_le(ANY, ANY)
+        assert not bound_le(ANY, 100)
+
+    def test_any_is_singleton(self):
+        from repro.graph.pattern import _Any
+
+        assert _Any() is ANY
+
+    def test_any_repr(self):
+        assert repr(ANY) == "*"
+
+
+class TestBoundedPattern:
+    def make(self):
+        q = BoundedPattern()
+        q.add_node("a", "A")
+        q.add_node("b", "B")
+        q.add_node("c", "C")
+        q.add_edge("a", "b", 2)
+        q.add_edge("b", "c", ANY)
+        return q
+
+    def test_bounds(self):
+        q = self.make()
+        assert q.bound(("a", "b")) == 2
+        assert q.bound(("b", "c")) is ANY
+        assert q.bounds() == {("a", "b"): 2, ("b", "c"): ANY}
+
+    def test_default_bound_is_one(self):
+        q = BoundedPattern()
+        q.add_node("a", "A")
+        q.add_node("b", "B")
+        q.add_edge("a", "b")
+        assert q.bound(("a", "b")) == 1
+
+    def test_max_finite_bound(self):
+        q = self.make()
+        assert q.max_finite_bound() == 2
+
+    def test_has_unbounded_edge(self):
+        assert self.make().has_unbounded_edge()
+
+    def test_promotion_from_pattern(self):
+        q = diamond().bounded(default=3)
+        assert isinstance(q, BoundedPattern)
+        assert q.bound(("a", "b")) == 3
+        assert q.num_edges == 4
+
+    def test_bounded_of_bounded_copies(self):
+        q = self.make()
+        r = q.bounded()
+        assert r is not q
+        assert r.bounds() == q.bounds()
+
+    def test_unbounded_pattern_drops_bounds(self):
+        q = self.make()
+        plain = q.unbounded_pattern()
+        assert not isinstance(plain, BoundedPattern)
+        assert set(plain.edges()) == set(q.edges())
+
+    def test_subpattern_keeps_bounds(self):
+        q = self.make()
+        sub = q.subpattern([("b", "c")])
+        assert sub.bound(("b", "c")) is ANY
+
+    def test_copy_keeps_bounds(self):
+        q = self.make()
+        r = q.copy()
+        assert r.bounds() == q.bounds()

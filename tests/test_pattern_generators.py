@@ -1,0 +1,97 @@
+"""Edge-case tests for the named view shapes and pattern generators."""
+
+import pytest
+
+from repro.datasets.patterns import (
+    chain_view,
+    cycle_view,
+    diamond_view,
+    star_view,
+)
+from repro.graph import ANY, BoundedPattern
+
+
+class TestShapeHelpers:
+    def test_chain_plain(self):
+        view = chain_view("c", ["A", "B", "C"])
+        assert view.pattern.num_nodes == 3
+        assert view.pattern.num_edges == 2
+        assert not view.is_bounded
+
+    def test_chain_bounded(self):
+        view = chain_view("c", ["A", "B"], bounds=[3])
+        assert view.is_bounded
+        assert view.pattern.bound(("n0", "n1")) == 3
+
+    def test_chain_too_short(self):
+        with pytest.raises(ValueError):
+            chain_view("c", ["A"])
+
+    def test_star(self):
+        view = star_view("s", "A", ["B", "C", "D"])
+        assert view.pattern.num_edges == 3
+        assert view.pattern.out_edges("c")
+
+    def test_star_bounded(self):
+        view = star_view("s", "A", ["B", "C"], bounds=[1, ANY])
+        assert view.pattern.bound(("c", "leaf1")) is ANY
+
+    def test_cycle(self):
+        view = cycle_view("y", ["A", "B", "C"])
+        pattern = view.pattern
+        assert pattern.num_edges == 3
+        # Every node has in- and out-degree 1.
+        for node in pattern.nodes():
+            assert len(pattern.successors(node)) == 1
+            assert len(pattern.predecessors(node)) == 1
+
+    def test_cycle_too_short(self):
+        with pytest.raises(ValueError):
+            cycle_view("y", ["A"])
+
+    def test_diamond(self):
+        view = diamond_view("d", "A", "B", "C", "D")
+        pattern = view.pattern
+        assert pattern.num_nodes == 4
+        assert pattern.num_edges == 4
+        assert pattern.successors("t") == {"l", "r"}
+        assert pattern.predecessors("b") == {"l", "r"}
+
+    def test_shapes_accept_condition_objects(self):
+        from repro.graph import P
+
+        cond = (P("rating") >= 4).with_label("Book")
+        view = chain_view("c", [cond, cond])
+        assert view.pattern.condition("n0") == cond
+
+
+class TestQueryFromViewsMergeSemantics:
+    def test_merged_bounded_edges_keep_tighter_bound(self):
+        """When two copies collapse onto the same edge the tighter bound
+        survives (coverage stays per-edge exact)."""
+        from repro.datasets.patterns import _merged_pattern
+
+        q = BoundedPattern()
+        q.add_node("x1", "X")
+        q.add_node("x2", "X")
+        q.add_node("y", "Y")
+        q.add_edge("x1", "y", 2)
+        q.add_edge("x2", "y", 5)
+        merged = _merged_pattern(q, "x1", "x2")
+        assert merged.num_nodes == 2
+        assert merged.bound(("x1", "y")) == 2
+
+    def test_merge_maps_edges_through_survivor(self):
+        from repro.datasets.patterns import _merged_pattern
+
+        q = BoundedPattern()
+        q.add_node("a", "A")
+        q.add_node("b1", "B")
+        q.add_node("b2", "B")
+        q.add_node("c", "C")
+        q.add_edge("a", "b1", 1)
+        q.add_edge("b2", "c", 3)
+        merged = _merged_pattern(q, "b1", "b2")
+        assert merged.has_edge("a", "b1")
+        assert merged.has_edge("b1", "c")
+        assert merged.bound(("b1", "c")) == 3

@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central properties, each quantified over random graphs, patterns
+and view sets:
+
+* the engines compute the unique *maximum* (bounded) simulation;
+* Theorem 1: whenever ``Q ⊑ V``, MatchJoin over ``V(G)`` equals Match
+  over ``G`` -- for plain, bounded, optimized and naive engines;
+* Proposition 7 coverage is sound: every λ target's extension really
+  contains the covered edge's matches;
+* minimal subsets are minimal; greedy minimum subsets contain the query;
+* condition implication is sound on concrete attribute values.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.containment import contains
+from repro.core.matchjoin import match_join
+from repro.core.minimal import minimal_views
+from repro.core.minimum import minimum_views
+from repro.core.bounded.bcontainment import bounded_contains
+from repro.core.bounded.bmatchjoin import bounded_match_join
+from repro.graph import ANY, BoundedPattern, DataGraph
+from repro.graph.conditions import Atom, AttributeCondition, implies
+from repro.simulation import bounded_match, match
+from repro.views import ViewDefinition, ViewSet
+
+from helpers import (
+    random_labeled_graph,
+    random_pattern,
+    reference_bounded_simulation,
+    reference_simulation,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def make_instance(seed: int, bounded: bool = False):
+    rng = random.Random(seed)
+    graph = random_labeled_graph(rng, rng.randint(4, 25), rng.randint(4, 70))
+    base = random_pattern(rng, rng.randint(2, 5), rng.randint(1, 7))
+    if not bounded:
+        return rng, graph, base
+    pattern = BoundedPattern()
+    for node in base.nodes():
+        pattern.add_node(node, base.condition(node))
+    for source, target in base.edges():
+        pattern.add_edge(source, target, rng.choice([1, 2, 3, ANY]))
+    return rng, graph, pattern
+
+
+# ----------------------------------------------------------------------
+# Engine maximality
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_match_equals_reference_fixpoint(seed):
+    _, graph, pattern = make_instance(seed)
+    expected = reference_simulation(pattern, graph)
+    result = match(pattern, graph)
+    if expected is None:
+        assert not result
+    else:
+        assert result.node_matches == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_bounded_match_equals_reference_fixpoint(seed):
+    _, graph, pattern = make_instance(seed, bounded=True)
+    expected = reference_bounded_simulation(pattern, graph)
+    result = bounded_match(pattern, graph)
+    if expected is None:
+        assert not result
+    else:
+        assert result.node_matches == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_match_result_is_simulation(seed):
+    """Every returned relation actually satisfies the simulation
+    conditions (the 'is a simulation' half of maximality)."""
+    _, graph, pattern = make_instance(seed)
+    result = match(pattern, graph)
+    if not result:
+        return
+    for u in pattern.nodes():
+        for v in result.node_matches[u]:
+            assert pattern.condition(u).matches(graph.labels(v), graph.attrs(v))
+            for u1 in pattern.successors(u):
+                assert any(
+                    w in result.node_matches[u1] for w in graph.successors(v)
+                )
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 end to end
+# ----------------------------------------------------------------------
+def edge_views(pattern, rng):
+    views = ViewSet()
+    for i, edge in enumerate(pattern.edges()):
+        views.add(ViewDefinition(f"E{i}", pattern.subpattern([edge])))
+    edges = pattern.edges()
+    if len(edges) >= 2 and rng.random() < 0.5:
+        views.add(ViewDefinition("PAIR", pattern.subpattern(rng.sample(edges, 2))))
+    return views
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds, optimized=st.booleans())
+def test_theorem1_matchjoin_equals_match(seed, optimized):
+    rng, graph, pattern = make_instance(seed)
+    views = edge_views(pattern, rng)
+    containment = contains(pattern, views)
+    assert containment.holds
+    views.materialize(graph)
+    direct = match(pattern, graph)
+    result = match_join(pattern, containment, views, optimized=optimized)
+    assert result.edge_matches == direct.edge_matches
+
+
+@settings(max_examples=35, deadline=None)
+@given(seed=seeds, optimized=st.booleans())
+def test_theorem8_bounded_matchjoin_equals_bmatch(seed, optimized):
+    rng, graph, pattern = make_instance(seed, bounded=True)
+    views = edge_views(pattern, rng)
+    containment = bounded_contains(pattern, views)
+    assert containment.holds
+    views.materialize(graph)
+    direct = bounded_match(pattern, graph)
+    result = bounded_match_join(pattern, containment, views, optimized=optimized)
+    assert result.edge_matches == direct.edge_matches
+
+
+# ----------------------------------------------------------------------
+# Proposition 7 coverage soundness
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_lambda_coverage_is_sound(seed):
+    """For every λ entry (e -> view edge), every match of e in a random
+    graph lies in that view edge's extension -- the defining property of
+    pattern containment."""
+    rng, graph, pattern = make_instance(seed)
+    views = edge_views(pattern, rng)
+    containment = contains(pattern, views)
+    views.materialize(graph)
+    direct = match(pattern, graph)
+    if not direct:
+        return
+    for edge, refs in containment.mapping.items():
+        union = set()
+        for view_name, view_edge in refs:
+            union |= views.extension(view_name).pairs_of(view_edge)
+        assert direct.edge_matches[edge] <= union
+
+
+# ----------------------------------------------------------------------
+# minimal / minimum structure
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_minimal_subset_is_minimal(seed):
+    rng, _, pattern = make_instance(seed)
+    views = edge_views(pattern, rng)
+    minimal = minimal_views(pattern, views)
+    assert minimal.holds
+    chosen = [v for v in views if v.name in minimal.views_used()]
+    for leave_out in minimal.views_used():
+        remaining = [v for v in chosen if v.name != leave_out]
+        assert not contains(pattern, remaining).holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_minimum_contains_query(seed):
+    rng, _, pattern = make_instance(seed)
+    views = edge_views(pattern, rng)
+    minimum = minimum_views(pattern, views)
+    assert minimum.holds
+    chosen = [v for v in views if v.name in minimum.views_used()]
+    assert contains(pattern, chosen).holds
+
+
+# ----------------------------------------------------------------------
+# Serialization round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_graph_json_round_trip(seed):
+    from repro.graph.io import graph_from_json, graph_to_json
+
+    rng, graph, _ = make_instance(seed)
+    for node in list(graph.nodes())[:5]:
+        graph.add_node(node, attrs={"score": rng.randint(0, 10)})
+    back = graph_from_json(graph_to_json(graph))
+    assert set(back.edges()) == set(graph.edges())
+    assert all(back.labels(n) == graph.labels(n) for n in graph.nodes())
+    assert all(back.attrs(n) == graph.attrs(n) for n in graph.nodes())
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, bounded=st.booleans())
+def test_pattern_json_round_trip(seed, bounded):
+    from repro.graph.io import pattern_from_json, pattern_to_json
+
+    _, _, pattern = make_instance(seed, bounded=bounded)
+    back = pattern_from_json(pattern_to_json(pattern))
+    assert set(back.edges()) == set(pattern.edges())
+    assert all(back.condition(n) == pattern.condition(n) for n in pattern.nodes())
+    if bounded:
+        assert back.bounds() == pattern.bounds()
+
+
+# ----------------------------------------------------------------------
+# Workload generator invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, bounded=st.booleans())
+def test_query_from_views_always_contained(seed, bounded):
+    from repro.datasets import generate_views, query_from_views
+
+    labels = tuple(f"l{i}" for i in range(6))
+    views = generate_views(labels, 10, seed=seed % 50, bounded=bounded)
+    query = query_from_views(views, 4, 6, seed=seed)
+    checker = bounded_contains if bounded else contains
+    assert checker(query, views).holds
+
+
+# ----------------------------------------------------------------------
+# Condition implication soundness
+# ----------------------------------------------------------------------
+_ops = st.sampled_from(["==", "!=", "<=", ">=", "<", ">"])
+_vals = st.integers(min_value=-5, max_value=5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(op1=_ops, v1=_vals, op2=_ops, v2=_vals, probe=_vals)
+def test_atom_implication_sound(op1, v1, op2, v2, probe):
+    """If implies(a, b) then every attribute value satisfying a
+    satisfies b."""
+    a = AttributeCondition((Atom("x", op1, v1),))
+    b = AttributeCondition((Atom("x", op2, v2),))
+    if implies(a, b):
+        attrs = {"x": probe}
+        if a.matches(frozenset(), attrs):
+            assert b.matches(frozenset(), attrs)

@@ -1,0 +1,86 @@
+"""Tests for MatchResult and graph statistics."""
+
+import pytest
+
+from repro.graph.stats import graph_stats, size_fraction
+from repro.simulation.result import MatchResult, edge_matches_from_nodes
+
+from helpers import build_graph
+
+
+class TestMatchResult:
+    def make(self):
+        return MatchResult(
+            node_matches={"a": {1}, "b": {2, 3}},
+            edge_matches={("a", "b"): {(1, 2), (1, 3)}},
+        )
+
+    def test_bool(self):
+        assert self.make()
+        assert not MatchResult.empty()
+
+    def test_sizes(self):
+        result = self.make()
+        assert result.result_size == 2
+        assert result.total_node_matches() == 3
+
+    def test_accessors(self):
+        result = self.make()
+        assert result.matches_of("a") == {1}
+        assert result.matches_of("ghost") == set()
+        assert result.edge_matches_of(("a", "b")) == {(1, 2), (1, 3)}
+        assert result.edge_matches_of(("x", "y")) == set()
+
+    def test_relation(self):
+        assert self.make().as_relation() == {("a", 1), ("b", 2), ("b", 3)}
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        assert self.make() != MatchResult.empty()
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(self.make())
+
+    def test_table_and_pretty(self):
+        result = self.make()
+        table = result.to_table()
+        assert table[0][0] == ("a", "b")
+        assert "a -> b" in result.pretty()
+
+    def test_repr(self):
+        assert "pairs=2" in repr(self.make())
+        assert repr(MatchResult.empty()) == "MatchResult(empty)"
+
+    def test_edge_matches_from_nodes(self):
+        g = build_graph({1: "A", 2: "B", 3: "B"}, [(1, 2), (1, 3), (2, 3)])
+        node_matches = {"a": {1}, "b": {2, 3}}
+        em = edge_matches_from_nodes([("a", "b")], node_matches, g.successors)
+        assert em[("a", "b")] == {(1, 2), (1, 3)}
+
+
+class TestGraphStats:
+    def test_basic(self):
+        g = build_graph({1: "A", 2: "A", 3: "B"}, [(1, 2), (1, 3), (2, 3)])
+        stats = graph_stats(g)
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 3
+        assert stats.size == 6
+        assert stats.label_counts == {"A": 2, "B": 1}
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.avg_out_degree == pytest.approx(1.0)
+
+    def test_empty(self):
+        from repro.graph import DataGraph
+
+        stats = graph_stats(DataGraph())
+        assert stats.size == 0
+        assert stats.avg_out_degree == 0.0
+
+    def test_size_fraction(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        assert size_fraction(1, g) == pytest.approx(1 / 3)
+        from repro.graph import DataGraph
+
+        assert size_fraction(5, DataGraph()) == 0.0

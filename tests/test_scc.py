@@ -1,0 +1,143 @@
+"""Unit tests for SCC computation and the rank machinery."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import DataGraph, Pattern
+from repro.graph.scc import (
+    condensation,
+    edge_ranks,
+    is_dag,
+    node_ranks,
+    nontrivial_scc_nodes,
+    tarjan_scc,
+)
+
+
+def cyclic_pattern():
+    q = Pattern()
+    for n, l in [("pm", "PM"), ("d1", "DBA"), ("d2", "DBA"), ("p1", "PRG"), ("p2", "PRG")]:
+        q.add_node(n, l)
+    for e in [("pm", "d1"), ("pm", "p2"), ("d1", "p1"), ("p1", "d2"), ("d2", "p2"), ("p2", "d1")]:
+        q.add_edge(*e)
+    return q
+
+
+class TestTarjan:
+    def test_single_node(self):
+        g = DataGraph()
+        g.add_node(1)
+        assert tarjan_scc(g) == [[1]]
+
+    def test_simple_cycle(self):
+        g = DataGraph(edges=[(1, 2), (2, 3), (3, 1)])
+        comps = tarjan_scc(g)
+        assert len(comps) == 1
+        assert set(comps[0]) == {1, 2, 3}
+
+    def test_chain_reverse_topological(self):
+        g = DataGraph(edges=[(1, 2), (2, 3)])
+        comps = tarjan_scc(g)
+        assert [set(c) for c in comps] == [{3}, {2}, {1}]
+
+    def test_matches_networkx_on_random_graphs(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(2, 30)
+            edges = {
+                (rng.randrange(n), rng.randrange(n)) for _ in range(rng.randint(1, 80))
+            }
+            g = DataGraph()
+            for i in range(n):
+                g.add_node(i)
+            g.add_edges_from(edges)
+            mine = {frozenset(c) for c in tarjan_scc(g)}
+            nxg = nx.DiGraph()
+            nxg.add_nodes_from(range(n))
+            nxg.add_edges_from(edges)
+            theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+            assert mine == theirs
+
+    def test_deep_graph_no_recursion_error(self):
+        n = 50_000
+        g = DataGraph(edges=[(i, i + 1) for i in range(n)])
+        assert len(tarjan_scc(g)) == n + 1
+
+
+class TestCondensation:
+    def test_condensation_edges(self):
+        g = DataGraph(edges=[(1, 2), (2, 1), (2, 3)])
+        comp_of, succ = condensation(g)
+        assert comp_of[1] == comp_of[2] != comp_of[3]
+        assert succ[comp_of[1]] == {comp_of[3]}
+        assert succ[comp_of[3]] == set()
+
+
+class TestRanks:
+    def test_chain_ranks(self):
+        q = Pattern()
+        for n in "abc":
+            q.add_node(n, n.upper())
+        q.add_edge("a", "b")
+        q.add_edge("b", "c")
+        ranks = node_ranks(q)
+        assert ranks == {"c": 0, "b": 1, "a": 2}
+
+    def test_cycle_shares_rank(self):
+        q = Pattern()
+        for n in "ab":
+            q.add_node(n, n.upper())
+        q.add_edge("a", "b")
+        q.add_edge("b", "a")
+        ranks = node_ranks(q)
+        assert ranks["a"] == ranks["b"] == 0
+
+    def test_paper_style_cyclic_pattern(self):
+        q = cyclic_pattern()
+        ranks = node_ranks(q)
+        # The 4-node collaboration cycle is one SCC (rank 0, a leaf);
+        # PM sits above it.
+        assert ranks["d1"] == ranks["d2"] == ranks["p1"] == ranks["p2"] == 0
+        assert ranks["pm"] == 1
+
+    def test_edge_rank_is_target_rank(self):
+        q = Pattern()
+        for n in "abc":
+            q.add_node(n, n.upper())
+        q.add_edge("a", "b")
+        q.add_edge("b", "c")
+        ranks = edge_ranks(q)
+        assert ranks[("a", "b")] == 1
+        assert ranks[("b", "c")] == 0
+
+    def test_diamond_rank(self):
+        q = Pattern()
+        for n in "abcd":
+            q.add_node(n, n.upper())
+        for e in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]:
+            q.add_edge(*e)
+        ranks = node_ranks(q)
+        assert ranks["d"] == 0
+        assert ranks["b"] == ranks["c"] == 1
+        assert ranks["a"] == 2
+
+
+class TestCyclicityHelpers:
+    def test_dag_detection(self):
+        q = Pattern()
+        for n in "ab":
+            q.add_node(n, n.upper())
+        q.add_edge("a", "b")
+        assert is_dag(q)
+        assert nontrivial_scc_nodes(q) == set()
+
+    def test_cycle_detection(self):
+        assert not is_dag(cyclic_pattern())
+        assert nontrivial_scc_nodes(cyclic_pattern()) == {"d1", "d2", "p1", "p2"}
+
+    def test_self_loop_counts_as_cyclic(self):
+        g = DataGraph(edges=[(1, 1), (1, 2)])
+        assert not is_dag(g)
+        assert nontrivial_scc_nodes(g) == {1}

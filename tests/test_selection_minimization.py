@@ -1,0 +1,139 @@
+"""Tests for workload-driven view selection and query minimization."""
+
+import pytest
+
+from repro.core.containment import contains
+from repro.core.minimization import minimize
+from repro.graph import Pattern
+from repro.simulation import match
+from repro.views import ViewDefinition, ViewSet
+from repro.views.selection import (
+    candidate_views_from_workload,
+    select_views_for_workload,
+)
+
+from helpers import build_graph, build_pattern
+from test_containment import fig4_query, fig4_views
+
+
+class TestWorkloadSelection:
+    def workload(self):
+        q1 = build_pattern(
+            {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+        )
+        q2 = build_pattern(
+            {"a": "A", "b": "B", "d": "D"}, [("a", "b"), ("b", "d")]
+        )
+        return [q1, q2]
+
+    def test_default_candidates_cover(self):
+        queries = self.workload()
+        selected, per_query = select_views_for_workload(queries)
+        for qi, query in enumerate(queries):
+            subset = selected.subset(per_query[qi])
+            assert contains(query, subset).holds
+
+    def test_shared_edges_reuse_views(self):
+        queries = self.workload()
+        selected, per_query = select_views_for_workload(queries)
+        # The shared (A,B) edge should not force two separate views.
+        all_names = set(selected.names())
+        assert len(all_names) <= 4
+
+    def test_candidate_pool_deduplicates(self):
+        queries = self.workload()
+        pool = candidate_views_from_workload(queries)
+        # (a,b) appears in both queries but yields one candidate.
+        edge_views = [n for n in pool.names() if n.startswith("edge_")]
+        assert len(edge_views) == 3  # AB, BC, BD
+
+    def test_explicit_candidates(self):
+        q = fig4_query()
+        selected, per_query = select_views_for_workload([q], fig4_views())
+        assert contains(q, selected.subset(per_query[0])).holds
+        # Greedy over Fig. 4 finds the 2-view cover {V5, V6}.
+        assert len(selected) == 2
+
+    def test_uncoverable_workload_raises(self):
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        bad_pool = ViewSet(
+            [ViewDefinition("v", build_pattern({"c": "C", "d": "D"}, [("c", "d")]))]
+        )
+        with pytest.raises(ValueError):
+            select_views_for_workload([q], bad_pool)
+
+    def test_max_views_enforced(self):
+        q = fig4_query()
+        singles = ViewSet(
+            ViewDefinition(f"e{i}", q.subpattern([edge]))
+            for i, edge in enumerate(q.edges())
+        )
+        with pytest.raises(ValueError):
+            select_views_for_workload([q], singles, max_views=2)
+
+
+class TestMinimization:
+    def test_parallel_branches_collapse(self):
+        q = build_pattern(
+            {"a": "A", "b1": "B", "b2": "B"}, [("a", "b1"), ("a", "b2")]
+        )
+        outcome = minimize(q)
+        assert outcome.minimized.num_edges == 1
+        assert outcome.removed_edges == 1
+        assert outcome.removed_nodes == 1
+
+    def test_mapping_reconstructs_result(self):
+        q = build_pattern(
+            {"a": "A", "b1": "B", "b2": "B"}, [("a", "b1"), ("a", "b2")]
+        )
+        outcome = minimize(q)
+        g = build_graph({1: "A", 2: "B", 3: "B"}, [(1, 2), (1, 3)])
+        full = match(q, g)
+        small = match(outcome.minimized, g)
+        for edge in q.edges():
+            reconstructed = set()
+            for target_edge in outcome.mapping[edge]:
+                reconstructed |= small.edge_matches[target_edge]
+            assert reconstructed == full.edge_matches[edge]
+
+    def test_irreducible_query_unchanged(self):
+        q = fig4_query()
+        outcome = minimize(q)
+        assert outcome.minimized.num_edges == q.num_edges
+        assert outcome.removed_edges == 0
+
+    def test_duplicate_cycle_branches(self):
+        # Two identical 2-cycles hanging off one hub collapse to one.
+        q = Pattern()
+        q.add_node("hub", "H")
+        for i in (1, 2):
+            q.add_node(f"x{i}", "X")
+            q.add_edge("hub", f"x{i}")
+            q.add_edge(f"x{i}", "hub")
+        outcome = minimize(q)
+        assert outcome.minimized.num_edges == 2
+        assert outcome.minimized.num_nodes == 2
+
+    def test_minimized_equivalent_on_random_graphs(self):
+        import random
+
+        from helpers import random_labeled_graph
+
+        q = build_pattern(
+            {"a": "A", "b1": "B", "b2": "B", "c": "C"},
+            [("a", "b1"), ("a", "b2"), ("b1", "c"), ("b2", "c")],
+        )
+        outcome = minimize(q)
+        assert outcome.minimized.num_edges < q.num_edges
+        rng = random.Random(5)
+        for _ in range(10):
+            g = random_labeled_graph(rng, 20, 60)
+            full = match(q, g)
+            small = match(outcome.minimized, g)
+            assert bool(full) == bool(small)
+            if full:
+                for edge in q.edges():
+                    reconstructed = set()
+                    for target_edge in outcome.mapping[edge]:
+                        reconstructed |= small.edge_matches[target_edge]
+                    assert reconstructed == full.edge_matches[edge]

@@ -1,0 +1,171 @@
+"""Tests for the graph simulation engine (Match)."""
+
+import random
+
+import pytest
+
+from repro.graph import DataGraph, P, Pattern
+from repro.simulation import match
+from repro.simulation.simulation import maximum_simulation, simulates
+
+from helpers import (
+    build_graph,
+    build_pattern,
+    random_labeled_graph,
+    random_pattern,
+    reference_edge_matches,
+    reference_simulation,
+)
+
+
+class TestBasicMatching:
+    def test_single_edge(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        result = match(q, g)
+        assert result
+        assert result.node_matches == {"a": {1}, "b": {2}}
+        assert result.edge_matches == {("a", "b"): {(1, 2)}}
+
+    def test_label_mismatch_fails(self):
+        g = build_graph({1: "A", 2: "C"}, [(1, 2)])
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        result = match(q, g)
+        assert not result
+        assert result.edge_matches == {}
+
+    def test_missing_edge_fails(self):
+        g = build_graph({1: "A", 2: "B"}, [(2, 1)])
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        assert not match(q, g)
+
+    def test_simulation_not_isomorphism(self):
+        # One data node may match several pattern nodes and vice versa.
+        g = build_graph({1: "A", 2: "B"}, [(1, 2), (2, 2)])
+        q = build_pattern({"a": "A", "b1": "B", "b2": "B"}, [("a", "b1"), ("b1", "b2")])
+        result = match(q, g)
+        assert result.node_matches["b1"] == {2}
+        assert result.node_matches["b2"] == {2}
+
+    def test_cycle_pattern_on_cycle_graph(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2), (2, 1)])
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b"), ("b", "a")])
+        result = match(q, g)
+        assert result.node_matches == {"a": {1}, "b": {2}}
+
+    def test_cycle_pattern_on_dag_fails(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b"), ("b", "a")])
+        assert not match(q, g)
+
+    def test_propagation_prunes_chain(self):
+        # c-labeled sink missing => whole chain fails.
+        g = build_graph({1: "A", 2: "B", 3: "C"}, [(1, 2)])
+        q = build_pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+        assert not match(q, g)
+
+    def test_sink_pattern_node_matches_all_labeled(self):
+        # 3 has no valid predecessor but still matches the sink node "b".
+        g = build_graph({1: "A", 2: "B", 3: "B"}, [(1, 2)])
+        q = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        result = match(q, g)
+        assert result.node_matches["b"] == {2, 3}
+        assert result.edge_matches[("a", "b")] == {(1, 2)}
+
+    def test_empty_graph_fails(self):
+        q = build_pattern({"a": "A"}, [])
+        assert not match(q, DataGraph())
+
+
+class TestAttributePatterns:
+    def test_predicate_conditions(self):
+        g = DataGraph()
+        g.add_node(1, labels="video", attrs={"rate": 5, "category": "Music"})
+        g.add_node(2, labels="video", attrs={"rate": 2, "category": "Music"})
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        q = Pattern()
+        q.add_node("hi", (P("rate") >= 4).with_label("video"))
+        q.add_node("any", P("category") == "Music")
+        q.add_edge("hi", "any")
+        result = match(q, g)
+        assert result.node_matches["hi"] == {1}
+        assert result.node_matches["any"] == {1, 2}
+
+
+class TestPaperExample2:
+    def setup_method(self):
+        self.g = build_graph(
+            {
+                "Bob": "PM", "Walt": "PM", "Mat": "DBA", "Fred": "DBA",
+                "Mary": "DBA", "Dan": "PRG", "Pat": "PRG", "Bill": "PRG",
+                "Jean": "BA", "Emmy": "ST",
+            },
+            [
+                ("Bob", "Mat"), ("Walt", "Mat"), ("Bob", "Dan"), ("Walt", "Bill"),
+                ("Fred", "Pat"), ("Mat", "Pat"), ("Mary", "Bill"),
+                ("Dan", "Fred"), ("Pat", "Mary"), ("Pat", "Mat"), ("Bill", "Mat"),
+                ("Walt", "Jean"), ("Jean", "Emmy"),
+            ],
+        )
+        self.q = build_pattern(
+            {"PM": "PM", "DBA1": "DBA", "DBA2": "DBA", "PRG1": "PRG", "PRG2": "PRG"},
+            [
+                ("PM", "DBA1"), ("PM", "PRG2"), ("DBA1", "PRG1"),
+                ("PRG1", "DBA2"), ("DBA2", "PRG2"), ("PRG2", "DBA1"),
+            ],
+        )
+
+    def test_example_2_table(self):
+        result = match(self.q, self.g)
+        em = result.edge_matches
+        assert em[("PM", "DBA1")] == {("Bob", "Mat"), ("Walt", "Mat")}
+        assert em[("PM", "PRG2")] == {("Bob", "Dan"), ("Walt", "Bill")}
+        cycle_dp = {("Fred", "Pat"), ("Mat", "Pat"), ("Mary", "Bill")}
+        cycle_pd = {("Dan", "Fred"), ("Pat", "Mary"), ("Pat", "Mat"), ("Bill", "Mat")}
+        assert em[("DBA1", "PRG1")] == cycle_dp
+        assert em[("DBA2", "PRG2")] == cycle_dp
+        assert em[("PRG1", "DBA2")] == cycle_pd
+        assert em[("PRG2", "DBA1")] == cycle_pd
+
+    def test_result_size(self):
+        result = match(self.q, self.g)
+        assert result.result_size == 2 + 2 + 3 + 3 + 4 + 4
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        g = random_labeled_graph(rng, rng.randint(3, 25), rng.randint(3, 60))
+        q = random_pattern(rng, rng.randint(2, 5), rng.randint(1, 7))
+        expected_sim = reference_simulation(q, g)
+        result = match(q, g)
+        if expected_sim is None:
+            assert not result
+        else:
+            assert result.node_matches == expected_sim
+            assert result.edge_matches == reference_edge_matches(q, g, expected_sim)
+
+    def test_maximum_simulation_is_a_simulation(self):
+        rng = random.Random(0)
+        g = random_labeled_graph(rng, 20, 50)
+        q = random_pattern(rng, 4, 6)
+        sim = maximum_simulation(
+            q, g, lambda u, v: q.condition(u).matches(g.labels(v), g.attrs(v))
+        )
+        if sim is None:
+            pytest.skip("instance had no match")
+        for u in q.nodes():
+            for v in sim[u]:
+                for u1 in q.successors(u):
+                    assert any(w in sim[u1] for w in g.successors(v))
+
+
+class TestSimulates:
+    def test_true_and_false(self):
+        g = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        q_yes = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+        q_no = build_pattern({"a": "A", "b": "B"}, [("b", "a")])
+        assert simulates(q_yes, g)
+        assert not simulates(q_no, g)

@@ -1,0 +1,223 @@
+"""Tests for view definitions, materialization, the distance index I(V),
+and the ViewSet cache."""
+
+import pytest
+
+from repro.graph import BoundedPattern, Pattern
+from repro.views import MaterializedView, ViewDefinition, ViewSet, materialize
+from repro.views.view import materialize as materialize_fn
+
+from helpers import build_bounded, build_graph, build_pattern
+
+
+def simple_graph():
+    return build_graph(
+        {1: "A", 2: "B", 3: "B", 4: "C"},
+        [(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+
+
+def ab_view(name="V"):
+    return ViewDefinition(name, build_pattern({"a": "A", "b": "B"}, [("a", "b")]))
+
+
+class TestViewDefinition:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ViewDefinition("", build_pattern({"a": "A", "b": "B"}, [("a", "b")]))
+
+    def test_rejects_edgeless_views(self):
+        q = Pattern()
+        q.add_node("a", "A")
+        with pytest.raises(ValueError):
+            ViewDefinition("V", q)
+
+    def test_size_and_kind(self):
+        v = ab_view()
+        assert v.size == 3
+        assert not v.is_bounded
+        bounded = ViewDefinition(
+            "B", build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+        )
+        assert bounded.is_bounded
+
+
+class TestMaterializeSimulation:
+    def test_extension_contents(self):
+        ext = materialize(ab_view(), simple_graph())
+        assert ext.pairs_of(("a", "b")) == {(1, 2), (1, 3)}
+        assert not ext.is_empty
+        assert ext.num_pairs == 2
+        assert ext.distances is None
+        assert ext.distance_of((1, 2)) == 1
+
+    def test_empty_extension(self):
+        g = build_graph({1: "A"}, [])
+        ext = materialize(ab_view(), g)
+        assert ext.is_empty
+        assert ext.pairs_of(("a", "b")) == set()
+
+    def test_size_counts_nodes_and_pairs(self):
+        ext = materialize(ab_view(), simple_graph())
+        # Nodes touched: 1, 2, 3; pairs: 2.
+        assert ext.size == 3 + 2
+
+
+class TestMaterializeBounded:
+    def test_distance_index(self):
+        g = build_graph({1: "A", 2: "X", 3: "B"}, [(1, 2), (2, 3)])
+        view = ViewDefinition(
+            "V", build_bounded({"a": "A", "b": "B"}, [("a", "b", 3)])
+        )
+        ext = materialize(view, g)
+        assert ext.pairs_of(("a", "b")) == {(1, 3)}
+        assert ext.distance_of((1, 3)) == 2
+
+    def test_index_keeps_minimum_distance(self):
+        # Two view edges may materialize the same pair at different
+        # depths; I(V) stores the shortest.
+        g = build_graph(
+            {1: "A", 2: "B", 3: "X"}, [(1, 2), (1, 3), (3, 2)]
+        )
+        view = ViewDefinition(
+            "V",
+            build_bounded(
+                {"a": "A", "b1": "B", "b2": "B"},
+                [("a", "b1", 1), ("a", "b2", 2)],
+            ),
+        )
+        ext = materialize(view, g)
+        assert ext.distance_of((1, 2)) == 1
+
+    def test_empty_bounded_extension(self):
+        g = build_graph({1: "A"}, [])
+        view = ViewDefinition(
+            "V", build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+        )
+        ext = materialize(view, g)
+        assert ext.is_empty
+        assert ext.distances == {}
+
+
+class TestViewSet:
+    def test_add_and_lookup(self):
+        vs = ViewSet([ab_view("V1")])
+        vs.add(ab_view("V2"))
+        assert "V1" in vs and "V2" in vs
+        assert len(vs) == 2
+        assert vs.cardinality == 2
+        assert vs.names() == ["V1", "V2"]
+
+    def test_duplicate_name_rejected(self):
+        vs = ViewSet([ab_view("V1")])
+        with pytest.raises(ValueError):
+            vs.add(ab_view("V1"))
+
+    def test_definition_size(self):
+        vs = ViewSet([ab_view("V1"), ab_view("V2")])
+        assert vs.definition_size == 6
+
+    def test_materialize_all_and_some(self):
+        vs = ViewSet([ab_view("V1"), ab_view("V2")])
+        g = simple_graph()
+        vs.materialize(g, names=["V1"])
+        assert vs.is_materialized("V1")
+        assert not vs.is_materialized("V2")
+        vs.materialize(g)
+        assert vs.is_materialized("V2")
+
+    def test_extension_access_requires_materialization(self):
+        vs = ViewSet([ab_view("V1")])
+        with pytest.raises(KeyError):
+            vs.extension("V1")
+
+    def test_extension_fraction(self):
+        vs = ViewSet([ab_view("V1")])
+        g = simple_graph()
+        vs.materialize(g)
+        fraction = vs.extension_fraction(g)
+        assert 0 < fraction < 1
+
+    def test_subset_shares_extensions(self):
+        vs = ViewSet([ab_view("V1"), ab_view("V2")])
+        vs.materialize(simple_graph(), names=["V1"])
+        sub = vs.subset(["V1"])
+        assert sub.is_materialized("V1")
+        assert len(sub) == 1
+
+    def test_set_extension_validates_name(self):
+        vs = ViewSet([ab_view("V1")])
+        ext = materialize_fn(ab_view("other"), simple_graph())
+        with pytest.raises(KeyError):
+            vs.set_extension(ext)
+
+    def test_drop_extension(self):
+        vs = ViewSet([ab_view("V1")])
+        vs.materialize(simple_graph())
+        vs.drop_extension("V1")
+        assert not vs.is_materialized("V1")
+
+
+class TestAnswerPipeline:
+    def setup_views(self):
+        g = simple_graph()
+        q = build_pattern(
+            {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+        )
+        vs = ViewSet(
+            [
+                ViewDefinition("Vab", q.subpattern([("a", "b")])),
+                ViewDefinition("Vbc", q.subpattern([("b", "c")])),
+                ViewDefinition("Vextra", ab_view("x").pattern),
+            ]
+        )
+        return g, q, vs
+
+    def test_answer_with_materialize_on_demand(self):
+        from repro import answer_with_views, match
+
+        g, q, vs = self.setup_views()
+        answer = answer_with_views(q, vs, graph=g)
+        assert answer
+        assert answer.result.edge_matches == match(q, g).edge_matches
+        assert set(answer.views_used) <= set(vs.names())
+        assert answer.extension_size > 0
+
+    def test_answer_selection_strategies(self):
+        from repro import answer_with_views
+
+        g, q, vs = self.setup_views()
+        for selection in ("all", "minimal", "minimum"):
+            answer = answer_with_views(q, vs, graph=g, selection=selection)
+            assert answer.result.edge_matches[("a", "b")] == {(1, 2), (1, 3)}
+
+    def test_answer_unknown_selection(self):
+        from repro import answer_with_views
+
+        g, q, vs = self.setup_views()
+        with pytest.raises(ValueError):
+            answer_with_views(q, vs, graph=g, selection="bogus")
+
+    def test_answer_not_contained(self):
+        from repro import answer_with_views
+        from repro.errors import NotContainedError
+
+        g, q, vs = self.setup_views()
+        sub = vs.subset(["Vab"])
+        with pytest.raises(NotContainedError):
+            answer_with_views(q, sub, graph=g)
+
+    def test_answer_bounded(self):
+        from repro import answer_with_views, bounded_match
+
+        g = build_graph({1: "A", 2: "X", 3: "B"}, [(1, 2), (2, 3)])
+        q = build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+        vs = ViewSet(
+            [
+                ViewDefinition(
+                    "V", build_bounded({"a": "A", "b": "B"}, [("a", "b", 2)])
+                )
+            ]
+        )
+        answer = answer_with_views(q, vs, graph=g)
+        assert answer.result.edge_matches == bounded_match(q, g).edge_matches

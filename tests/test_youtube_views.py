@@ -1,0 +1,77 @@
+"""Tests for the Fig. 7 YouTube view suite and predicate-view pipeline."""
+
+import pytest
+
+from repro.core.containment import contains
+from repro.core.matchjoin import match_join
+from repro.core.view_match import view_match_simulation
+from repro.datasets import youtube_graph, youtube_views
+from repro.graph import P, Pattern
+from repro.simulation import match
+from repro.views import ViewDefinition
+
+
+class TestSuiteShape:
+    def test_twelve_named_views(self):
+        views = youtube_views()
+        assert views.names() == [f"P{i}" for i in range(1, 13)]
+
+    def test_all_views_use_figure_attributes(self):
+        views = youtube_views()
+        allowed = set("CALRV")
+        for definition in views:
+            for node in definition.pattern.nodes():
+                condition = definition.pattern.condition(node)
+                attrs = {atom.attr for atom in condition.atoms}
+                assert attrs <= allowed
+                assert attrs, f"{definition.name}:{node} has no predicate"
+
+    def test_views_are_small(self):
+        for definition in youtube_views():
+            assert 2 <= definition.pattern.num_nodes <= 4
+            assert 1 <= definition.pattern.num_edges <= 4
+
+
+class TestPredicateCoverage:
+    def test_view_covers_its_own_shape(self):
+        """Every view, used as a query, is covered by itself."""
+        views = youtube_views()
+        for definition in views:
+            query = definition.pattern
+            self_match = view_match_simulation(query, definition)
+            assert self_match.covered == query.edge_set(), definition.name
+
+    def test_weaker_condition_does_not_cover(self):
+        """A query node with a weaker condition than the view's cannot
+        be covered by that view (coverage needs equivalence)."""
+        views = youtube_views()
+        p7 = views.definition("P7")  # COMEDY -> COMEDY & POPULAR
+        query = Pattern()
+        query.add_node("x", P("C") == "Comedy")
+        query.add_node("y", P("C") == "Comedy")  # weaker than COMEDY & POPULAR
+        query.add_edge("x", "y")
+        assert view_match_simulation(query, p7).covered == frozenset()
+
+    def test_stronger_condition_still_needs_equivalence(self):
+        views = youtube_views()
+        p7 = views.definition("P7")
+        query = Pattern()
+        query.add_node("x", P("C") == "Comedy")
+        query.add_node("y", (P("C") == "Comedy") & (P("V") >= 20_000))
+        query.add_edge("x", "y")
+        # y's condition implies the view's (V >= 20K => V >= 10K) but is
+        # not equivalent; the extension would contain pairs y rejects.
+        assert view_match_simulation(query, p7).covered == frozenset()
+
+
+class TestEndToEndSmall:
+    def test_predicate_matchjoin_on_small_graph(self):
+        graph = youtube_graph(4000, 11000, seed=9)
+        views = youtube_views()
+        views.materialize(graph)
+        # P1's own shape as the query.
+        query = views.definition("P1").pattern
+        containment = contains(query, views)
+        assert containment.holds
+        result = match_join(query, containment, views)
+        assert result.edge_matches == match(query, graph).edge_matches
