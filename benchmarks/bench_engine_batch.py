@@ -1,0 +1,96 @@
+"""QueryEngine batch throughput: cold sequential vs warm cache vs parallel.
+
+Not a paper figure -- this benchmarks the engine layer that composes the
+paper's algorithms into a serving path.  Three competitors over the same
+synthetic workload (the Fig. 8(d) graph family with the 22-view suite):
+
+* **cold serial** -- fresh engine, every query plans (containment +
+  selection) and evaluates;
+* **warm cache** -- same engine re-answering the batch: every query is
+  an answer-cache hit;
+* **process pool** -- fresh engine fanning the batch across workers.
+
+``test_warm_cache_speedup_over_cold`` asserts the headline claim (warm
+throughput >= 2x cold sequential) so regressions fail loudly instead of
+just shifting numbers.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.bench import workloads
+from repro.engine import QueryEngine
+
+from common import once
+
+#: Pattern sizes of the batch (a slice of the paper's Fig. 8(e) axis,
+#: repeated to give the caches something to deduplicate).
+SIZES = [(4, 4), (4, 6), (4, 8), (6, 6), (6, 9), (4, 4), (4, 6), (6, 6)]
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    graph, views = workloads.synthetic(max(500, int(6000 * scale)))
+    queries = [
+        workloads.pick_query(views, n, m, graph=graph, tag=f"engine{i}")
+        for i, (n, m) in enumerate(SIZES)
+    ]
+    return graph, views, queries
+
+
+def _cold_engine(graph, views):
+    return QueryEngine(views, graph=graph, selection="minimal")
+
+
+def _run_cold(graph, views, queries):
+    engine = _cold_engine(graph, views)
+    return engine.answer_batch(queries, executor="serial")
+
+
+def test_engine_cold_sequential(benchmark, workload):
+    graph, views, queries = workload
+    once(benchmark, _run_cold, graph, views, queries)
+
+
+def test_engine_warm_cache(benchmark, workload):
+    graph, views, queries = workload
+    engine = _cold_engine(graph, views)
+    engine.answer_batch(queries)  # warm both caches outside the timer
+    once(benchmark, engine.answer_batch, queries)
+
+
+def test_engine_parallel_process(benchmark, workload):
+    graph, views, queries = workload
+
+    def run():
+        engine = _cold_engine(graph, views)
+        return engine.answer_batch(queries, executor="process", workers=4)
+
+    once(benchmark, run)
+
+
+def test_warm_cache_speedup_over_cold(workload):
+    """Acceptance check: warm-cache batch throughput >= 2x cold serial."""
+    graph, views, queries = workload
+    started = perf_counter()
+    cold_results = _run_cold(graph, views, queries)
+    cold = perf_counter() - started
+
+    engine = _cold_engine(graph, views)
+    engine.answer_batch(queries)
+    warm = min(
+        _timed(engine, queries) for _ in range(3)
+    )  # min-of-3 to de-noise the microsecond-scale warm path
+    assert all(r.stats.cache_hit for r in engine.answer_batch(queries))
+    assert cold >= 2 * warm, f"cold {cold:.4f}s vs warm {warm:.4f}s"
+    # Same answers either way.
+    warm_results = engine.answer_batch(queries)
+    for a, b in zip(cold_results, warm_results):
+        assert a.edge_matches == b.edge_matches
+
+
+def _timed(engine, queries):
+    started = perf_counter()
+    engine.answer_batch(queries)
+    return perf_counter() - started

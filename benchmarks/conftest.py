@@ -1,6 +1,6 @@
 """pytest-benchmark configuration.
 
-Benchmarks default to a reduced scale so ``pytest benchmarks/
+Benchmarks default to a reduced scale so ``pytest benchmarks/bench_*.py
 --benchmark-only`` finishes in minutes; set ``REPRO_BENCH_SCALE=1`` for
 the full-size graphs, or use ``python -m repro.bench.run_all`` to
 regenerate the complete Fig. 8 series (all x-axis points) in one pass.

@@ -14,7 +14,9 @@ The public API re-exported here covers the complete pipeline:
 * check pattern containment (:func:`contains`, :func:`minimal_views`,
   :func:`minimum_views` and bounded counterparts);
 * answer queries using only views (:func:`match_join`,
-  :func:`bounded_match_join`, :func:`answer_with_views`).
+  :func:`bounded_match_join`, :func:`answer_with_views`);
+* serve query traffic with planning, caching and parallel batch
+  execution (:class:`QueryEngine`, :class:`QueryPlan`).
 """
 
 from repro.graph import (
@@ -54,8 +56,9 @@ from repro.core import (
     minimal_views,
     minimum_views,
 )
+from repro.engine import ExecutionStats, QueryEngine, QueryPlan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANY",
@@ -64,11 +67,14 @@ __all__ = [
     "Condition",
     "Containment",
     "DataGraph",
+    "ExecutionStats",
     "Label",
     "MatchResult",
     "MaterializedView",
     "P",
     "Pattern",
+    "QueryEngine",
+    "QueryPlan",
     "TrueCondition",
     "ViewDefinition",
     "ViewSet",

@@ -6,8 +6,8 @@ view sets and query workloads.
 
 Scaling: the paper runs on 0.55M-1.6M-node datasets and 0.3M-1M-node
 synthetic graphs on a 2008-era JVM; this harness defaults to ~25-30K
-node stand-ins (see DESIGN.md "Substitutions") and exposes a ``scale``
-multiplier.  All comparisons are relative, so the figure *shapes*
+node stand-ins (see docs/ARCHITECTURE.md "Benchmarks") and exposes a
+``scale`` multiplier.  All comparisons are relative, so the figure *shapes*
 survive the down-scaling.
 """
 

@@ -8,6 +8,9 @@ Subcommands::
     python -m repro contain   --query query.json --views views.json [--strategy minimum]
     python -m repro query     --query query.json --views views.json \
                               [--graph graph.json] [--strategy minimal]
+    python -m repro engine    --queries q1.json q2.json --views views.json \
+                              [--graph graph.json] [--executor process] \
+                              [--workers 4] [--repeat 2] [--explain]
     python -m repro stats     --graph graph.json [--views views.json]
 
 ``generate`` writes a dataset stand-in (and optionally its standard view
@@ -15,6 +18,9 @@ suite); ``materialize`` caches extensions into the views file;
 ``contain`` reports containment / view selection; ``query`` answers the
 query from the cached extensions (exactly the MatchJoin pipeline --
 pass ``--graph`` only if extensions still need materializing);
+``engine`` batch-answers many queries through the planned/cached
+:class:`~repro.engine.engine.QueryEngine` (``--repeat`` demonstrates
+the warm answer cache, ``--explain`` prints plans without executing);
 ``stats`` prints size accounting.
 """
 
@@ -42,6 +48,7 @@ from repro.datasets import (
     youtube_views,
 )
 from repro.datasets.patterns import generate_views
+from repro.engine import QueryEngine
 from repro.errors import NotContainedError
 from repro.graph.io import read_graph, read_pattern, write_graph
 from repro.graph.pattern import BoundedPattern
@@ -139,6 +146,51 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_engine(args) -> int:
+    try:
+        queries = [read_pattern(path) for path in args.queries]
+        views = read_viewset(args.views)
+        graph = read_graph(args.graph) if args.graph else None
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    engine = QueryEngine(
+        views,
+        graph=graph,
+        selection=args.strategy,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    if args.explain:
+        for path, query in zip(args.queries, queries):
+            print(f"-- {path}")
+            print(engine.plan(query).explain())
+        return 0
+    for round_index in range(args.repeat):
+        try:
+            results = engine.answer_batch(queries)
+        except NotContainedError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        total = sum(r.stats.elapsed for r in results)
+        label = "cold" if round_index == 0 else f"warm #{round_index}"
+        print(f"[{label}] {len(results)} queries in {total * 1e3:.2f} ms")
+        for path, result in zip(args.queries, results):
+            stats = result.stats
+            provenance = "cache" if stats.cache_hit else stats.strategy
+            print(
+                f"  {path}: {result.result_size} pairs via {provenance} "
+                f"({stats.elapsed * 1e3:.2f} ms)"
+            )
+    caches = engine.cache_stats()
+    for which, counters in caches.items():
+        print(
+            f"{which} cache: {counters['hits']} hits / "
+            f"{counters['misses']} misses"
+        )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     graph = read_graph(args.graph)
     stats = graph_stats(graph)
@@ -192,6 +244,25 @@ def build_parser() -> argparse.ArgumentParser:
                    default="minimal")
     p.add_argument("--out", help="write the result table as JSON")
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "engine", help="batch-answer queries with the planned/cached engine"
+    )
+    p.add_argument("--queries", nargs="+", required=True,
+                   help="one or more pattern JSON files")
+    p.add_argument("--views", required=True)
+    p.add_argument("--graph",
+                   help="graph for materialize-on-demand and direct fallback")
+    p.add_argument("--strategy", choices=("all", "minimal", "minimum"),
+                   default="minimal")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   default="serial")
+    p.add_argument("--workers", type=int)
+    p.add_argument("--repeat", type=int, default=1,
+                   help="re-run the batch N times (shows warm-cache hits)")
+    p.add_argument("--explain", action="store_true",
+                   help="print query plans instead of executing")
+    p.set_defaults(func=_cmd_engine)
 
     p = sub.add_parser("stats", help="graph / view-cache statistics")
     p.add_argument("--graph", required=True)

@@ -55,6 +55,9 @@ class Containment:
         return self.holds
 
     def views_used(self) -> Tuple[str, ...]:
+        """Names of the views λ draws from, in first-use order -- the
+        ``V'`` whose extensions MatchJoin must read (the paper reports
+        this as "#views used", Exp-1)."""
         return self.view_names
 
 

@@ -42,10 +42,12 @@ class Minimization:
 
     @property
     def removed_edges(self) -> int:
+        """How many redundant edges minimization eliminated."""
         return self.original.num_edges - self.minimized.num_edges
 
     @property
     def removed_nodes(self) -> int:
+        """How many nodes became orphaned and were dropped."""
         return self.original.num_nodes - self.minimized.num_nodes
 
 

@@ -47,6 +47,8 @@ class PartialAnswer:
 
     @property
     def coverage(self) -> float:
+        """Fraction of query edges some view match covers (1.0 means
+        ``Q ⊑ V`` and the answer is exact, per Theorem 1)."""
         total = len(self.covered) + len(self.uncovered)
         return len(self.covered) / total if total else 1.0
 

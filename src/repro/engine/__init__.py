@@ -1,0 +1,31 @@
+"""The engine layer: planned, cached, parallel view-based answering.
+
+Composes the paper's algorithms (containment, view selection,
+MatchJoin) into a deployable subsystem:
+
+* :class:`QueryEngine` -- owns a view catalog, plans and answers
+  queries, batches work across processes, follows maintenance updates;
+* :class:`QueryPlan` / :class:`ExecutionStats` -- inspectable planner
+  output and per-query telemetry;
+* :class:`LRUCache` / :class:`CacheStats` -- the caching primitives;
+* :func:`pattern_key` -- the structural query fingerprint the caches
+  key on.
+"""
+
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.engine import QueryEngine
+from repro.engine.executor import EXECUTORS, EvaluationSpec, evaluate_spec, run_specs
+from repro.engine.plan import ExecutionStats, QueryPlan, pattern_key
+
+__all__ = [
+    "CacheStats",
+    "EXECUTORS",
+    "EvaluationSpec",
+    "ExecutionStats",
+    "LRUCache",
+    "QueryEngine",
+    "QueryPlan",
+    "evaluate_spec",
+    "pattern_key",
+    "run_specs",
+]

@@ -1,0 +1,114 @@
+"""Caching primitives for the query engine.
+
+Two caches back the engine (both instances of :class:`LRUCache`):
+
+* the **containment-decision cache** memoizes ``contain`` / ``minimal``
+  / ``minimum`` outcomes per (query fingerprint, selection policy,
+  view-cache version) -- the paper's Theorem 3 check is quadratic in
+  ``|Q|`` and linear in ``card(V)``, so a deployment answering the same
+  query shapes repeatedly should pay it once;
+* the **answer cache** memoizes full :class:`MatchResult` objects under
+  the same keys, so a repeated query is a dictionary lookup.
+
+Both keys embed the owning :class:`~repro.views.storage.ViewSet`'s
+``version`` counter, which every extension/definition mutation bumps:
+a maintenance update (Section I: "incremental methods ... maintain
+cached pattern views") therefore invalidates stale entries *by
+construction* -- they become unreachable and age out of the LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy for reports and the CLI."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class LRUCache:
+    """A size-bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency and records a hit or miss; ``put``
+    inserts/overwrites and evicts the oldest entry when over capacity.
+    ``maxsize <= 0`` disables caching entirely (every ``get`` misses),
+    which keeps the engine code free of conditionals.
+    """
+
+    __slots__ = ("_maxsize", "_data", "stats")
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self._maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def maxsize(self) -> int:
+        """Capacity; ``<= 0`` means caching is disabled."""
+        return self._maxsize
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency; counts hit/miss."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return self._data[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key -> value``, evicting the LRU entry if needed."""
+        if self._maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        return f"LRUCache(size={len(self._data)}/{self._maxsize})"

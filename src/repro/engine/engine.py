@@ -1,0 +1,393 @@
+"""The QueryEngine: planned, cached, parallel view-based answering.
+
+This is the deployment layer the paper sketches around its algorithms:
+"graph pattern matching using views is an effective technique to query
+big graphs" presumes a system that (a) decides containment once per
+query shape, (b) keeps materialized extensions fresh and answers hot
+queries from a cache, and (c) evaluates independent queries
+concurrently.  :class:`QueryEngine` owns a
+:class:`~repro.views.storage.ViewSet` and provides exactly that:
+
+* :meth:`plan` -- run the containment check / view selection (Theorems
+  3, 5, 6) once and return an inspectable :class:`QueryPlan` choosing
+  MatchJoin over the views (``Q ⊑ V``) or direct ``Match`` on ``G``;
+* :meth:`answer` / :meth:`execute` -- evaluate a plan, consulting an
+  LRU answer cache keyed by (query fingerprint, selection, view-cache
+  version);
+* :meth:`answer_batch` -- evaluate many queries via serial, thread or
+  process executors (simulation fixpoints are CPU-bound, so the
+  process pool is the scaling path);
+* :meth:`attach_maintenance` -- subscribe to an
+  :class:`~repro.views.maintenance.IncrementalViewSet`; graph updates
+  refresh the engine's extensions lazily and invalidate stale cache
+  entries through the view-set version counter.
+
+Every result carries an :class:`ExecutionStats` on ``MatchResult.stats``
+(strategy, timing, cache provenance), so callers can meter the engine
+without wrapping it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.answer import _STRATEGIES
+from repro.engine.cache import LRUCache
+from repro.engine.executor import (
+    EXECUTORS,
+    EvaluationSpec,
+    run_specs,
+)
+from repro.engine.plan import (
+    DIRECT,
+    MATCHJOIN,
+    REASON_ISOLATED_NODES,
+    REASON_NOT_CONTAINED,
+    ExecutionStats,
+    QueryPlan,
+    pattern_key,
+)
+from repro.errors import NotContainedError, NotMaterializedError
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import BoundedPattern, Pattern
+from repro.simulation.result import MatchResult
+from repro.views.maintenance import IncrementalViewSet
+from repro.views.storage import ViewSet
+
+
+class QueryEngine:
+    """Answer pattern queries end-to-end against a view catalog.
+
+    Parameters
+    ----------
+    views:
+        The view catalog ``V`` (definitions, plus any extensions already
+        materialized).  The engine mutates it only to materialize
+        missing extensions and to import maintenance refreshes.
+    graph:
+        Optional data graph ``G``.  Used to materialize missing
+        extensions on demand and as the fallback target for queries not
+        contained in the views; when absent, such queries raise
+        :class:`NotContainedError` (Theorem 1: containment is
+        necessary).
+    selection:
+        Default view-selection policy: ``"all"`` (algorithm
+        ``contain``), ``"minimal"`` (Fig. 5, Theorem 5) or
+        ``"minimum"`` (greedy set-cover, Theorem 6).
+    executor / workers:
+        Default batch executor (see :data:`EXECUTORS`) and pool width.
+    answer_cache_size / containment_cache_size:
+        LRU capacities; ``0`` disables the respective cache.
+    """
+
+    def __init__(
+        self,
+        views: ViewSet,
+        graph: Optional[DataGraph] = None,
+        selection: str = "minimal",
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        answer_cache_size: int = 128,
+        containment_cache_size: int = 512,
+        optimized: bool = True,
+    ) -> None:
+        if selection not in _STRATEGIES:
+            raise ValueError(
+                f"unknown selection {selection!r}; expected one of "
+                f"{sorted(_STRATEGIES)}"
+            )
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self._views = views
+        self._graph = graph
+        self._selection = selection
+        self._executor = executor
+        self._workers = workers
+        self._optimized = optimized
+        self._containment_cache = LRUCache(containment_cache_size)
+        self._answer_cache = LRUCache(answer_cache_size)
+        self._maintenance: Optional[IncrementalViewSet] = None
+        self._maintenance_dirty = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def views(self) -> ViewSet:
+        """The engine's view catalog."""
+        return self._views
+
+    @property
+    def graph(self) -> Optional[DataGraph]:
+        """The fallback data graph (``None`` for a views-only engine)."""
+        return self._graph
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction counters for both caches."""
+        return {
+            "containment": self._containment_cache.stats.snapshot(),
+            "answers": self._answer_cache.stats.snapshot(),
+        }
+
+    def invalidate(self) -> None:
+        """Drop every cached decision and answer explicitly.
+
+        Normally unnecessary: cache keys embed ``views.version``, so
+        catalog mutations already strand stale entries.
+        """
+        self._containment_cache.clear()
+        self._answer_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Maintenance integration
+    # ------------------------------------------------------------------
+    def attach_maintenance(self, tracker: IncrementalViewSet) -> None:
+        """Keep the catalog fresh from an incremental maintenance tracker.
+
+        Subscribes to ``tracker``; after any ``insert_edge`` /
+        ``delete_edge`` the engine marks itself dirty and, before the
+        next plan or evaluation, re-imports every tracked extension
+        (bumping the catalog version, which invalidates cached answers
+        built on the stale extensions).  View definitions present in the
+        tracker but missing from the catalog are added.
+        """
+        if self._maintenance is not None:
+            raise ValueError("a maintenance tracker is already attached")
+        self._maintenance = tracker
+        tracker.subscribe(self._on_maintenance_event)
+        self._maintenance_dirty = True
+        self._refresh_if_dirty()
+
+    def detach_maintenance(self) -> None:
+        """Stop following the attached tracker (keeps current extensions)."""
+        if self._maintenance is not None:
+            self._maintenance.unsubscribe(self._on_maintenance_event)
+            self._maintenance = None
+            self._maintenance_dirty = False
+
+    def _on_maintenance_event(self, event) -> None:
+        self._maintenance_dirty = True
+
+    def _refresh_if_dirty(self) -> None:
+        if not self._maintenance_dirty or self._maintenance is None:
+            self._maintenance_dirty = False
+            return
+        for name in self._maintenance.names():
+            if name not in self._views:
+                self._views.add(self._maintenance.definition(name))
+            self._views.set_extension(self._maintenance.extension(name))
+        self._maintenance_dirty = False
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Pattern, selection: Optional[str] = None) -> QueryPlan:
+        """Compute (or recall) the evaluation plan for ``query``.
+
+        The containment decision -- the expensive part, Theorem 3 --
+        is memoized per (query fingerprint, selection, catalog
+        version); repeated shapes skip straight to strategy choice.
+        """
+        self._refresh_if_dirty()
+        selection = selection or self._selection
+        if selection not in _STRATEGIES:
+            raise ValueError(
+                f"unknown selection {selection!r}; expected one of "
+                f"{sorted(_STRATEGIES)}"
+            )
+        bounded = isinstance(query, BoundedPattern) or any(
+            d.is_bounded for d in self._views
+        )
+        fingerprint = pattern_key(query)
+        # Containment depends on view *definitions* only, so its cache
+        # survives extension refreshes (materialization, maintenance).
+        decision_key = (fingerprint, selection, self._views.definitions_version)
+        key = (fingerprint, selection, self._views.version)
+        containment = self._containment_cache.get(decision_key)
+        cached = containment is not None
+        if not cached:
+            select = _STRATEGIES[selection][1 if bounded else 0]
+            containment = select(query, self._views)
+            self._containment_cache.put(decision_key, containment)
+        if not containment.holds:
+            strategy, reason = DIRECT, REASON_NOT_CONTAINED
+        elif query.isolated_nodes():
+            strategy, reason = DIRECT, REASON_ISOLATED_NODES
+        else:
+            strategy, reason = MATCHJOIN, None
+        return QueryPlan(
+            query=query,
+            strategy=strategy,
+            selection=selection,
+            containment=containment,
+            views_used=containment.views_used() if strategy == MATCHJOIN else (),
+            bounded=bounded,
+            cache_key=key,
+            containment_cached=cached,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def answer(self, query: Pattern, selection: Optional[str] = None) -> MatchResult:
+        """Plan and evaluate ``query``; stats ride on ``result.stats``."""
+        return self.execute(self.plan(query, selection))
+
+    def execute(self, plan: QueryPlan) -> MatchResult:
+        """Evaluate a plan (re-planning first if the catalog moved on)."""
+        self._refresh_if_dirty()
+        if plan.cache_key[-1] != self._views.version:
+            plan = self.plan(plan.query, plan.selection)
+        hit = self._answer_cache.get(plan.cache_key)
+        if hit is not None:
+            return self._deliver(hit, plan, elapsed=0.0, cache_hit=True)
+        spec = self._spec_for(plan)
+        [(_, result, elapsed, _)] = run_specs(
+            [(0, spec)], self._views.extensions(), self._graph, executor="serial"
+        )
+        # _spec_for may have materialized extensions (bumping version);
+        # store under the *current* key so the next lookup hits.
+        self._answer_cache.put(self._current_key(plan), result)
+        return self._deliver(result, plan, elapsed=elapsed, cache_hit=False)
+
+    def answer_batch(
+        self,
+        queries: Sequence[Pattern],
+        selection: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> List[MatchResult]:
+        """Answer many queries, in order, sharing plans and caches.
+
+        Identical queries (equal fingerprints) are planned and
+        evaluated once per batch; cache hits skip evaluation entirely.
+        ``executor`` / ``workers`` override the engine defaults for
+        this batch only.
+        """
+        executor = executor or self._executor
+        workers = workers if workers is not None else self._workers
+        plans = [self.plan(query, selection) for query in queries]
+        results: List[Optional[MatchResult]] = [None] * len(plans)
+
+        # Resolve answer-cache hits; deduplicate the remaining work by
+        # cache key so each distinct query is evaluated exactly once.
+        pending: Dict[Tuple, List[int]] = {}
+        specs: List[Tuple[int, EvaluationSpec]] = []
+        for index, plan in enumerate(plans):
+            hit = self._answer_cache.get(plan.cache_key)
+            if hit is not None:
+                results[index] = self._deliver(
+                    hit, plan, elapsed=0.0, cache_hit=True, executor=executor
+                )
+                continue
+            if plan.cache_key in pending:
+                pending[plan.cache_key].append(index)
+                continue
+            pending[plan.cache_key] = [index]
+            specs.append((index, self._spec_for(plan)))
+
+        if specs:
+            completed = run_specs(
+                specs,
+                self._views.extensions(),
+                self._graph,
+                executor=executor,
+                workers=workers,
+            )
+            for index, result, elapsed, pid in completed:
+                plan = plans[index]
+                # Store under the current key: spec building may have
+                # materialized extensions and bumped the version.
+                self._answer_cache.put(self._current_key(plan), result)
+                for twin in pending[plan.cache_key]:
+                    results[twin] = self._deliver(
+                        result,
+                        plans[twin],
+                        elapsed=elapsed if twin == index else 0.0,
+                        cache_hit=twin != index,
+                        executor=executor,
+                        pid=pid,
+                    )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _current_key(self, plan: QueryPlan) -> Tuple:
+        """The plan's answer-cache key against the catalog's *current*
+        version (on-demand materialization moves the version between
+        planning and storing the answer; only extensions changed, so
+        the plan itself stays valid)."""
+        fingerprint, selection, _ = plan.cache_key
+        return (fingerprint, selection, self._views.version)
+
+    def _spec_for(self, plan: QueryPlan) -> EvaluationSpec:
+        """Turn a plan into a picklable spec, materializing as needed."""
+        if plan.strategy == DIRECT:
+            if self._graph is None:
+                if plan.reason == REASON_NOT_CONTAINED:
+                    raise NotContainedError(plan.containment.uncovered)
+                raise ValueError(
+                    "plan requires direct evaluation "
+                    f"({plan.reason}) but the engine has no data graph"
+                )
+            return EvaluationSpec(
+                kind=DIRECT,
+                query=plan.query,
+                containment=None,
+                needed=(),
+                bounded=plan.bounded,
+                optimized=self._optimized,
+            )
+        missing = [
+            name for name in plan.views_used
+            if not self._views.is_materialized(name)
+        ]
+        if missing:
+            if self._graph is None:
+                raise NotMaterializedError(
+                    f"extensions missing for views {missing!r} and the "
+                    "engine has no graph to materialize them from"
+                )
+            self._views.materialize(self._graph, names=missing)
+        return EvaluationSpec(
+            kind=MATCHJOIN,
+            query=plan.query,
+            containment=plan.containment,
+            needed=plan.views_used,
+            bounded=plan.bounded,
+            optimized=self._optimized,
+        )
+
+    def _deliver(
+        self,
+        result: MatchResult,
+        plan: QueryPlan,
+        elapsed: float,
+        cache_hit: bool,
+        executor: str = "serial",
+        pid: Optional[int] = None,
+    ) -> MatchResult:
+        """Wrap a (possibly shared, cached) result with fresh stats."""
+        stats = ExecutionStats(
+            strategy=plan.strategy,
+            selection=plan.selection,
+            views_used=plan.views_used,
+            elapsed=elapsed,
+            cache_hit=cache_hit,
+            containment_cached=plan.containment_cached,
+            executor=executor,
+            pid=pid if pid is not None else os.getpid(),
+        )
+        return MatchResult(result.node_matches, result.edge_matches, stats=stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(views={self._views.cardinality}, "
+            f"graph={'yes' if self._graph is not None else 'no'}, "
+            f"selection={self._selection!r}, executor={self._executor!r})"
+        )

@@ -1,0 +1,160 @@
+"""Batch evaluation: serial, thread-pool and process-pool execution.
+
+Simulation fixpoints are CPU-bound pure-Python loops, so true batch
+parallelism needs processes (the GIL serializes threads); the thread
+executor exists for workloads dominated by very large extension
+payloads, where per-process pickling would swamp the speedup, and the
+serial executor is the deterministic baseline the others are tested
+against.
+
+The process pool ships the shared payload -- the needed view extensions
+and (when any plan falls back to direct evaluation) the data graph --
+**once per worker** through the pool initializer, instead of once per
+task; per-task pickling is then just the query, its λ mapping and the
+view names.  Workers evaluate with exactly the same code path as the
+serial executor (:func:`evaluate_spec`), so results are identical by
+construction and only wall time differs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.bounded.bmatchjoin import bounded_match_join
+from repro.core.containment import Containment
+from repro.core.matchjoin import match_join
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import BoundedPattern, Pattern
+from repro.simulation import bounded_match, match
+from repro.simulation.result import MatchResult
+from repro.views.view import MaterializedView
+
+Extensions = Mapping[str, MaterializedView]
+
+#: Executor kinds accepted by the engine and the CLI.
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EvaluationSpec:
+    """A self-contained, picklable description of one evaluation.
+
+    ``kind`` is a plan strategy (``"matchjoin"`` or ``"direct"``);
+    ``needed`` names the extensions MatchJoin reads; ``bounded``
+    engages the Section VI machinery.  The heavyweight inputs (the
+    extensions and the graph) are *not* part of the spec -- they are
+    resolved against the worker's shared payload at evaluation time.
+    """
+
+    kind: str
+    query: Pattern
+    containment: Optional[Containment]
+    needed: Tuple[str, ...]
+    bounded: bool
+    optimized: bool = True
+
+
+def evaluate_spec(
+    spec: EvaluationSpec,
+    extensions: Extensions,
+    graph: Optional[DataGraph],
+) -> MatchResult:
+    """Run one spec against the shared payload (the single code path
+    used by every executor, in-process or not)."""
+    if spec.kind == "direct":
+        if graph is None:
+            raise ValueError("direct evaluation requires a data graph")
+        if isinstance(spec.query, BoundedPattern):
+            return bounded_match(spec.query, graph)
+        return match(spec.query, graph)
+    chosen = {name: extensions[name] for name in spec.needed}
+    if spec.bounded:
+        query = (
+            spec.query
+            if isinstance(spec.query, BoundedPattern)
+            else spec.query.bounded()
+        )
+        return bounded_match_join(
+            query, spec.containment, chosen, optimized=spec.optimized
+        )
+    return match_join(
+        spec.query, spec.containment, chosen, optimized=spec.optimized
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module level so it pickles by reference)
+# ----------------------------------------------------------------------
+_WORKER_PAYLOAD: Dict[str, object] = {}
+
+
+def _worker_init(extensions: Extensions, graph: Optional[DataGraph]) -> None:
+    """Pool initializer: install the shared payload in this worker."""
+    _WORKER_PAYLOAD["extensions"] = extensions
+    _WORKER_PAYLOAD["graph"] = graph
+
+
+def _worker_run(task: Tuple[int, EvaluationSpec]) -> Tuple[int, MatchResult, float, int]:
+    """Evaluate one (index, spec) task; returns timing and worker pid."""
+    index, spec = task
+    started = perf_counter()
+    result = evaluate_spec(
+        spec,
+        _WORKER_PAYLOAD.get("extensions", {}),  # type: ignore[arg-type]
+        _WORKER_PAYLOAD.get("graph"),  # type: ignore[arg-type]
+    )
+    return index, result, perf_counter() - started, os.getpid()
+
+
+def run_specs(
+    tasks: Sequence[Tuple[int, EvaluationSpec]],
+    extensions: Extensions,
+    graph: Optional[DataGraph],
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> List[Tuple[int, MatchResult, float, int]]:
+    """Evaluate ``(index, spec)`` tasks and return
+    ``(index, result, elapsed seconds, pid)`` tuples (in completion
+    order for pools, submission order when serial).
+
+    ``executor`` is one of :data:`EXECUTORS`; pools degrade gracefully
+    to serial execution when there is at most one task or one worker.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    max_workers = workers if workers is not None else (os.cpu_count() or 1)
+    if executor == "serial" or max_workers <= 1 or len(tasks) <= 1:
+        pid = os.getpid()
+        out: List[Tuple[int, MatchResult, float, int]] = []
+        for index, spec in tasks:
+            started = perf_counter()
+            result = evaluate_spec(spec, extensions, graph)
+            out.append((index, result, perf_counter() - started, pid))
+        return out
+    max_workers = min(max_workers, len(tasks))
+    if executor == "thread":
+        pid = os.getpid()
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            def run(task: Tuple[int, EvaluationSpec]):
+                index, spec = task
+                started = perf_counter()
+                result = evaluate_spec(spec, extensions, graph)
+                return index, result, perf_counter() - started, pid
+
+            return list(pool.map(run, tasks))
+    # Process pool: ship only the extensions the batch actually needs.
+    needed = {name for _, spec in tasks for name in spec.needed}
+    payload = {name: extensions[name] for name in needed}
+    ship_graph = graph if any(spec.kind == "direct" for _, spec in tasks) else None
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_worker_init,
+        initargs=(payload, ship_graph),
+    ) as pool:
+        return list(pool.map(_worker_run, tasks))

@@ -1,0 +1,162 @@
+"""Query plans: the inspectable outcome of the engine's planner.
+
+The paper's pipeline (Section II-B) has three stages -- decide
+``Q ⊑ V`` (Theorem 3), select views (Theorems 5/6), evaluate MatchJoin
+(Fig. 2) -- and a deployment runs them for every incoming query.  The
+planner factors the first two stages out into a :class:`QueryPlan` that
+is computed once per (query shape, selection, view-cache version) and
+can be inspected, cached, and shipped to worker processes.
+
+A plan chooses between two strategies:
+
+* ``"matchjoin"`` -- ``Q ⊑ V`` holds: evaluate from the materialized
+  extensions only, never touching ``G`` (Theorem 1).
+* ``"direct"`` -- ``Q ⋢ V`` (or the pattern has isolated nodes, which
+  view extensions cannot cover): fall back to the simulation baseline
+  ``Match`` on the data graph.
+
+:func:`pattern_key` provides the structural fingerprint used as the
+cache key; two queries with equal fingerprints have identical results
+on every graph and view cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.core.containment import Containment
+from repro.graph.pattern import BoundedPattern, Pattern
+
+PatternKey = Tuple[Hashable, ...]
+
+#: Plan strategies.
+MATCHJOIN = "matchjoin"
+DIRECT = "direct"
+
+#: Reasons the planner may fall back to the direct strategy.
+REASON_NOT_CONTAINED = "not-contained"
+REASON_ISOLATED_NODES = "isolated-nodes"
+
+
+def pattern_key(query: Pattern) -> PatternKey:
+    """A canonical, hashable fingerprint of a (bounded) pattern.
+
+    Covers node identities, their search conditions (via
+    ``Condition.key()``), the edge set, and -- for bounded patterns
+    (Section VI) -- every edge bound.  Queries with equal keys are the
+    same query, so containment decisions and answers may be shared
+    between them.
+    """
+    bounded = isinstance(query, BoundedPattern)
+    nodes = tuple(
+        sorted((repr(node), repr(query.condition(node).key())) for node in query.nodes())
+    )
+    edges = tuple(
+        sorted(
+            (
+                repr(edge[0]),
+                repr(edge[1]),
+                repr(query.bound(edge)) if bounded else "1",
+            )
+            for edge in query.edges()
+        )
+    )
+    return ("bounded" if bounded else "plain", nodes, edges)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An evaluation plan for one pattern query against a view cache.
+
+    Attributes
+    ----------
+    query:
+        The planned :class:`Pattern` / :class:`BoundedPattern`.
+    strategy:
+        ``"matchjoin"`` (answer from views, Theorem 1) or ``"direct"``
+        (fallback to ``Match`` on ``G``).
+    selection:
+        The view-selection policy the planner ran: ``"all"``
+        (algorithm ``contain``), ``"minimal"`` (Fig. 5) or
+        ``"minimum"`` (greedy set-cover).
+    containment:
+        The :class:`Containment` decision, λ mapping included.  Present
+        for both strategies (for ``"direct"`` it records *why* views
+        were insufficient via ``uncovered``).
+    views_used:
+        Names of the views MatchJoin will read; empty for ``"direct"``.
+    bounded:
+        Whether the bounded machinery (Section VI) is engaged -- true
+        when the query or any view is bounded.
+    cache_key:
+        The engine's answer-cache key: ``(pattern fingerprint,
+        selection, views version)``.  Exposed so callers can correlate
+        plans with cache entries.
+    containment_cached:
+        True when the containment decision was served from the
+        engine's decision cache rather than recomputed.
+    reason:
+        For ``"direct"`` plans, why MatchJoin was not applicable
+        (``"not-contained"`` or ``"isolated-nodes"``); ``None`` for
+        ``"matchjoin"`` plans.
+    """
+
+    query: Pattern
+    strategy: str
+    selection: str
+    containment: Containment
+    views_used: Tuple[str, ...]
+    bounded: bool
+    cache_key: Tuple
+    containment_cached: bool = False
+    reason: Optional[str] = field(default=None)
+
+    @property
+    def uses_views(self) -> bool:
+        """True when the plan answers from view extensions only."""
+        return self.strategy == MATCHJOIN
+
+    def explain(self) -> str:
+        """A human-readable rendition of the plan (CLI ``--explain``)."""
+        lines = [
+            f"strategy : {self.strategy}"
+            + (f" ({self.reason})" if self.reason else ""),
+            f"selection: {self.selection}"
+            + (" [cached decision]" if self.containment_cached else ""),
+            f"bounded  : {self.bounded}",
+        ]
+        if self.uses_views:
+            lines.append(f"views    : {', '.join(self.views_used) or '(none)'}")
+            lines.append(
+                f"lambda   : {len(self.containment.mapping)} query edges covered"
+            )
+        else:
+            uncovered = sorted(self.containment.uncovered, key=repr)
+            if uncovered:
+                rendered = ", ".join(f"{a}->{b}" for a, b in uncovered)
+                lines.append(f"uncovered: {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        views = f", views={list(self.views_used)}" if self.uses_views else ""
+        return f"QueryPlan({self.strategy!r}, selection={self.selection!r}{views})"
+
+
+@dataclass
+class ExecutionStats:
+    """Per-query execution telemetry, attached to ``MatchResult.stats``.
+
+    ``elapsed`` is the evaluation wall time in seconds (zero for answer
+    -cache hits); ``executor`` names how the query ran (``"serial"``,
+    ``"thread"`` or ``"process"``); ``pid`` is the worker process id.
+    """
+
+    strategy: str
+    selection: str
+    views_used: Tuple[str, ...]
+    elapsed: float
+    cache_hit: bool
+    containment_cached: bool
+    executor: str
+    pid: Optional[int] = None

@@ -29,6 +29,24 @@ from repro.graph.pattern import ANY, BoundedPattern, Pattern
 
 
 # ----------------------------------------------------------------------
+# Node identities <-> JSON
+# ----------------------------------------------------------------------
+def node_to_json(node: Any) -> Any:
+    """Encode a node id; tuples (arbitrarily nested) become lists."""
+    if isinstance(node, tuple):
+        return [node_to_json(part) for part in node]
+    return node
+
+
+def node_from_json(node: Any) -> Any:
+    """Restore a node id written by :func:`node_to_json`: lists become
+    tuples again, recursively (generated queries use nested-tuple ids)."""
+    if isinstance(node, list):
+        return tuple(node_from_json(part) for part in node)
+    return node
+
+
+# ----------------------------------------------------------------------
 # Conditions <-> JSON
 # ----------------------------------------------------------------------
 def condition_to_json(cond: Condition) -> Dict[str, Any]:
@@ -76,13 +94,13 @@ def graph_to_json(graph: DataGraph) -> Dict[str, Any]:
 def graph_from_json(doc: Dict[str, Any]) -> DataGraph:
     graph = DataGraph()
     for node_doc in doc["nodes"]:
-        node = node_doc["id"]
-        node = tuple(node) if isinstance(node, list) else node
-        graph.add_node(node, labels=node_doc.get("labels", ()), attrs=node_doc.get("attrs"))
+        graph.add_node(
+            node_from_json(node_doc["id"]),
+            labels=node_doc.get("labels", ()),
+            attrs=node_doc.get("attrs"),
+        )
     for source, target in doc["edges"]:
-        source = tuple(source) if isinstance(source, list) else source
-        target = tuple(target) if isinstance(target, list) else target
-        graph.add_edge(source, target)
+        graph.add_edge(node_from_json(source), node_from_json(target))
     return graph
 
 
@@ -122,14 +140,21 @@ def pattern_from_json(doc: Dict[str, Any]) -> Pattern:
     bounded = doc.get("bounded", False)
     pattern: Pattern = BoundedPattern() if bounded else Pattern()
     for node_doc in doc["nodes"]:
-        pattern.add_node(node_doc["id"], condition_from_json(node_doc["condition"]))
+        pattern.add_node(
+            node_from_json(node_doc["id"]),
+            condition_from_json(node_doc["condition"]),
+        )
     for edge_doc in doc["edges"]:
         if bounded:
             source, target, bound = edge_doc
-            pattern.add_edge(source, target, ANY if bound == "*" else bound)  # type: ignore[call-arg]
+            pattern.add_edge(
+                node_from_json(source),
+                node_from_json(target),
+                ANY if bound == "*" else bound,
+            )  # type: ignore[call-arg]
         else:
             source, target = edge_doc
-            pattern.add_edge(source, target)
+            pattern.add_edge(node_from_json(source), node_from_json(target))
     return pattern
 
 

@@ -31,17 +31,25 @@ class MatchResult:
         ``{e: Se}`` -- for plain simulation ``Se`` contains data-graph
         *edges*; for bounded simulation it contains node pairs connected
         by a path within the edge's bound.
+    stats:
+        Optional execution telemetry (e.g.
+        :class:`repro.engine.plan.ExecutionStats` when the result comes
+        from a :class:`~repro.engine.engine.QueryEngine`): strategy,
+        wall time, cache provenance.  ``None`` for results built by the
+        matching engines directly; never part of equality.
     """
 
-    __slots__ = ("node_matches", "edge_matches")
+    __slots__ = ("node_matches", "edge_matches", "stats")
 
     def __init__(
         self,
         node_matches: Dict[PNode, Set[Node]],
         edge_matches: Dict[PEdge, Set[NodePair]],
+        stats: object = None,
     ) -> None:
         self.node_matches = node_matches
         self.edge_matches = edge_matches
+        self.stats = stats
 
     @classmethod
     def empty(cls) -> "MatchResult":

@@ -11,20 +11,18 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
-from repro.graph.io import pattern_from_json, pattern_to_json
+from repro.graph.io import (
+    node_from_json as _node_from_json,
+    node_to_json as _node_to_json,
+    pattern_from_json,
+    pattern_to_json,
+)
 from repro.views.storage import ViewSet
 from repro.views.view import MaterializedView, ViewDefinition
 
 
-def _node_to_json(node: Any) -> Any:
-    return list(node) if isinstance(node, tuple) else node
-
-
-def _node_from_json(node: Any) -> Any:
-    return tuple(node) if isinstance(node, list) else node
-
-
 def definition_to_json(definition: ViewDefinition) -> Dict[str, Any]:
+    """Encode a view definition (name + defining pattern) as JSON."""
     return {
         "name": definition.name,
         "pattern": pattern_to_json(definition.pattern),
@@ -32,10 +30,15 @@ def definition_to_json(definition: ViewDefinition) -> Dict[str, Any]:
 
 
 def definition_from_json(doc: Dict[str, Any]) -> ViewDefinition:
+    """Rebuild a :class:`ViewDefinition` written by
+    :func:`definition_to_json` (bounded patterns included)."""
     return ViewDefinition(doc["name"], pattern_from_json(doc["pattern"]))
 
 
 def extension_to_json(extension: MaterializedView) -> Dict[str, Any]:
+    """Encode an extension ``V(G)`` -- per-view-edge match sets plus,
+    for bounded views, the distance index ``I(V)`` (Section VI-A) --
+    with deterministic ordering for stable diffs."""
     doc: Dict[str, Any] = {
         "definition": definition_to_json(extension.definition),
         "edge_matches": [
@@ -57,6 +60,8 @@ def extension_to_json(extension: MaterializedView) -> Dict[str, Any]:
 
 
 def extension_from_json(doc: Dict[str, Any]) -> MaterializedView:
+    """Rebuild a :class:`MaterializedView` written by
+    :func:`extension_to_json`, restoring tuple node identities."""
     definition = definition_from_json(doc["definition"])
     edge_matches = {}
     for entry in doc["edge_matches"]:
@@ -88,6 +93,9 @@ def write_viewset(views: ViewSet, path: Union[str, Path]) -> None:
 
 
 def read_viewset(path: Union[str, Path]) -> ViewSet:
+    """Load a :class:`ViewSet` written by :func:`write_viewset`,
+    re-installing any persisted extensions (so a cache materialized in
+    one process is immediately usable by MatchJoin in another)."""
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
     views = ViewSet(definition_from_json(d) for d in doc["definitions"])

@@ -26,7 +26,7 @@ and :meth:`IncrementalView.delete_edge`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, List, NamedTuple, Optional, Set, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern
@@ -35,6 +35,19 @@ from repro.views.view import MaterializedView, ViewDefinition
 
 PNode = Hashable
 Node = Hashable
+
+
+class MaintenanceEvent(NamedTuple):
+    """One applied graph update, delivered to subscribers.
+
+    ``op`` is ``"insert"`` or ``"delete"``; ``source``/``target`` are
+    the data-graph edge endpoints.  Events fire *after* the view state
+    is consistent again, so a subscriber may read extensions directly.
+    """
+
+    op: str
+    source: Node
+    target: Node
 
 
 class IncrementalView:
@@ -57,6 +70,10 @@ class IncrementalView:
     # State construction
     # ------------------------------------------------------------------
     def _compatible(self, x: PNode, v: Node) -> bool:
+        # An endpoint not yet in the graph (add_edge auto-creates nodes)
+        # will exist with no labels/attributes once the edge is applied.
+        if v not in self._graph:
+            return self.definition.pattern.condition(x).matches(frozenset(), {})
         return self.definition.pattern.condition(x).matches(
             self._graph.labels(v), self._graph.attrs(v)
         )
@@ -183,6 +200,7 @@ class IncrementalViewSet:
     def __init__(self, definitions, graph: DataGraph) -> None:
         self._graph = graph.copy()
         self._trackers = {}
+        self._subscribers: List[Callable[[MaintenanceEvent], None]] = []
         for definition in definitions:
             tracker = IncrementalView.__new__(IncrementalView)
             tracker.definition = definition
@@ -193,9 +211,47 @@ class IncrementalViewSet:
             self._trackers[definition.name] = tracker
 
     def names(self):
+        """Names of the maintained views, in registration order."""
         return list(self._trackers)
 
+    def definition(self, name: str) -> ViewDefinition:
+        """The definition of maintained view ``name``."""
+        return self._trackers[name].definition
+
+    # ------------------------------------------------------------------
+    # Change notification (the hook cache layers subscribe to)
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[MaintenanceEvent], None]) -> None:
+        """Register ``callback`` to run after every applied update.
+
+        This is the invalidation hook the paper's deployment story
+        needs: a query engine caching answers over ``V(G)`` subscribes
+        here and discards (or refreshes) state when ``G`` changes.
+        Callbacks fire after the view state is consistent.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[MaintenanceEvent], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def _notify(self, event: MaintenanceEvent) -> None:
+        for callback in list(self._subscribers):
+            callback(event)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
     def insert_edge(self, source: Node, target: Node) -> None:
+        """Apply one edge insertion across every maintained view.
+
+        Irrelevant insertions (no label-compatible view edge) cost
+        ``O(|V|)`` per view; relevant ones recompute the affected views
+        only (see the module docstring for why insertion revival is not
+        done incrementally).
+        """
         if self._graph.has_edge(source, target):
             return
         # Decide relevance per view *before* mutating the shared graph,
@@ -208,17 +264,23 @@ class IncrementalViewSet:
         self._graph.add_edge(source, target)
         for tracker in affected:
             tracker._recompute()
+        self._notify(MaintenanceEvent("insert", source, target))
 
     def delete_edge(self, source: Node, target: Node) -> None:
-        # One shared removal, then each tracker's counter cascade.
+        """Apply one edge deletion: shared removal, then each view's
+        witness-counter cascade prunes exactly the invalidated matches."""
         self._graph.remove_edge(source, target)
         for tracker in self._trackers.values():
             tracker._prune_after_deletion(source, target)
+        self._notify(MaintenanceEvent("delete", source, target))
 
     def extension(self, name: str) -> MaterializedView:
+        """The current, always-consistent extension of view ``name``."""
         return self._trackers[name].extension()
 
     def as_viewset(self):
+        """A consistent :class:`~repro.views.storage.ViewSet` snapshot
+        (definitions plus freshly built extensions)."""
         from repro.views.storage import ViewSet
 
         views = ViewSet(t.definition for t in self._trackers.values())

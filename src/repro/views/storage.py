@@ -16,21 +16,47 @@ from repro.views.view import MaterializedView, ViewDefinition, materialize
 
 
 class ViewSet:
-    """An ordered, name-keyed set of views with optional extensions."""
+    """An ordered, name-keyed set of views with optional extensions.
+
+    Every mutation -- adding a definition, materializing, installing or
+    dropping an extension -- bumps :attr:`version`, a monotonically
+    increasing counter.  Consumers that cache anything derived from the
+    catalog (notably :class:`~repro.engine.engine.QueryEngine`) embed
+    the version in their cache keys, so stale entries are unreachable
+    by construction after any catalog change.
+    """
 
     def __init__(self, definitions: Optional[Iterable[ViewDefinition]] = None) -> None:
         self._definitions: Dict[str, ViewDefinition] = {}
         self._extensions: Dict[str, MaterializedView] = {}
+        self._version = 0
+        self._definitions_version = 0
         for definition in definitions or ():
             self.add(definition)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: increases on every definition or extension
+        change (the cache-invalidation token for cached *answers*)."""
+        return self._version
+
+    @property
+    def definitions_version(self) -> int:
+        """Counter bumped only when the definitions change.  Containment
+        decisions (Theorem 3) depend on definitions alone, so caches of
+        λ mappings key on this and survive extension refreshes."""
+        return self._definitions_version
 
     # ------------------------------------------------------------------
     # Definition management
     # ------------------------------------------------------------------
     def add(self, definition: ViewDefinition) -> None:
+        """Register a new view definition (names must be unique)."""
         if definition.name in self._definitions:
             raise ValueError(f"duplicate view name {definition.name!r}")
         self._definitions[definition.name] = definition
+        self._version += 1
+        self._definitions_version += 1
 
     def __contains__(self, name: str) -> bool:
         return name in self._definitions
@@ -42,12 +68,15 @@ class ViewSet:
         return iter(self._definitions.values())
 
     def definition(self, name: str) -> ViewDefinition:
+        """The definition registered under ``name`` (KeyError if absent)."""
         return self._definitions[name]
 
     def definitions(self) -> List[ViewDefinition]:
+        """All definitions, in registration order (the ``V`` of the paper)."""
         return list(self._definitions.values())
 
     def names(self) -> List[str]:
+        """View names in registration order."""
         return list(self._definitions)
 
     def subset(self, names: Iterable[str]) -> "ViewSet":
@@ -84,14 +113,26 @@ class ViewSet:
     # Materialization
     # ------------------------------------------------------------------
     def materialize(self, graph: DataGraph, names: Optional[Iterable[str]] = None) -> None:
-        """Materialize (cache) extensions for the given views on ``graph``."""
+        """Materialize (cache) extensions for the given views on ``graph``.
+
+        Evaluates each view on ``G`` and stores ``V(G)`` (Section II-B);
+        defaults to all definitions.  Bumps :attr:`version`.
+        """
         for name in names if names is not None else list(self._definitions):
             self._extensions[name] = materialize(self._definitions[name], graph)
+            self._version += 1
 
     def is_materialized(self, name: str) -> bool:
+        """Whether view ``name`` currently has a cached extension."""
         return name in self._extensions
 
     def extension(self, name: str) -> MaterializedView:
+        """The cached extension ``V(G)`` of view ``name``.
+
+        Raises ``KeyError`` when the view was never materialized --
+        MatchJoin runs on extensions only (Theorem 1), so there is no
+        silent fallback to evaluating the view.
+        """
         if name not in self._extensions:
             raise KeyError(
                 f"view {name!r} has no materialized extension; call "
@@ -100,16 +141,25 @@ class ViewSet:
         return self._extensions[name]
 
     def extensions(self) -> Dict[str, MaterializedView]:
+        """A name-keyed snapshot of every cached extension."""
         return dict(self._extensions)
 
     def set_extension(self, extension: MaterializedView) -> None:
-        """Install an externally built/maintained extension."""
+        """Install an externally built/maintained extension.
+
+        The entry point for incremental maintenance (Section I cites
+        [15]): a fresh extension replaces the stale one and bumps
+        :attr:`version` so dependent caches invalidate.
+        """
         if extension.name not in self._definitions:
             raise KeyError(f"unknown view {extension.name!r}")
         self._extensions[extension.name] = extension
+        self._version += 1
 
     def drop_extension(self, name: str) -> None:
-        self._extensions.pop(name, None)
+        """Forget a cached extension (no-op when not materialized)."""
+        if self._extensions.pop(name, None) is not None:
+            self._version += 1
 
     def __repr__(self) -> str:
         return (

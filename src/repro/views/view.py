@@ -54,6 +54,8 @@ class ViewDefinition:
 
     @property
     def is_bounded(self) -> bool:
+        """Whether this is a bounded view (Section VI): its edges match
+        paths up to a bound, and its extension carries ``I(V)``."""
         return isinstance(self.pattern, BoundedPattern)
 
     @property
@@ -99,14 +101,17 @@ class MaterializedView:
 
     @property
     def name(self) -> str:
+        """Name of the owning view definition (the cache key)."""
         return self.definition.name
 
     @property
     def is_empty(self) -> bool:
+        """True when the view did not match ``G`` (every ``Se`` empty)."""
         return not any(self.edge_matches.values())
 
     @property
     def num_pairs(self) -> int:
+        """Total number of materialized pairs across all view edges."""
         return sum(len(pairs) for pairs in self.edge_matches.values())
 
     @property
@@ -120,6 +125,8 @@ class MaterializedView:
         return len(nodes) + self.num_pairs
 
     def pairs_of(self, view_edge: PEdge) -> Set[NodePair]:
+        """The match set ``Se`` of one view edge -- what MatchJoin's
+        merge step (Fig. 2 lines 1-4) unions over λ-images."""
         return self.edge_matches[view_edge]
 
     def distance_of(self, pair: NodePair) -> int:

@@ -96,6 +96,28 @@ class TestPatternRoundTrip:
         assert r.bound(("a", "b")) == 3
         assert r.bound(("b", "c")) is ANY
 
+    def test_tuple_node_ids_round_trip(self, tmp_path):
+        # query_from_views names nodes (copy, node) -- and stacking
+        # generators can nest further.  JSON turns tuples into lists,
+        # and the reader must restore them recursively.
+        q = Pattern()
+        q.add_node(("c0", "a"), "A")
+        q.add_node(("c0", ("c1", "b")), "B")
+        q.add_edge(("c0", "a"), ("c0", ("c1", "b")))
+        path = tmp_path / "qt.json"
+        write_pattern(q, path)
+        r = read_pattern(path)
+        assert set(r.edges()) == {(("c0", "a"), ("c0", ("c1", "b")))}
+
+        qb = BoundedPattern()
+        qb.add_node(("c0", "a"), "A")
+        qb.add_node(("c0", "b"), "B")
+        qb.add_edge(("c0", "a"), ("c0", "b"), 2)
+        write_pattern(qb, path)
+        rb = read_pattern(path)
+        assert isinstance(rb, BoundedPattern)
+        assert rb.bound(((("c0", "a")), ("c0", "b"))) == 2
+
 
 class TestSnapReader:
     def test_reads_edge_list(self, tmp_path):
