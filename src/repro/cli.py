@@ -11,7 +11,8 @@ Subcommands::
     python -m repro engine    --queries q1.json q2.json --views views.json \
                               [--graph graph.json] [--executor process] \
                               [--workers 4] [--repeat 2] [--explain]
-    python -m repro stats     --graph graph.json [--views views.json]
+    python -m repro stats     --graph graph.json [--views views.json] \
+                              [--format json]
 
 ``generate`` writes a dataset stand-in (and optionally its standard view
 suite); ``materialize`` caches extensions into the views file;
@@ -21,7 +22,9 @@ pass ``--graph`` only if extensions still need materializing);
 ``engine`` batch-answers many queries through the planned/cached
 :class:`~repro.engine.engine.QueryEngine` (``--repeat`` demonstrates
 the warm answer cache, ``--explain`` prints plans without executing);
-``stats`` prints size accounting.
+``stats`` prints size accounting -- with ``--format json`` it emits a
+machine-readable report including the label histogram and the
+snapshot / label-index statistics of the compact graph backend.
 """
 
 from __future__ import annotations
@@ -194,6 +197,50 @@ def _cmd_engine(args) -> int:
 def _cmd_stats(args) -> int:
     graph = read_graph(args.graph)
     stats = graph_stats(graph)
+    views = read_viewset(args.views) if args.views else None
+    if args.format == "json":
+        index = graph.label_index_stats()
+        snapshot = graph.freeze()
+        payload = {
+            "graph": {
+                "nodes": stats.num_nodes,
+                "edges": stats.num_edges,
+                "size": stats.size,
+                "max_out_degree": stats.max_out_degree,
+                "max_in_degree": stats.max_in_degree,
+                "avg_out_degree": stats.avg_out_degree,
+            },
+            "label_histogram": dict(
+                sorted(stats.label_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            ),
+            "label_index": {
+                "labels": len(index),
+                "indexed_nodes": sum(index.values()),
+                "largest_bucket": (
+                    max(index.items(), key=lambda kv: kv[1])[0] if index else None
+                ),
+            },
+            "snapshot": {
+                "version": snapshot.snapshot_version,
+                "token": snapshot.snapshot_token,
+                "nodes": snapshot.num_nodes,
+                "edges": snapshot.num_edges,
+            },
+        }
+        if views is not None:
+            payload["views"] = {
+                "cardinality": views.cardinality,
+                "materialized": [
+                    n for n in views.names() if views.is_materialized(n)
+                ],
+                "definition_size": views.definition_size,
+                "extension_size": views.extension_size,
+                "extension_fraction": views.extension_fraction(graph),
+                "snapshot_token": views.snapshot_token,
+            }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
     print(f"nodes: {stats.num_nodes}  edges: {stats.num_edges}  |G|: {stats.size}")
     print(f"max out-degree: {stats.max_out_degree}  "
           f"max in-degree: {stats.max_in_degree}  "
@@ -201,8 +248,7 @@ def _cmd_stats(args) -> int:
     top = sorted(stats.label_counts.items(), key=lambda kv: -kv[1])[:10]
     for label, count in top:
         print(f"  {label}: {count}")
-    if args.views:
-        views = read_viewset(args.views)
+    if views is not None:
         materialized = [n for n in views.names() if views.is_materialized(n)]
         print(f"views: {views.cardinality} ({len(materialized)} materialized, "
               f"extension fraction {views.extension_fraction(graph):.1%})")
@@ -267,6 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="graph / view-cache statistics")
     p.add_argument("--graph", required=True)
     p.add_argument("--views")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="json adds the label histogram and snapshot/"
+                        "label-index statistics")
     p.set_defaults(func=_cmd_stats)
     return parser
 

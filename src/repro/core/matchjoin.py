@@ -29,6 +29,7 @@ Total cost of the optimized engine is ``O(|Qs||V(G)| + |V(G)|^2)``
 from __future__ import annotations
 
 import heapq
+from itertools import repeat
 from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.core.containment import Containment
@@ -46,12 +47,10 @@ NodePair = Tuple[Node, Node]
 Extensions = Mapping[str, MaterializedView]
 
 
-def merge_initial_sets(
-    query: Pattern,
-    containment: Containment,
-    extensions: Extensions,
-) -> Dict[PEdge, Set[NodePair]]:
-    """Fig. 2 lines 1-4: ``Se := ∪_{e' ∈ λ(e)} Se'`` from the extensions."""
+def _check_inputs(
+    query: Pattern, containment: Containment, extensions: Extensions
+) -> None:
+    """Shared precondition checks for every MatchJoin entry point."""
     if not containment.holds:
         raise NotContainedError(containment.uncovered)
     if query.isolated_nodes():
@@ -59,16 +58,27 @@ def merge_initial_sets(
             "pattern has isolated nodes; view extensions store edges, so "
             "evaluate such patterns directly with match()"
         )
-    initial: Dict[PEdge, Set[NodePair]] = {}
     for edge in query.edges():
-        refs = containment.mapping.get(edge, ())
-        merged: Set[NodePair] = set()
-        for view_name, view_edge in refs:
+        for view_name, _ in containment.mapping.get(edge, ()):
             if view_name not in extensions:
                 raise NotMaterializedError(
                     f"extension for view {view_name!r} is required by λ "
                     "but was not provided"
                 )
+
+
+def merge_initial_sets(
+    query: Pattern,
+    containment: Containment,
+    extensions: Extensions,
+) -> Dict[PEdge, Set[NodePair]]:
+    """Fig. 2 lines 1-4: ``Se := ∪_{e' ∈ λ(e)} Se'`` from the extensions."""
+    _check_inputs(query, containment, extensions)
+    initial: Dict[PEdge, Set[NodePair]] = {}
+    for edge in query.edges():
+        refs = containment.mapping.get(edge, ())
+        merged: Set[NodePair] = set()
+        for view_name, view_edge in refs:
             merged |= extensions[view_name].pairs_of(view_edge)
         initial[edge] = merged
     return initial
@@ -98,9 +108,26 @@ def _fixpoint_ranked(
             return None
         by_source[edge] = source_index
         by_target[edge] = target_index
+    return _refine_indexes(query, by_source, by_target)
 
+
+def _refine_indexes(
+    query: Pattern,
+    by_source: Dict[PEdge, Dict[Node, Set[Node]]],
+    by_target: Dict[PEdge, Dict[Node, Set[Node]]],
+) -> Optional[Dict[PEdge, Dict[Node, Set[Node]]]]:
+    """The rank-ordered worklist refinement over pre-grouped indexes.
+
+    This is the node-key engine only: the snapshot fast path
+    (:func:`_compact_match_join`) runs its own candidate-level batch
+    fixpoint over the immutable id-space payloads and never calls in
+    here.  Mutates the indexes in place; every inner set must be owned
+    by the caller.
+    """
     # Candidate pools and validity.  A candidate v of pattern node u is
-    # valid while every out-edge of u still has a pair sourced at v.
+    # valid while every out-edge of u still has a pair sourced at v,
+    # i.e. v lies in the intersection of the source-index key sets of
+    # u's out-edges (all indexed sets are nonempty at this point).
     candidates: Dict[PNode, Set[Node]] = {}
     for u in query.nodes():
         pool: Set[Node] = set()
@@ -110,23 +137,21 @@ def _fixpoint_ranked(
             pool.update(by_target[edge])
         candidates[u] = pool
 
-    def valid(u: PNode, v: Node) -> bool:
-        return all(
-            v in by_source[edge] and by_source[edge][v]
-            for edge in query.out_edges(u)
-        )
-
     ranks = node_ranks(query)
     counter = 0
     heap: List[Tuple[int, int, PNode, Node]] = []
     invalidated: Dict[PNode, Set[Node]] = {u: set() for u in query.nodes()}
     # Seed with invalid candidates, lowest rank first (bottom-up).
     for u in sorted(query.nodes(), key=lambda n: ranks[n]):
-        for v in candidates[u]:
-            if not valid(u, v):
-                invalidated[u].add(v)
-                heapq.heappush(heap, (ranks[u], counter, u, v))
-                counter += 1
+        alive: Optional[Set[Node]] = None
+        for edge in query.out_edges(u):
+            keys = by_source[edge].keys()
+            alive = set(keys) if alive is None else alive.intersection(keys)
+        doomed = candidates[u] - alive if alive is not None else set()
+        for v in doomed:
+            invalidated[u].add(v)
+            heapq.heappush(heap, (ranks[u], counter, u, v))
+            counter += 1
 
     while heap:
         _, _, u, v = heapq.heappop(heap)
@@ -165,6 +190,196 @@ def _fixpoint_ranked(
                         )
                         counter += 1
     return by_source
+
+
+# ----------------------------------------------------------------------
+# Snapshot fast path: id-space fixpoint over compact extension payloads
+# ----------------------------------------------------------------------
+def _compact_match_join(
+    query: Pattern, containment: Containment, extensions: Extensions
+) -> Optional[MatchResult]:
+    """Run MatchJoin in snapshot id space when the extensions allow it.
+
+    Engages only when every extension λ references carries a
+    :class:`~repro.views.view.CompactExtension` payload *from the same
+    snapshot* (equal tokens -- ids from different snapshots must never
+    mix).  Returns ``None`` to signal "fall back to the node-key path";
+    otherwise the finished (decoded) :class:`MatchResult`.
+
+    Unlike the node-key engine, which refines *pair sets* in place, this
+    path refines at the *candidate* level: a pair ``(v, w)`` of edge
+    ``e = (u, u')`` survives the Fig. 2 fixpoint iff ``v`` stays a valid
+    candidate of ``u`` and ``w`` of ``u'``, where validity is the
+    greatest relation in which every candidate has, for each out-edge of
+    its pattern node, at least one surviving target in the initial
+    merged set.  Candidate validity is computed with the same batched
+    witness-counter propagation as the compact simulation engine --
+    entirely over the extensions' pre-grouped, immutable id indexes, so
+    the merge step copies nothing for single-view λ images, and an edge
+    whose endpoints lose no candidates reuses the stored node-key pair
+    set outright instead of decoding pair by pair.
+    """
+    token = None
+    for edge in query.edges():
+        for view_name, _ in containment.mapping.get(edge, ()):
+            payload = extensions[view_name].compact
+            if payload is None:
+                return None
+            if token is None:
+                token = payload.token
+            elif payload.token != token:
+                return None
+    if token is None:
+        return None
+
+    # --- merge (Fig. 2 lines 1-4), sharing single-view indexes --------
+    nodes = None
+    by_source: Dict[PEdge, Dict[int, Set[int]]] = {}
+    by_target: Dict[PEdge, Dict[int, Set[int]]] = {}
+    # For single-view λ images, the stored node-key pair set to reuse
+    # wholesale when refinement leaves the edge untouched.
+    stored_pairs: Dict[PEdge, Set[NodePair]] = {}
+    for edge in query.edges():
+        refs = containment.mapping.get(edge, ())
+        if len(refs) == 1:
+            view_name, view_edge = refs[0]
+            extension = extensions[view_name]
+            payload = extension.compact
+            nodes = payload.nodes
+            source_index = payload.by_source[view_edge]
+            target_index = payload.by_target[view_edge]
+            stored_pairs[edge] = extension.edge_matches[view_edge]
+        else:
+            source_index = {}
+            target_index = {}
+            for view_name, view_edge in refs:
+                payload = extensions[view_name].compact
+                nodes = payload.nodes
+                for v, targets in payload.by_source[view_edge].items():
+                    current = source_index.get(v)
+                    if current is None:
+                        source_index[v] = set(targets)
+                    else:
+                        current |= targets
+                for w, sources in payload.by_target[view_edge].items():
+                    current = target_index.get(w)
+                    if current is None:
+                        target_index[w] = set(sources)
+                    else:
+                        current |= sources
+        if not source_index:
+            return MatchResult.empty()
+        by_source[edge] = source_index
+        by_target[edge] = target_index
+
+    # --- candidate pools and witness counters --------------------------
+    valid: Dict[PNode, Set[int]] = {}
+    out_edges: Dict[PNode, List[PEdge]] = {}
+    in_edges: Dict[PNode, List[PEdge]] = {}
+    for u in query.nodes():
+        out_edges[u] = query.out_edges(u)
+        in_edges[u] = query.in_edges(u)
+        pool: Set[int] = set()
+        for edge in out_edges[u]:
+            pool.update(by_source[edge].keys())
+        for edge in in_edges[u]:
+            pool.update(by_target[edge].keys())
+        valid[u] = pool
+
+    # counters[e][v] = |by_source[e][v] & valid(target of e)|; initially
+    # every stored target is a valid candidate of the target node.
+    counters: Dict[PEdge, Dict[int, int]] = {
+        edge: {v: len(targets) for v, targets in index.items()}
+        for edge, index in by_source.items()
+    }
+
+    # --- seed: candidates missing support on some out-edge -------------
+    pending: Dict[PNode, Set[int]] = {}
+    for u in query.nodes():
+        alive: Optional[Set[int]] = None
+        for edge in out_edges[u]:
+            keys = by_source[edge].keys()
+            alive = set(keys) if alive is None else alive.intersection(keys)
+        if alive is None:
+            continue
+        doomed = valid[u] - alive
+        if doomed:
+            valid[u] = alive & valid[u]
+            if not valid[u]:
+                return MatchResult.empty()
+            pending[u] = doomed
+
+    # --- batched propagation (same scheme as the compact simulation) --
+    dead: Dict[PNode, Set[int]] = {u: set() for u in query.nodes()}
+    while pending:
+        u1, removed = pending.popitem()
+        dead[u1] |= removed
+        for edge in in_edges[u1]:
+            u0 = edge[0]
+            target_index = by_target[edge]
+            touched: Set[int] = set()
+            for w in removed:
+                sources = target_index.get(w)
+                if sources:
+                    touched |= sources
+            candidates = valid[u0]
+            affected = candidates & touched
+            if not affected:
+                continue
+            source_index = by_source[edge]
+            edge_counter = counters[edge]
+            intersect_removed = removed.intersection
+            newly: Set[int] = set()
+            for v in affected:
+                lost = len(intersect_removed(source_index[v]))
+                if lost:
+                    count = edge_counter[v] - lost
+                    edge_counter[v] = count
+                    if count == 0:
+                        newly.add(v)
+            if newly:
+                candidates -= newly
+                if not candidates:
+                    return MatchResult.empty()
+                queued = pending.get(u0)
+                if queued is None:
+                    pending[u0] = newly
+                else:
+                    queued |= newly
+
+    # --- package: restrict the initial sets to the valid candidates ----
+    decode = nodes.__getitem__
+    node_matches: Dict[PNode, Set[Node]] = {u: set() for u in query.nodes()}
+    edge_matches: Dict[PEdge, Set[NodePair]] = {}
+    for edge in query.edges():
+        u, u_prime = edge
+        source_index = by_source[edge]
+        sources = valid[u].intersection(source_index.keys())
+        target_pool = valid[u_prime]
+        shared = stored_pairs.get(edge)
+        if (
+            shared is not None
+            and not dead[u]
+            and not dead[u_prime]
+            and len(sources) == len(source_index)
+        ):
+            # Nothing was refined away: the stored extension pair set is
+            # the answer for this edge (copied so callers own it).
+            edge_matches[edge] = set(shared)
+            node_matches[u].update(map(decode, sources))
+            node_matches[u_prime].update(map(decode, by_target[edge].keys()))
+            continue
+        pairs: Set[NodePair] = set()
+        surviving_targets: Set[int] = set()
+        for v in sources:
+            targets = target_pool.intersection(source_index[v])
+            if targets:
+                surviving_targets |= targets
+                pairs.update(zip(repeat(decode(v)), map(decode, targets)))
+        edge_matches[edge] = pairs
+        node_matches[u].update(map(decode, sources))
+        node_matches[u_prime].update(map(decode, surviving_targets))
+    return MatchResult(node_matches, edge_matches)
 
 
 # ----------------------------------------------------------------------
@@ -264,7 +479,18 @@ def match_join(
     does not match ``Qs``.  Node match sets in the returned result are
     the nodes participating in edge matches (the paper's ``Qs(G)`` is
     the edge-level object).
+
+    When every referenced extension was materialized against the same
+    :class:`~repro.graph.compact.CompactGraph` snapshot, the optimized
+    engine runs entirely in the snapshot's integer-id space (see
+    :func:`_compact_match_join`); the result is identical either way.
     """
-    initial = merge_initial_sets(query, containment, _extensions_of(extensions))
+    resolved = _extensions_of(extensions)
+    _check_inputs(query, containment, resolved)
+    if optimized:
+        fast = _compact_match_join(query, containment, resolved)
+        if fast is not None:
+            return fast
+    initial = merge_initial_sets(query, containment, resolved)
     result = run_fixpoint(query, initial, optimized=optimized)
     return result if result is not None else MatchResult.empty()

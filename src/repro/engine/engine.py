@@ -22,6 +22,17 @@ concurrently.  :class:`QueryEngine` owns a
   refresh the engine's extensions lazily and invalidate stale cache
   entries through the view-set version counter.
 
+The engine freezes its data graph into a
+:class:`~repro.graph.compact.CompactGraph` snapshot exactly once and
+reuses it everywhere ``G`` is read -- materializing missing extensions,
+direct evaluation, and every batch executor (the snapshot ships to
+process-pool workers in place of the mutable graph).  Extensions
+materialized against the snapshot carry id-space payloads, so MatchJoin
+runs its integer fast path end to end.  The snapshot is invalidated
+through the same maintenance ``subscribe()`` hook that refreshes
+extensions, and by the graph's own mutation :attr:`~DataGraph.version`
+counter.
+
 Every result carries an :class:`ExecutionStats` on ``MatchResult.stats``
 (strategy, timing, cache provenance), so callers can meter the engine
 without wrapping it.
@@ -49,6 +60,7 @@ from repro.engine.plan import (
     pattern_key,
 )
 from repro.errors import NotContainedError, NotMaterializedError
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
 from repro.simulation.result import MatchResult
@@ -111,6 +123,7 @@ class QueryEngine:
         self._answer_cache = LRUCache(answer_cache_size)
         self._maintenance: Optional[IncrementalViewSet] = None
         self._maintenance_dirty = False
+        self._snapshot: Optional[CompactGraph] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -124,6 +137,21 @@ class QueryEngine:
     def graph(self) -> Optional[DataGraph]:
         """The fallback data graph (``None`` for a views-only engine)."""
         return self._graph
+
+    def snapshot(self) -> Optional[CompactGraph]:
+        """The engine's frozen view of ``G`` (``None`` without a graph).
+
+        Frozen once and reused for materialization, direct evaluation
+        and batch execution; re-frozen only after the graph mutates or a
+        maintenance event fires.
+        """
+        if self._graph is None:
+            return None
+        snapshot = self._snapshot
+        if snapshot is None or snapshot.snapshot_version != self._graph.version:
+            snapshot = self._graph.freeze()
+            self._snapshot = snapshot
+        return snapshot
 
     def cache_stats(self) -> Dict[str, Dict[str, float]]:
         """Hit/miss/eviction counters for both caches."""
@@ -170,6 +198,7 @@ class QueryEngine:
 
     def _on_maintenance_event(self, event) -> None:
         self._maintenance_dirty = True
+        self._snapshot = None
 
     def _refresh_if_dirty(self) -> None:
         if not self._maintenance_dirty or self._maintenance is None:
@@ -246,8 +275,11 @@ class QueryEngine:
         if hit is not None:
             return self._deliver(hit, plan, elapsed=0.0, cache_hit=True)
         spec = self._spec_for(plan)
+        # Freeze lazily: MatchJoin specs never read the graph, so only a
+        # direct-evaluation spec is worth the (one-off) freeze cost.
+        graph = self.snapshot() if spec.kind == DIRECT else None
         [(_, result, elapsed, _)] = run_specs(
-            [(0, spec)], self._views.extensions(), self._graph, executor="serial"
+            [(0, spec)], self._views.extensions(), graph, executor="serial"
         )
         # _spec_for may have materialized extensions (bumping version);
         # store under the *current* key so the next lookup hits.
@@ -291,10 +323,11 @@ class QueryEngine:
             specs.append((index, self._spec_for(plan)))
 
         if specs:
+            needs_graph = any(spec.kind == DIRECT for _, spec in specs)
             completed = run_specs(
                 specs,
                 self._views.extensions(),
-                self._graph,
+                self.snapshot() if needs_graph else None,
                 executor=executor,
                 workers=workers,
             )
@@ -353,7 +386,10 @@ class QueryEngine:
                     f"extensions missing for views {missing!r} and the "
                     "engine has no graph to materialize them from"
                 )
-            self._views.materialize(self._graph, names=missing)
+            # Materialize against the frozen snapshot: the extensions
+            # then carry id-space payloads, so MatchJoin specs take the
+            # integer fast path (in-process and in pool workers alike).
+            self._views.materialize(self.snapshot(), names=missing)
         return EvaluationSpec(
             kind=MATCHJOIN,
             query=plan.query,

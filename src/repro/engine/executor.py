@@ -64,7 +64,12 @@ def evaluate_spec(
     graph: Optional[DataGraph],
 ) -> MatchResult:
     """Run one spec against the shared payload (the single code path
-    used by every executor, in-process or not)."""
+    used by every executor, in-process or not).
+
+    ``graph`` may be a mutable :class:`DataGraph` or a frozen
+    :class:`~repro.graph.compact.CompactGraph` -- the engine ships its
+    snapshot, so direct evaluation takes the integer fast path and the
+    pickled payload for pool workers is the read-optimized form."""
     if spec.kind == "direct":
         if graph is None:
             raise ValueError("direct evaluation requires a data graph")

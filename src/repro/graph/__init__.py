@@ -3,7 +3,12 @@
 This subpackage provides everything the matching algorithms stand on:
 
 * :class:`~repro.graph.digraph.DataGraph` -- a directed graph whose nodes
-  carry label sets and attribute dictionaries (Section II-A of the paper).
+  carry label sets and attribute dictionaries (Section II-A of the paper),
+  with an incrementally-maintained label index and a mutation version
+  counter.
+* :class:`~repro.graph.compact.CompactGraph` -- the immutable integer-id
+  snapshot produced by :meth:`DataGraph.freeze`, the read-optimized
+  backend under batch serving.
 * :mod:`~repro.graph.conditions` -- node search conditions ``fv`` (plain
   labels or Boolean predicates as in Fig. 7) together with a sound
   implication test used by view-match computation.
@@ -24,6 +29,7 @@ from repro.graph.conditions import (
     TrueCondition,
     implies,
 )
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import ANY, BoundedPattern, Pattern
 
@@ -31,6 +37,7 @@ __all__ = [
     "ANY",
     "AttributeCondition",
     "BoundedPattern",
+    "CompactGraph",
     "Condition",
     "DataGraph",
     "Label",

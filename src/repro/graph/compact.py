@@ -1,0 +1,276 @@
+"""Immutable, read-optimized snapshots of data graphs.
+
+A :class:`CompactGraph` is a frozen CSR-style copy of a
+:class:`~repro.graph.digraph.DataGraph`: nodes are renumbered to dense
+integer ids ``0..n-1``, adjacency is stored as per-node tuples of ids
+(one flat row per node, no hash sets), labels and attributes live in
+id-indexed tables, and every label maps to the sorted id array of the
+nodes carrying it.  The matching engines exploit this layout twice over:
+
+* **seeding** -- candidate sets come straight from the label index
+  instead of a full-node condition scan, the dominant cost of the
+  ``O(|Qs||G|)`` term in the paper's simulation bound (Theorems 1-3 of
+  conf_icde_FanWW14 assume exactly this kind of index);
+* **refinement** -- witness counting intersects candidate sets with
+  adjacency rows at C speed (``set.intersection`` over an id tuple)
+  rather than chasing per-element hash lookups in Python.
+
+Snapshots are identified by two integers: :attr:`snapshot_version`, the
+source graph's mutation counter at freeze time, and
+:attr:`snapshot_token`, a random 64-bit id that is unique across
+processes as well.  Together they let
+downstream caches (materialized view extensions, the query engine)
+recognise that two id spaces are the same and safely exchange raw
+integer ids; see ``MaterializedView.compact`` and the MatchJoin fast
+path.
+
+The public read API mirrors :class:`DataGraph` (``nodes()``,
+``successors``, ``labels``, ``descendants_within`` ...) over the
+*original node keys*, so every generic engine -- plain, dual, strong and
+bounded simulation -- runs on a snapshot unchanged.  The id-space API
+(``out_ids``, ``label_ids``, ``node_of`` ...) is what the dedicated fast
+paths use.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+def _new_token() -> int:
+    """A fresh snapshot token: 64 random bits, so tokens minted in
+    *different* processes cannot collide either (extensions frozen on
+    separate workers may meet in one MatchJoin call).  Tokens survive
+    pickling -- they are plain ints -- so extensions shipped to pool
+    workers still recognise each other's id space."""
+    return int.from_bytes(os.urandom(8), "big") | 1
+
+
+class CompactGraph:
+    """A frozen, integer-id snapshot of a :class:`DataGraph`.
+
+    Build one with :meth:`DataGraph.freeze`, not directly.  The snapshot
+    is immutable: there are no mutation methods, and the underlying
+    arrays are shared freely by everything derived from it.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_ids",
+        "_succ",
+        "_pred",
+        "_labels",
+        "_attrs",
+        "_label_ids",
+        "_succ_sets",
+        "_pred_sets",
+        "_num_edges",
+        "snapshot_version",
+        "snapshot_token",
+    )
+
+    def __init__(self, graph, version: int) -> None:
+        nodes: List[Node] = list(graph.nodes())
+        ids: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+        self._nodes = nodes
+        self._ids = ids
+        self._succ: List[Tuple[int, ...]] = [
+            tuple(ids[w] for w in graph.successors(v)) for v in nodes
+        ]
+        self._pred: List[Tuple[int, ...]] = [
+            tuple(ids[w] for w in graph.predecessors(v)) for v in nodes
+        ]
+        self._labels: List[FrozenSet[str]] = [graph.labels(v) for v in nodes]
+        self._attrs: List[Dict[str, Any]] = [
+            dict(graph.attrs(v)) if graph.attrs(v) else {} for v in nodes
+        ]
+        buckets: Dict[str, List[int]] = {}
+        for i, labels in enumerate(self._labels):
+            for label in labels:
+                buckets.setdefault(label, []).append(i)
+        self._label_ids: Dict[str, Tuple[int, ...]] = {
+            label: tuple(bucket) for label, bucket in buckets.items()
+        }
+        # Node-key adjacency frozensets, built lazily for the generic
+        # engines (dual/strong/bounded) that want set semantics.
+        self._succ_sets: List[Optional[FrozenSet[Node]]] = [None] * len(nodes)
+        self._pred_sets: List[Optional[FrozenSet[Node]]] = [None] * len(nodes)
+        self._num_edges = graph.num_edges
+        self.snapshot_version = version
+        self.snapshot_token = _new_token()
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CompactGraph":
+        """Snapshots are already frozen; return ``self`` (idempotence)."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Integer-id API (the fast paths)
+    # ------------------------------------------------------------------
+    def id_of(self, node: Node) -> int:
+        """The dense id of ``node`` (KeyError if absent)."""
+        return self._ids[node]
+
+    def node_of(self, i: int) -> Node:
+        """The original node key behind id ``i``."""
+        return self._nodes[i]
+
+    @property
+    def node_table(self) -> List[Node]:
+        """The id -> node key decode table (shared, do not mutate)."""
+        return self._nodes
+
+    def out_ids(self, i: int) -> Tuple[int, ...]:
+        """Successor ids of node id ``i`` (the CSR row)."""
+        return self._succ[i]
+
+    def in_ids(self, i: int) -> Tuple[int, ...]:
+        """Predecessor ids of node id ``i``."""
+        return self._pred[i]
+
+    @property
+    def succ_rows(self) -> List[Tuple[int, ...]]:
+        """All successor rows, indexed by id (shared, do not mutate)."""
+        return self._succ
+
+    @property
+    def pred_rows(self) -> List[Tuple[int, ...]]:
+        """All predecessor rows, indexed by id (shared, do not mutate)."""
+        return self._pred
+
+    def label_ids(self, label: str) -> Tuple[int, ...]:
+        """Ids of every node carrying ``label`` (empty tuple if none)."""
+        return self._label_ids.get(label, ())
+
+    def labels_of(self, i: int) -> FrozenSet[str]:
+        """Label set of node id ``i``."""
+        return self._labels[i]
+
+    def attrs_of(self, i: int) -> Dict[str, Any]:
+        """Attribute dict of node id ``i``."""
+        return self._attrs[i]
+
+    def label_index_stats(self) -> Dict[str, int]:
+        """``{label: bucket size}`` for every indexed label."""
+        return {label: len(ids) for label, ids in self._label_ids.items()}
+
+    # ------------------------------------------------------------------
+    # DataGraph-compatible read API (original node keys)
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._ids
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G|`` in the paper: total number of nodes and edges."""
+        return self.num_nodes + self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        for i, row in enumerate(self._succ):
+            source = self._nodes[i]
+            for j in row:
+                yield (source, self._nodes[j])
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        i = self._ids.get(source)
+        if i is None:
+            return False
+        j = self._ids.get(target)
+        return j is not None and j in self._succ[i]
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        i = self._ids[node]
+        cached = self._succ_sets[i]
+        if cached is None:
+            nodes = self._nodes
+            cached = frozenset(nodes[j] for j in self._succ[i])
+            self._succ_sets[i] = cached
+        return cached
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        i = self._ids[node]
+        cached = self._pred_sets[i]
+        if cached is None:
+            nodes = self._nodes
+            cached = frozenset(nodes[j] for j in self._pred[i])
+            self._pred_sets[i] = cached
+        return cached
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ[self._ids[node]])
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred[self._ids[node]])
+
+    def labels(self, node: Node) -> FrozenSet[str]:
+        return self._labels[self._ids[node]]
+
+    def attrs(self, node: Node) -> Dict[str, Any]:
+        return self._attrs[self._ids[node]]
+
+    def nodes_with_label(self, label: str) -> Iterator[Node]:
+        """Yield all nodes carrying ``label`` (index lookup, O(bucket))."""
+        nodes = self._nodes
+        return (nodes[i] for i in self._label_ids.get(label, ()))
+
+    # ------------------------------------------------------------------
+    # Traversal helpers (same contract as DataGraph)
+    # ------------------------------------------------------------------
+    def descendants_within(self, source: Node, bound: int) -> Dict[Node, int]:
+        """Map each node reachable from ``source`` by a path of length in
+        ``[1, bound]`` to its shortest such distance (id-space BFS)."""
+        if bound < 1:
+            return {}
+        succ = self._succ
+        dist: Dict[int, int] = {}
+        start = succ[self._ids[source]]
+        queued = set(start)
+        frontier = deque((j, 1) for j in start)
+        while frontier:
+            i, d = frontier.popleft()
+            dist[i] = d
+            if d < bound:
+                for j in succ[i]:
+                    if j not in queued:
+                        queued.add(j)
+                        frontier.append((j, d + 1))
+        nodes = self._nodes
+        return {nodes[i]: d for i, d in dist.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactGraph(nodes={self.num_nodes}, edges={self._num_edges}, "
+            f"snapshot={self.snapshot_version})"
+        )

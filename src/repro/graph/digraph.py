@@ -10,13 +10,24 @@ kept in a separate set for fast label-only matching.
 The class is deliberately dictionary-based (adjacency sets) rather than a
 wrapper over an external library: the matching engines need O(1) access
 to successor/predecessor sets and cheap membership tests, and nothing
-else.
+else.  Two read-path accelerators ride on top of the dictionaries:
+
+* an incrementally-maintained **label index** (label -> node set), so
+  candidate seeding in the matching engines is O(bucket) instead of a
+  full-node scan;
+* :meth:`freeze`, which produces an immutable
+  :class:`~repro.graph.compact.CompactGraph` snapshot -- dense integer
+  ids, array adjacency, per-node label/attribute tables -- for
+  read-heavy serving.  Snapshots are cached against the mutation
+  :attr:`version` counter, so repeated freezes of an unchanged graph
+  are free.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     FrozenSet,
@@ -28,6 +39,9 @@ from typing import (
     Set,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.compact import CompactGraph
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -58,7 +72,16 @@ class DataGraph:
     frozenset({'DBA'})
     """
 
-    __slots__ = ("_succ", "_pred", "_labels", "_attrs", "_num_edges")
+    __slots__ = (
+        "_succ",
+        "_pred",
+        "_labels",
+        "_attrs",
+        "_label_index",
+        "_num_edges",
+        "_version",
+        "_frozen",
+    )
 
     def __init__(
         self,
@@ -69,7 +92,10 @@ class DataGraph:
         self._pred: Dict[Node, Set[Node]] = {}
         self._labels: Dict[Node, FrozenSet[str]] = {}
         self._attrs: Dict[Node, Dict[str, Any]] = {}
+        self._label_index: Dict[str, Set[Node]] = {}
         self._num_edges = 0
+        self._version = 0
+        self._frozen = None
         if nodes is not None:
             for node, labels, attrs in nodes:
                 self.add_node(node, labels=labels, attrs=attrs)
@@ -92,11 +118,18 @@ class DataGraph:
             self._pred[node] = set()
             self._labels[node] = frozenset()
             self._attrs[node] = {}
+            self._version += 1
         if labels:
             new = frozenset([labels]) if isinstance(labels, str) else frozenset(labels)
-            self._labels[node] = self._labels[node] | new
+            fresh = new - self._labels[node]
+            if fresh:
+                self._labels[node] = self._labels[node] | fresh
+                for label in fresh:
+                    self._label_index.setdefault(label, set()).add(node)
+                self._version += 1
         if attrs:
             self._attrs[node].update(attrs)
+            self._version += 1
 
     def add_edge(self, source: Node, target: Node) -> None:
         """Add the directed edge ``source -> target`` (idempotent)."""
@@ -108,6 +141,7 @@ class DataGraph:
             self._succ[source].add(target)
             self._pred[target].add(source)
             self._num_edges += 1
+            self._version += 1
 
     def add_edges_from(self, edges: Iterable[Edge]) -> None:
         for source, target in edges:
@@ -120,6 +154,7 @@ class DataGraph:
         self._succ[source].discard(target)
         self._pred[target].discard(source)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
@@ -129,10 +164,16 @@ class DataGraph:
             self.remove_edge(node, target)
         for source in list(self._pred[node]):
             self.remove_edge(source, node)
+        for label in self._labels[node]:
+            bucket = self._label_index[label]
+            bucket.discard(node)
+            if not bucket:
+                del self._label_index[label]
         del self._succ[node]
         del self._pred[node]
         del self._labels[node]
         del self._attrs[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Inspection
@@ -158,6 +199,14 @@ class DataGraph:
     def size(self) -> int:
         """``|G|`` in the paper: total number of nodes and edges."""
         return self.num_nodes + self.num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every structural, label or
+        attribute change.  :meth:`freeze` snapshots carry the version
+        they were taken at, so downstream caches can tell whether a
+        snapshot is still current."""
+        return self._version
 
     def nodes(self) -> Iterator[Node]:
         return iter(self._succ)
@@ -190,10 +239,12 @@ class DataGraph:
         return self._attrs[node]
 
     def nodes_with_label(self, label: str) -> Iterator[Node]:
-        """Yield all nodes carrying ``label`` (linear scan)."""
-        for node, labels in self._labels.items():
-            if label in labels:
-                yield node
+        """Yield all nodes carrying ``label`` (index lookup, O(bucket))."""
+        return iter(self._label_index.get(label, ()))
+
+    def label_index_stats(self) -> Dict[str, int]:
+        """``{label: bucket size}`` for every indexed label."""
+        return {label: len(bucket) for label, bucket in self._label_index.items()}
 
     # ------------------------------------------------------------------
     # Traversal helpers
@@ -207,18 +258,42 @@ class DataGraph:
         """
         if bound < 1:
             return {}
+        # Track what has been queued, not just what has been popped:
+        # otherwise a node is appended once per in-edge and the queue
+        # grows to O(|E| * bound) instead of O(|V|).
+        start = self._succ[source]
         dist: Dict[Node, int] = {}
-        frontier = deque((target, 1) for target in self._succ[source])
+        queued = set(start)
+        frontier = deque((target, 1) for target in start)
         while frontier:
             node, d = frontier.popleft()
-            if node in dist:
-                continue
             dist[node] = d
             if d < bound:
                 for target in self._succ[node]:
-                    if target not in dist:
+                    if target not in queued:
+                        queued.add(target)
                         frontier.append((target, d + 1))
         return dist
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CompactGraph":
+        """An immutable :class:`~repro.graph.compact.CompactGraph`
+        snapshot of the current state.
+
+        The snapshot is cached: repeated calls return the same object
+        until the next mutation bumps :attr:`version`.  Freeze before
+        read-heavy work (batch query serving, benchmarks); stay on the
+        mutable graph while maintenance updates are flowing.
+        """
+        from repro.graph.compact import CompactGraph
+
+        frozen = self._frozen
+        if frozen is None or frozen.snapshot_version != self._version:
+            frozen = CompactGraph(self, self._version)
+            self._frozen = frozen
+        return frozen
 
     def copy(self) -> "DataGraph":
         """Return an independent deep-enough copy (attribute dicts copied)."""
@@ -228,7 +303,10 @@ class DataGraph:
             clone._pred[node] = set(self._pred[node])
             clone._labels[node] = self._labels[node]
             clone._attrs[node] = dict(self._attrs[node])
+        for label, bucket in self._label_index.items():
+            clone._label_index[label] = set(bucket)
         clone._num_edges = self._num_edges
+        clone._version = self._version
         return clone
 
     def __repr__(self) -> str:

@@ -26,6 +26,7 @@ from repro.simulation.distance import (
     reverse_reachable_within,
 )
 from repro.simulation.result import MatchResult
+from repro.simulation.seeding import condition_candidates
 
 PNode = Hashable
 Node = Hashable
@@ -36,17 +37,9 @@ def maximum_bounded_simulation(
     pattern: BoundedPattern, graph: DataGraph
 ) -> Optional[Dict[PNode, Set[Node]]]:
     """The maximum bounded simulation relation, or ``None`` if no match."""
-    sim: Dict[PNode, Set[Node]] = {}
-    for u in pattern.nodes():
-        condition = pattern.condition(u)
-        candidates = {
-            v
-            for v in graph.nodes()
-            if condition.matches(graph.labels(v), graph.attrs(v))
-        }
-        if not candidates:
-            return None
-        sim[u] = candidates
+    sim = condition_candidates(pattern, graph)
+    if sim is None:
+        return None
 
     edges = pattern.edges()
     changed = True

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Hashable, Optional, Set
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import Pattern
 from repro.simulation.result import MatchResult, edge_matches_from_nodes
+from repro.simulation.seeding import condition_candidates
 
 PNode = Hashable
 Node = Hashable
@@ -29,16 +30,28 @@ Node = Hashable
 def maximum_dual_simulation(
     pattern,
     target,
-    compatible: Callable[[PNode, Node], bool],
+    compatible: Optional[Callable[[PNode, Node], bool]] = None,
 ) -> Optional[Dict[PNode, Set[Node]]]:
-    """Maximum dual simulation of ``pattern`` over ``target`` or ``None``."""
-    sim: Dict[PNode, Set[Node]] = {}
-    target_nodes = list(target.nodes())
-    for u in pattern.nodes():
-        candidates = {v for v in target_nodes if compatible(u, v)}
-        if not candidates:
+    """Maximum dual simulation of ``pattern`` over ``target`` or ``None``.
+
+    As in :func:`repro.simulation.simulation.maximum_simulation`, an
+    omitted ``compatible`` test means the pattern's node conditions
+    decide, with candidates seeded from the target's label index
+    instead of a full-node scan.
+    """
+    if compatible is None:
+        seeded = condition_candidates(pattern, target)
+        if seeded is None:
             return None
-        sim[u] = candidates
+        sim = seeded
+    else:
+        sim = {}
+        target_nodes = list(target.nodes())
+        for u in pattern.nodes():
+            candidates = {v for v in target_nodes if compatible(u, v)}
+            if not candidates:
+                return None
+            sim[u] = candidates
 
     # child_counters[(u, u1)][v]: witnesses among successors of v in sim(u1).
     # parent_counters[(u0, u)][v]: witnesses among predecessors of v in sim(u0).
@@ -105,11 +118,8 @@ def maximum_dual_simulation(
 
 
 def dual_match(pattern: Pattern, graph: DataGraph) -> MatchResult:
-    """Evaluate ``Qs`` on ``G`` via dual simulation."""
-    def compatible(u: PNode, v: Node) -> bool:
-        return pattern.condition(u).matches(graph.labels(v), graph.attrs(v))
-
-    sim = maximum_dual_simulation(pattern, graph, compatible)
+    """Evaluate ``Qs`` on ``G`` via dual simulation (either backend)."""
+    sim = maximum_dual_simulation(pattern, graph)
     if sim is None:
         return MatchResult.empty()
     edge_matches = edge_matches_from_nodes(pattern.edges(), sim, graph.successors)

@@ -1,0 +1,64 @@
+"""Candidate seeding for the simulation engines.
+
+Every matching engine starts from per-pattern-node candidate sets
+``{v : fv(u) holds at v}``.  Seeding used to scan every data node per
+pattern node -- the dominant constant factor in the paper's
+``O(|Qs||G|)`` term.  This module seeds from the backend's label index
+instead, whenever the node condition pins a label:
+
+* a plain :class:`~repro.graph.conditions.Label` condition *is* its
+  bucket -- no per-node test at all;
+* an :class:`~repro.graph.conditions.AttributeCondition` with a label
+  restriction filters its bucket only;
+* wildcard / label-free predicate conditions fall back to the full scan
+  (nothing narrows them).
+
+Both backends qualify: :class:`~repro.graph.digraph.DataGraph` maintains
+its inverted index incrementally and
+:class:`~repro.graph.compact.CompactGraph` builds one at freeze time.
+Targets without a label index (e.g. a :class:`Pattern` treated as a data
+graph during view-match computation) take the explicit-``compatible``
+scan path in the engines and never reach this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.graph.conditions import AttributeCondition, Label
+
+PNode = Hashable
+Node = Hashable
+
+
+def condition_candidates(pattern, target) -> Optional[Dict[PNode, Set[Node]]]:
+    """Seed ``{u: candidates}`` for evaluating ``pattern`` over ``target``.
+
+    ``target`` must expose ``nodes()``, ``labels(v)``, ``attrs(v)`` and
+    ``nodes_with_label(label)``.  Returns ``None`` as soon as any
+    pattern node has no candidate (the pattern cannot match).
+    """
+    sim: Dict[PNode, Set[Node]] = {}
+    all_nodes = None
+    for u in pattern.nodes():
+        condition = pattern.condition(u)
+        if isinstance(condition, Label):
+            candidates = set(target.nodes_with_label(condition.name))
+        elif isinstance(condition, AttributeCondition) and condition.label:
+            candidates = {
+                v
+                for v in target.nodes_with_label(condition.label)
+                if condition.matches(target.labels(v), target.attrs(v))
+            }
+        else:
+            if all_nodes is None:
+                all_nodes = list(target.nodes())
+            candidates = {
+                v
+                for v in all_nodes
+                if condition.matches(target.labels(v), target.attrs(v))
+            }
+        if not candidates:
+            return None
+        sim[u] = candidates
+    return sim

@@ -10,11 +10,17 @@ counter-based worklist refinement in the spirit of Henzinger, Henzinger
 and Kopke, giving the ``O(|Qs|^2 + |Qs||G| + |G|^2)`` bound the paper
 quotes for [16], [21].
 
-The engine is generic over the *candidate test*: evaluating a pattern
-over a data graph uses condition satisfaction, while view-match
-computation (Section IV) evaluates a view over ``Qs`` treated as a data
-graph using condition *implication*.  Both go through
-:func:`maximum_simulation`.
+The engine is backend-generic twice over.  It is generic over the
+*candidate test*: evaluating a pattern over a data graph uses condition
+satisfaction, while view-match computation (Section IV) evaluates a view
+over ``Qs`` treated as a data graph using condition *implication* --
+both go through :func:`maximum_simulation`.  And it is generic over the
+*graph backend*: with no explicit ``compatible`` test, candidates are
+seeded from the target's label index
+(:func:`~repro.simulation.seeding.condition_candidates`), and
+:func:`match` dispatches frozen
+:class:`~repro.graph.compact.CompactGraph` targets to the integer-id
+fast path in :mod:`repro.simulation.compact_engine`.
 """
 
 from __future__ import annotations
@@ -22,9 +28,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, Hashable, Optional, Set
 
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import Pattern
+from repro.simulation.compact_engine import compact_match
 from repro.simulation.result import MatchResult, edge_matches_from_nodes
+from repro.simulation.seeding import condition_candidates
 
 PNode = Hashable
 Node = Hashable
@@ -33,26 +42,34 @@ Node = Hashable
 def maximum_simulation(
     pattern,
     target,
-    compatible: Callable[[PNode, Node], bool],
+    compatible: Optional[Callable[[PNode, Node], bool]] = None,
 ) -> Optional[Dict[PNode, Set[Node]]]:
     """Compute the maximum simulation of ``pattern`` over ``target``.
 
     ``target`` must expose ``nodes()``, ``successors(v)`` and
-    ``predecessors(v)`` (both :class:`DataGraph` and :class:`Pattern`
-    do).  ``compatible(u, v)`` decides whether data node ``v`` may match
-    pattern node ``u`` at the node level.
+    ``predecessors(v)`` (:class:`DataGraph`, :class:`CompactGraph` and
+    :class:`Pattern` all do).  ``compatible(u, v)`` decides whether data
+    node ``v`` may match pattern node ``u`` at the node level; when it
+    is omitted the pattern's own node conditions decide, and candidates
+    are seeded from the target's label index instead of a full-node
+    scan (the target must then carry labels/attributes).
 
     Returns ``{u: sim(u)}`` with every set nonempty, or ``None`` when
     the pattern has no match (some ``sim(u)`` became empty).
     """
     # --- candidate sets -------------------------------------------------
-    sim: Dict[PNode, Set[Node]] = {}
-    target_nodes = list(target.nodes())
-    for u in pattern.nodes():
-        candidates = {v for v in target_nodes if compatible(u, v)}
-        if not candidates:
+    if compatible is None:
+        sim = condition_candidates(pattern, target)
+        if sim is None:
             return None
-        sim[u] = candidates
+    else:
+        sim = {}
+        target_nodes = list(target.nodes())
+        for u in pattern.nodes():
+            candidates = {v for v in target_nodes if compatible(u, v)}
+            if not candidates:
+                return None
+            sim[u] = candidates
 
     # --- witness counters ----------------------------------------------
     # counters[(u, u1)][v] = |succ(v) & sim(u1)| for v in sim(u): how many
@@ -102,13 +119,15 @@ def maximum_simulation(
 def match(pattern: Pattern, graph: DataGraph) -> MatchResult:
     """Evaluate ``Qs`` on ``G`` via graph simulation (the paper's Match).
 
-    Returns the unique maximum result ``{(e, Se)}`` as a
-    :class:`MatchResult`; the empty result when ``G`` does not match.
+    ``graph`` may be a mutable :class:`DataGraph` or a frozen
+    :class:`CompactGraph`; snapshots take the integer-id fast path and
+    produce an equal result.  Returns the unique maximum result
+    ``{(e, Se)}`` as a :class:`MatchResult`; the empty result when
+    ``G`` does not match.
     """
-    def compatible(u: PNode, v: Node) -> bool:
-        return pattern.condition(u).matches(graph.labels(v), graph.attrs(v))
-
-    sim = maximum_simulation(pattern, graph, compatible)
+    if isinstance(graph, CompactGraph):
+        return compact_match(pattern, graph)
+    sim = maximum_simulation(pattern, graph)
     if sim is None:
         return MatchResult.empty()
     edge_matches = edge_matches_from_nodes(

@@ -21,6 +21,7 @@ from repro.graph.digraph import DataGraph
 from repro.graph.pattern import Pattern
 from repro.simulation.dual import maximum_dual_simulation
 from repro.simulation.result import MatchResult, edge_matches_from_nodes
+from repro.simulation.seeding import condition_candidates
 
 PNode = Hashable
 Node = Hashable
@@ -98,13 +99,14 @@ def strong_match(
     def compatible(u: PNode, v: Node) -> bool:
         return pattern.condition(u).matches(graph.labels(v), graph.attrs(v))
 
-    # Candidate centers: nodes satisfying at least one pattern condition.
-    conditions = [pattern.condition(u) for u in pattern.nodes()]
-    centers = [
-        v
-        for v in graph.nodes()
-        if any(c.matches(graph.labels(v), graph.attrs(v)) for c in conditions)
-    ]
+    # Candidate centers: nodes satisfying at least one pattern condition,
+    # seeded from the label index.  An empty seed for any pattern node
+    # means no ball can host a full dual simulation, so no match.
+    seeds = condition_candidates(pattern, graph)
+    if seeds is None:
+        return MatchResult.empty(), []
+    candidate_union = set().union(*seeds.values())
+    centers = [v for v in graph.nodes() if v in candidate_union]
 
     union: Dict[PNode, Set[Node]] = {u: set() for u in pattern.nodes()}
     matched_balls: List[Tuple[Node, Dict[PNode, Set[Node]]]] = []

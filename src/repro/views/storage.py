@@ -117,10 +117,37 @@ class ViewSet:
 
         Evaluates each view on ``G`` and stores ``V(G)`` (Section II-B);
         defaults to all definitions.  Bumps :attr:`version`.
+
+        ``graph`` may be a mutable :class:`DataGraph` or a frozen
+        :class:`~repro.graph.compact.CompactGraph`.  Against a snapshot,
+        simulation extensions are bound to its id space (the snapshot
+        token recorded in :attr:`snapshot_token`), which is what unlocks
+        the MatchJoin integer fast path at query time.
         """
         for name in names if names is not None else list(self._definitions):
             self._extensions[name] = materialize(self._definitions[name], graph)
             self._version += 1
+
+    @property
+    def snapshot_token(self) -> Optional[int]:
+        """The snapshot token shared by *every* materialized extension,
+        or ``None`` when there are no extensions, any extension is not
+        snapshot-bound (mutable-graph or bounded materialization), or
+        the extensions come from different snapshots.  Derived from the
+        extensions themselves, so partial re-materializations can never
+        misreport the catalog's provenance."""
+        token: Optional[int] = None
+        if not self._extensions:
+            return None
+        for extension in self._extensions.values():
+            compact = extension.compact
+            if compact is None:
+                return None
+            if token is None:
+                token = compact.token
+            elif compact.token != token:
+                return None
+        return token
 
     def is_materialized(self, name: str) -> bool:
         """Whether view ``name`` currently has a cached extension."""

@@ -11,21 +11,71 @@ each materialized pair to its actual shortest-path distance in ``G``
 The extension deliberately does *not* keep a reference to ``G``:
 MatchJoin must run "without accessing G at all" (Theorem 1), and keeping
 the graph out of the extension object makes that guarantee structural.
+
+Materializing against a frozen :class:`~repro.graph.compact.CompactGraph`
+snapshot additionally attaches a :class:`CompactExtension` -- the same
+match sets in the snapshot's integer-id space, pre-grouped by source and
+by target, stamped with the snapshot's token/version.  MatchJoin
+recognises extensions that share a snapshot and runs its fixpoint
+directly on the id-space indexes (still never touching adjacency, so
+Theorem 1's guarantee is intact).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
 from repro.simulation.bounded import bounded_match_with_distances
+from repro.simulation.compact_engine import IdEdgeMatches, compact_match_with_ids
 from repro.simulation.simulation import match as _match
 
 PNode = Hashable
 PEdge = Tuple[PNode, PNode]
 Node = Hashable
 NodePair = Tuple[Node, Node]
+
+
+class CompactExtension:
+    """Id-space form of one extension, bound to one snapshot.
+
+    Attributes
+    ----------
+    token / version:
+        The owning snapshot's :attr:`snapshot_token` /
+        :attr:`snapshot_version`.  Two extensions exchange raw ids only
+        when their tokens agree.
+    nodes:
+        The id -> node key decode table, shared by reference with the
+        snapshot (and with every sibling extension of the same
+        snapshot).
+    by_source / by_target:
+        ``{view edge: {id: set of ids}}`` -- the match sets grouped both
+        ways, ready for the MatchJoin fixpoint.  Treated as immutable;
+        consumers copy before refining.
+    """
+
+    __slots__ = ("token", "version", "nodes", "by_source", "by_target")
+
+    def __init__(
+        self,
+        snapshot: CompactGraph,
+        id_matches: IdEdgeMatches,
+    ) -> None:
+        self.token = snapshot.snapshot_token
+        self.version = snapshot.snapshot_version
+        self.nodes: List[Node] = snapshot.node_table
+        self.by_source: IdEdgeMatches = id_matches
+        by_target: IdEdgeMatches = {}
+        for edge, grouped in id_matches.items():
+            reverse: Dict[int, Set[int]] = {}
+            for v, targets in grouped.items():
+                for w in targets:
+                    reverse.setdefault(w, set()).add(v)
+            by_target[edge] = reverse
+        self.by_target = by_target
 
 
 class ViewDefinition:
@@ -85,19 +135,31 @@ class MaterializedView:
         For bounded views, ``{(v, v'): d}`` over all materialized pairs
         -- the index ``I(V)``.  ``None`` for simulation views, whose
         pairs are data edges (distance 1 by construction).
+    compact:
+        Optional :class:`CompactExtension` carrying the same match sets
+        in snapshot id space (set when the view was materialized
+        against a :class:`~repro.graph.compact.CompactGraph`).
     """
 
-    __slots__ = ("definition", "edge_matches", "distances")
+    __slots__ = ("definition", "edge_matches", "distances", "compact")
 
     def __init__(
         self,
         definition: ViewDefinition,
         edge_matches: Dict[PEdge, Set[NodePair]],
         distances: Optional[Dict[NodePair, int]] = None,
+        compact: Optional[CompactExtension] = None,
     ) -> None:
         self.definition = definition
         self.edge_matches = edge_matches
         self.distances = distances
+        self.compact = compact
+
+    @property
+    def snapshot_version(self) -> Optional[int]:
+        """Version of the snapshot this extension was materialized
+        against (``None`` when built from a mutable graph)."""
+        return self.compact.version if self.compact is not None else None
 
     @property
     def name(self) -> str:
@@ -144,6 +206,9 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
 
     Simulation views store the match sets of the unique maximum match;
     bounded views additionally store the distance index ``I(V)``.
+    ``graph`` may be a frozen :class:`CompactGraph`, in which case
+    simulation extensions also carry the id-space
+    :class:`CompactExtension` payload for the MatchJoin fast path.
     """
     pattern = definition.pattern
     if isinstance(pattern, BoundedPattern):
@@ -161,6 +226,18 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
                 if previous is None or distance < previous:
                     index[pair] = distance
         return MaterializedView(definition, result.edge_matches, distances=index)
+    if isinstance(graph, CompactGraph):
+        result, id_matches = compact_match_with_ids(pattern, graph)
+        if id_matches is None:
+            id_matches = {edge: {} for edge in pattern.edges()}
+        compact = CompactExtension(graph, id_matches)
+        if not result:
+            return MaterializedView(
+                definition,
+                {edge: set() for edge in pattern.edges()},
+                compact=compact,
+            )
+        return MaterializedView(definition, result.edge_matches, compact=compact)
     result = _match(pattern, graph)
     if not result:
         return MaterializedView(

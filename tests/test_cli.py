@@ -71,6 +71,31 @@ class TestCli:
         out = capsys.readouterr().out
         assert "nodes: 200" in out
 
+    def test_stats_json_format(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        views_path = tmp_path / "v.json"
+        main([
+            "generate", "--dataset", "synthetic", "--nodes", "150",
+            "--edges", "300", "--out", str(graph_path),
+            "--views", str(views_path),
+        ])
+        main(["materialize", "--graph", str(graph_path), "--views", str(views_path)])
+        capsys.readouterr()
+        rc = main([
+            "stats", "--graph", str(graph_path), "--views", str(views_path),
+            "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"]["nodes"] == 150
+        assert sum(payload["label_histogram"].values()) >= 150
+        assert payload["label_index"]["labels"] == len(payload["label_histogram"])
+        assert payload["label_index"]["largest_bucket"] in payload["label_histogram"]
+        assert payload["snapshot"]["nodes"] == 150
+        assert payload["snapshot"]["token"] >= 1
+        assert payload["views"]["cardinality"] == len(payload["views"]["materialized"])
+        assert 0 < payload["views"]["extension_fraction"]
+
     def test_full_workflow(self, tmp_path, capsys):
         graph_path = tmp_path / "g.json"
         views_path = tmp_path / "v.json"
