@@ -16,7 +16,10 @@ The public API re-exported here covers the complete pipeline:
 * answer queries using only views (:func:`match_join`,
   :func:`bounded_match_join`, :func:`answer_with_views`);
 * serve query traffic with planning, caching and parallel batch
-  execution (:class:`QueryEngine`, :class:`QueryPlan`).
+  execution (:class:`QueryEngine`, :class:`QueryPlan`);
+* shard the graph for partial-evaluation matching and parallel view
+  materialization (:class:`ShardedGraph`, :func:`make_partition`, and
+  the rest of :mod:`repro.shard`).
 """
 
 from repro.graph import (
@@ -57,8 +60,9 @@ from repro.core import (
     minimum_views,
 )
 from repro.engine import ExecutionStats, QueryEngine, QueryPlan
+from repro.shard import Partition, ShardedGraph, make_partition
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ANY",
@@ -72,9 +76,11 @@ __all__ = [
     "MatchResult",
     "MaterializedView",
     "P",
+    "Partition",
     "Pattern",
     "QueryEngine",
     "QueryPlan",
+    "ShardedGraph",
     "TrueCondition",
     "ViewDefinition",
     "ViewSet",
@@ -87,6 +93,7 @@ __all__ = [
     "contains",
     "dual_match",
     "implies",
+    "make_partition",
     "match",
     "match_join",
     "materialize",

@@ -11,7 +11,10 @@ Subcommands::
     python -m repro engine    --queries q1.json q2.json --views views.json \
                               [--graph graph.json] [--executor process] \
                               [--workers 4] [--repeat 2] [--explain]
+    python -m repro shard     --graph graph.json --shards 4 \
+                              [--strategy hash|label|bfs] [--format json]
     python -m repro stats     --graph graph.json [--views views.json] \
+                              [--shards 4] [--partitioner hash] \
                               [--format json]
 
 ``generate`` writes a dataset stand-in (and optionally its standard view
@@ -22,9 +25,12 @@ pass ``--graph`` only if extensions still need materializing);
 ``engine`` batch-answers many queries through the planned/cached
 :class:`~repro.engine.engine.QueryEngine` (``--repeat`` demonstrates
 the warm answer cache, ``--explain`` prints plans without executing);
-``stats`` prints size accounting -- with ``--format json`` it emits a
-machine-readable report including the label histogram and the
-snapshot / label-index statistics of the compact graph backend.
+``shard`` partitions the graph and reports cut quality and per-shard
+size/label histograms for each strategy; ``stats`` prints size
+accounting -- with ``--format json`` it emits a machine-readable report
+including the label histogram and the snapshot / label-index statistics
+of the compact graph backend, plus a ``partition`` section when
+``--shards N`` is passed.
 """
 
 from __future__ import annotations
@@ -194,10 +200,62 @@ def _cmd_engine(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    from repro.shard import ShardedGraph, make_partition
+
+    graph = read_graph(args.graph)
+    partition = make_partition(graph, args.shards, args.strategy)
+    sharded = ShardedGraph(graph, partition)
+    per_shard = []
+    for i in range(partition.num_shards):
+        snapshot = sharded.shard(i)
+        own = sharded.own_count(i)
+        histogram: dict = {}
+        for local_id in range(own):
+            for label in snapshot.labels_of(local_id):
+                histogram[label] = histogram.get(label, 0) + 1
+        per_shard.append(
+            {
+                "nodes": own,
+                "edges": snapshot.num_edges,
+                "ghosts": len(sharded.ghost_ids(i)),
+                "labels": dict(
+                    sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))
+                ),
+            }
+        )
+    if args.format == "json":
+        payload = {"partition": partition.stats(), "per_shard": per_shard}
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(
+        f"{partition.strategy} partition: {partition.num_shards} shards, "
+        f"cut {partition.edge_cut}/{graph.num_edges} edges "
+        f"({partition.edge_cut_fraction:.1%}), "
+        f"{len(partition.boundary_nodes)} boundary nodes, "
+        f"balance {partition.balance:.2f}"
+    )
+    for i, row in enumerate(per_shard):
+        top = ", ".join(
+            f"{label}:{count}" for label, count in list(row["labels"].items())[:5]
+        )
+        print(
+            f"  shard {i}: {row['nodes']} nodes, {row['edges']} edges "
+            f"({row['ghosts']} ghosts)  {top}"
+        )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     graph = read_graph(args.graph)
     stats = graph_stats(graph)
     views = read_viewset(args.views) if args.views else None
+    partition = None
+    if args.shards:
+        from repro.shard import make_partition
+
+        partition = make_partition(graph, args.shards, args.partitioner)
     if args.format == "json":
         index = graph.label_index_stats()
         snapshot = graph.freeze()
@@ -227,6 +285,8 @@ def _cmd_stats(args) -> int:
                 "edges": snapshot.num_edges,
             },
         }
+        if partition is not None:
+            payload["partition"] = partition.stats()
         if views is not None:
             payload["views"] = {
                 "cardinality": views.cardinality,
@@ -248,6 +308,11 @@ def _cmd_stats(args) -> int:
     top = sorted(stats.label_counts.items(), key=lambda kv: -kv[1])[:10]
     for label, count in top:
         print(f"  {label}: {count}")
+    if partition is not None:
+        print(
+            f"partition ({partition.strategy}): {partition.num_shards} shards "
+            f"{partition.shard_sizes}, edge cut {partition.edge_cut_fraction:.1%}"
+        )
     if views is not None:
         materialized = [n for n in views.names() if views.is_materialized(n)]
         print(f"views: {views.cardinality} ({len(materialized)} materialized, "
@@ -310,12 +375,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print query plans instead of executing")
     p.set_defaults(func=_cmd_engine)
 
+    p = sub.add_parser(
+        "shard", help="partition the graph and report cut quality"
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--shards", type=int, required=True,
+                   help="number of shards (>= 1)")
+    p.add_argument("--strategy", choices=("hash", "label", "bfs"),
+                   default="hash")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=_cmd_shard)
+
     p = sub.add_parser("stats", help="graph / view-cache statistics")
     p.add_argument("--graph", required=True)
     p.add_argument("--views")
+    p.add_argument("--shards", type=int,
+                   help="also partition into N shards and report shard "
+                        "sizes and edge-cut fraction")
+    p.add_argument("--partitioner", choices=("hash", "label", "bfs"),
+                   default="hash",
+                   help="strategy for --shards")
     p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="json adds the label histogram and snapshot/"
-                        "label-index statistics")
+                   help="json adds the label histogram, snapshot/"
+                        "label-index statistics and (with --shards) a "
+                        "partition section")
     p.set_defaults(func=_cmd_stats)
     return parser
 

@@ -9,7 +9,8 @@ within-category clustering, at laptop scale by default and any scale on
 request.  Users with the original files can load them via
 :func:`repro.graph.io.read_snap_edges` instead.
 
-* :func:`~repro.datasets.synthetic.random_graph` and
+* :func:`~repro.datasets.synthetic.random_graph`,
+  :func:`~repro.datasets.synthetic.community_graph` and
   :func:`~repro.datasets.synthetic.densification_graph` -- the paper's
   synthetic generator (``|V|``, ``|E| = 2|V|`` or ``|E| = |V|^alpha``).
 * :func:`~repro.datasets.amazon.amazon_graph`,
@@ -30,7 +31,11 @@ from repro.datasets.patterns import (
     random_bounded_pattern,
     random_query,
 )
-from repro.datasets.synthetic import densification_graph, random_graph
+from repro.datasets.synthetic import (
+    community_graph,
+    densification_graph,
+    random_graph,
+)
 from repro.datasets.youtube import youtube_graph
 from repro.datasets.youtube_views import youtube_views
 
@@ -39,6 +44,7 @@ __all__ = [
     "amazon_views",
     "citation_graph",
     "citation_views",
+    "community_graph",
     "densification_graph",
     "generate_views",
     "query_from_views",

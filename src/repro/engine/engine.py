@@ -33,6 +33,14 @@ through the same maintenance ``subscribe()`` hook that refreshes
 extensions, and by the graph's own mutation :attr:`~DataGraph.version`
 counter.
 
+With ``shards=N`` the engine snapshots ``G`` as a
+:class:`~repro.shard.sharded.ShardedGraph` instead: the graph is
+partitioned once (pluggable strategy), missing extensions materialize
+shard-parallel through the engine's executor, and direct evaluation
+runs the partial-evaluation matcher -- all behind the same planning,
+caching and invalidation machinery, since the composite snapshot token
+makes sharded extensions indistinguishable from single-snapshot ones.
+
 Every result carries an :class:`ExecutionStats` on ``MatchResult.stats``
 (strategy, timing, cache provenance), so callers can meter the engine
 without wrapping it.
@@ -60,7 +68,6 @@ from repro.engine.plan import (
     pattern_key,
 )
 from repro.errors import NotContainedError, NotMaterializedError
-from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
 from repro.simulation.result import MatchResult
@@ -91,6 +98,16 @@ class QueryEngine:
         Default batch executor (see :data:`EXECUTORS`) and pool width.
     answer_cache_size / containment_cache_size:
         LRU capacities; ``0`` disables the respective cache.
+    shards / partitioner:
+        With ``shards=N`` the engine partitions ``G`` once
+        (strategy named by ``partitioner``, see
+        :data:`repro.shard.partitioner.PARTITIONERS`) and plans and
+        executes against a
+        :class:`~repro.shard.sharded.ShardedGraph`: extensions
+        materialize shard-parallel (through the engine's executor) and
+        carry the composite snapshot token, direct evaluation runs the
+        partial-evaluation matcher, and the sharded snapshot is
+        invalidated exactly like the single snapshot.
     """
 
     def __init__(
@@ -103,6 +120,8 @@ class QueryEngine:
         answer_cache_size: int = 128,
         containment_cache_size: int = 512,
         optimized: bool = True,
+        shards: Optional[int] = None,
+        partitioner: str = "hash",
     ) -> None:
         if selection not in _STRATEGIES:
             raise ValueError(
@@ -113,6 +132,18 @@ class QueryEngine:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
+        if shards is not None:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            from repro.shard.partitioner import PARTITIONERS
+
+            if partitioner not in PARTITIONERS:
+                raise ValueError(
+                    f"unknown partitioner {partitioner!r}; expected one of "
+                    f"{sorted(PARTITIONERS)}"
+                )
+        self._shards = shards
+        self._partitioner = partitioner
         self._views = views
         self._graph = graph
         self._selection = selection
@@ -123,7 +154,8 @@ class QueryEngine:
         self._answer_cache = LRUCache(answer_cache_size)
         self._maintenance: Optional[IncrementalViewSet] = None
         self._maintenance_dirty = False
-        self._snapshot: Optional[CompactGraph] = None
+        # A CompactGraph, or a ShardedGraph in shards mode.
+        self._snapshot = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -138,18 +170,30 @@ class QueryEngine:
         """The fallback data graph (``None`` for a views-only engine)."""
         return self._graph
 
-    def snapshot(self) -> Optional[CompactGraph]:
+    def snapshot(self):
         """The engine's frozen view of ``G`` (``None`` without a graph).
 
-        Frozen once and reused for materialization, direct evaluation
-        and batch execution; re-frozen only after the graph mutates or a
-        maintenance event fires.
+        A :class:`~repro.graph.compact.CompactGraph` normally, or a
+        :class:`~repro.shard.sharded.ShardedGraph` in ``shards=N``
+        mode.  Frozen (and partitioned) once and reused for
+        materialization, direct evaluation and batch execution;
+        re-frozen only after the graph mutates or a maintenance event
+        fires.
         """
         if self._graph is None:
             return None
         snapshot = self._snapshot
         if snapshot is None or snapshot.snapshot_version != self._graph.version:
-            snapshot = self._graph.freeze()
+            if self._shards is not None:
+                from repro.shard.sharded import ShardedGraph
+
+                snapshot = ShardedGraph(
+                    self._graph,
+                    num_shards=self._shards,
+                    strategy=self._partitioner,
+                )
+            else:
+                snapshot = self._graph.freeze()
             self._snapshot = snapshot
         return snapshot
 
@@ -389,7 +433,21 @@ class QueryEngine:
             # Materialize against the frozen snapshot: the extensions
             # then carry id-space payloads, so MatchJoin specs take the
             # integer fast path (in-process and in pool workers alike).
-            self._views.materialize(self.snapshot(), names=missing)
+            # In shards mode the per-shard local steps additionally run
+            # through the engine's executor.
+            snapshot = self.snapshot()
+            if self._shards is not None:
+                from repro.shard.materialize import parallel_materialize
+
+                parallel_materialize(
+                    self._views,
+                    snapshot,
+                    names=missing,
+                    executor=self._executor,
+                    workers=self._workers,
+                )
+            else:
+                self._views.materialize(snapshot, names=missing)
         return EvaluationSpec(
             kind=MATCHJOIN,
             query=plan.query,
@@ -422,8 +480,12 @@ class QueryEngine:
         return MatchResult(result.node_matches, result.edge_matches, stats=stats)
 
     def __repr__(self) -> str:
+        sharding = (
+            f", shards={self._shards}" if self._shards is not None else ""
+        )
         return (
             f"QueryEngine(views={self._views.cardinality}, "
             f"graph={'yes' if self._graph is not None else 'no'}, "
-            f"selection={self._selection!r}, executor={self._executor!r})"
+            f"selection={self._selection!r}, executor={self._executor!r}"
+            f"{sharding})"
         )

@@ -1,0 +1,49 @@
+"""Sharded graph backend: partitioning, partial-evaluation matching and
+parallel view materialization.
+
+This subpackage reproduces, in-process, the distributed setting the
+paper assumes around its algorithms (graphs too large for one machine,
+views cached so queries never touch ``G``):
+
+* :mod:`~repro.shard.partitioner` -- pluggable edge-cut strategies
+  (``hash``, ``label``, ``bfs``) producing a :class:`Partition` with
+  per-shard node sets and the cross-shard boundary table;
+* :mod:`~repro.shard.sharded` -- :class:`ShardedGraph`: per-shard
+  frozen :class:`~repro.graph.compact.CompactGraph` snapshots plus
+  cross-shard tables, a ``DataGraph``-compatible read API, and a
+  composite integer-id space with its own snapshot token;
+* :mod:`~repro.shard.psim` -- partial-evaluation maximum simulation:
+  shard-local compact fixpoints under boundary assumptions, a
+  coordinator exchanging invalidated boundary matches until the global
+  fixpoint (equal to single-machine ``maximum_simulation``);
+* :mod:`~repro.shard.materialize` -- per-shard parallel view
+  materialization whose merged extensions carry the composite token,
+  so the id-space MatchJoin fast path engages unchanged.
+"""
+
+from repro.shard.partitioner import PARTITIONERS, Partition, make_partition
+from repro.shard.psim import (
+    PSimStats,
+    SHARD_EXECUTORS,
+    ShardRunner,
+    partial_max_simulation,
+    sharded_match,
+    sharded_match_with_ids,
+)
+from repro.shard.materialize import materialize_view, parallel_materialize
+from repro.shard.sharded import ShardedGraph
+
+__all__ = [
+    "PARTITIONERS",
+    "PSimStats",
+    "Partition",
+    "SHARD_EXECUTORS",
+    "ShardRunner",
+    "ShardedGraph",
+    "make_partition",
+    "materialize_view",
+    "parallel_materialize",
+    "partial_max_simulation",
+    "sharded_match",
+    "sharded_match_with_ids",
+]

@@ -1,0 +1,150 @@
+"""Per-shard parallel view materialization.
+
+Materializing a view catalog is the heavy, offline half of the paper's
+workflow -- ``V(G)`` is computed once so that MatchJoin never touches
+``G`` at query time (Theorem 1).  Over a
+:class:`~repro.shard.sharded.ShardedGraph` that work parallelizes along
+the shard axis: each view's simulation runs as per-shard local
+fixpoints coordinated to the global fixpoint
+(:mod:`repro.shard.psim`), and its per-shard match sets merge by
+simple union because shards own disjoint source-node sets.
+
+The merged extension carries a
+:class:`~repro.views.view.CompactExtension` in the sharded graph's
+*composite* id space, stamped with its composite ``snapshot_token`` --
+so every extension materialized against the same sharded graph shares
+one token and the existing id-space MatchJoin fast path
+(:func:`repro.core.matchjoin._compact_match_join`) engages unchanged.
+
+Entry points:
+
+* :func:`materialize_view` -- one definition, one extension (the hook
+  ``repro.views.view.materialize`` dispatches to);
+* :func:`parallel_materialize` -- a whole catalog through one shared
+  :class:`~repro.shard.psim.ShardRunner`, so thread/process pools are
+  created once and the sharded snapshot ships to workers once for all
+  views (the same ship-once discipline as ``repro.engine.executor``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.graph.pattern import BoundedPattern
+from repro.shard.psim import ShardRunner, _drive, _Evaluation, _sharded_evaluate
+from repro.shard.sharded import ShardedGraph
+from repro.views.storage import ViewSet
+from repro.views.view import CompactExtension, MaterializedView, ViewDefinition
+
+
+def _package(
+    definition: ViewDefinition,
+    sharded: ShardedGraph,
+    evaluation: _Evaluation,
+) -> MaterializedView:
+    """Fold a finished evaluation into a materialized extension."""
+    pattern = definition.pattern
+    if evaluation.empty:
+        empty_ids = {edge: {} for edge in pattern.edges()}
+        return MaterializedView(
+            definition,
+            {edge: set() for edge in pattern.edges()},
+            compact=CompactExtension(
+                sharded, empty_ids, by_target={e: {} for e in pattern.edges()}
+            ),
+        )
+    compact = CompactExtension(
+        sharded, evaluation.id_matches, by_target=evaluation.by_target
+    )
+    return MaterializedView(
+        definition, evaluation.edge_matches, compact=compact
+    )
+
+
+def materialize_view(
+    definition: ViewDefinition,
+    sharded: ShardedGraph,
+    runner: Optional[ShardRunner] = None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> MaterializedView:
+    """Evaluate one view on a sharded graph and build its extension.
+
+    Simulation views run the partial-evaluation fixpoint shard-parallel
+    and attach a composite-id :class:`CompactExtension`; bounded views
+    fall back to the generic engine over the sharded graph's
+    ``DataGraph``-compatible API (their extensions change non-locally
+    with distances, so there is no per-shard decomposition to exploit).
+    """
+    pattern = definition.pattern
+    if isinstance(pattern, BoundedPattern):
+        from repro.views.view import materialize as _materialize
+
+        return _materialize(definition, sharded)
+    result, id_matches, by_target = _sharded_evaluate(
+        pattern, sharded, executor=executor, workers=workers, runner=runner
+    )
+    if id_matches is None:
+        id_matches = {edge: {} for edge in pattern.edges()}
+        by_target = {edge: {} for edge in pattern.edges()}
+    compact = CompactExtension(sharded, id_matches, by_target=by_target)
+    if not result:
+        return MaterializedView(
+            definition,
+            {edge: set() for edge in pattern.edges()},
+            compact=compact,
+        )
+    return MaterializedView(definition, result.edge_matches, compact=compact)
+
+
+def parallel_materialize(
+    views: ViewSet,
+    sharded: ShardedGraph,
+    names: Optional[Iterable[str]] = None,
+    executor: str = "process",
+    workers: Optional[int] = None,
+    runner: Optional[ShardRunner] = None,
+) -> None:
+    """Materialize (cache) extensions for the given views shard-parallel.
+
+    Evaluates each view on the sharded graph and installs ``V(G)`` via
+    :meth:`ViewSet.set_extension` (bumping the catalog version per
+    view, like :meth:`ViewSet.materialize`); defaults to all
+    definitions.  One :class:`ShardRunner` serves the whole batch, and
+    all simulation views advance through *shared* task waves -- one
+    pool round-trip per wave regardless of view count, with every
+    worker kept busy across patterns.  Pass ``runner`` to reuse a warm
+    pool across calls, or let ``executor`` / ``workers`` configure a
+    fresh one (``"serial"`` degrades to plain in-process evaluation).
+    """
+    chosen = list(names) if names is not None else views.names()
+    owned = runner is None
+    if owned:
+        runner = ShardRunner(sharded, executor=executor, workers=workers)
+    try:
+        # All simulation views advance through shared waves: one pool
+        # round-trip per wave for the whole batch, and every worker
+        # stays busy across patterns.  Bounded views take the generic
+        # fallback individually (see materialize_view).
+        evaluations: dict = {}
+        for name in chosen:
+            definition = views.definition(name)
+            if not isinstance(definition.pattern, BoundedPattern):
+                evaluations[name] = _Evaluation(
+                    definition.pattern, sharded, runner.new_session()
+                )
+        _drive(list(evaluations.values()), runner)
+        for name in chosen:
+            evaluation = evaluations.get(name)
+            if evaluation is None:
+                extension = materialize_view(
+                    views.definition(name), sharded, runner=runner
+                )
+            else:
+                extension = _package(
+                    views.definition(name), sharded, evaluation
+                )
+            views.set_extension(extension)
+    finally:
+        if owned:
+            runner.close()

@@ -1,0 +1,865 @@
+"""Partial-evaluation maximum simulation over a sharded graph.
+
+This is the classic distributed-simulation recipe (the setting of
+conf_icde_FanWW14 Section VII, where views are cached because ``G`` is
+too large to touch per query), reproduced in-process:
+
+1. **Local step** -- every shard runs the compact integer-id fixpoint
+   (:func:`_local_fixpoint`, the same counter-based refinement as
+   :mod:`repro.simulation.compact_engine`) over its own snapshot,
+   treating ghost nodes as *assumptions*: a ghost is presumed to match
+   a pattern node whenever the coordinator has not (yet) refuted it.
+   Because a shard owns the full out-adjacency of its nodes, the local
+   greatest fixpoint is exact relative to those assumptions.
+2. **Exchange step** -- each local run reports the internal ids it
+   pruned; the coordinator translates them through the boundary
+   bridges into withdrawn assumptions for exactly the shards ghosting
+   those nodes (each id leaves the shrinking simulation once, so every
+   withdrawal is unique by construction).
+3. **Iterate** -- withdrawn shards re-run *incrementally*: the
+   withdrawal batch enters the same counter cascade as any removal, so
+   a re-run costs the affected area, not the shard.  Assumptions only
+   ever shrink, so the loop reaches a fixpoint in finitely many
+   rounds; at that point local results glue into precisely the
+   single-machine maximum simulation (the initial assumptions
+   over-approximate the true boundary matches, and every removal is
+   justified by a violated simulation condition, so the
+   greatest-fixpoint invariant is preserved throughout).
+
+Local steps within a round are independent, so they run serially, on a
+thread pool, or on a process pool (:class:`ShardRunner`).  Shard state
+is *worker-resident*: process mode pins each shard to a dedicated
+worker (the sharded snapshot ships once per worker, mirroring
+``repro.engine.executor``), and only withdrawal batches and removal
+deltas cross the process boundary per round -- never the counters.
+Results decode to original node keys -- or to the sharded graph's
+composite global id space for the materialization path
+(:mod:`repro.shard.materialize`).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from itertools import repeat
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.compact import CompactGraph
+from repro.graph.conditions import AttributeCondition, Label
+from repro.shard.sharded import ShardedGraph
+from repro.simulation.compact_engine import IdEdgeMatches
+from repro.simulation.result import MatchResult
+
+PNode = Hashable
+Node = Hashable
+PEdge = Tuple[PNode, PNode]
+
+#: Shard-local simulation: pattern node -> set of *internal* local ids.
+LocalSim = Dict[PNode, Set[int]]
+
+
+@dataclass
+class PSimStats:
+    """Telemetry of one partial-evaluation run."""
+
+    shards: int = 0
+    rounds: int = 0
+    local_runs: int = 0
+    invalidated: int = 0
+    initial_assumptions: int = 0
+    per_round_invalidated: List[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Shard-local evaluation (pure functions of one shard snapshot)
+# ----------------------------------------------------------------------
+def _seed_candidates(
+    snapshot: CompactGraph, own: int, pattern
+) -> Tuple[LocalSim, LocalSim]:
+    """Seed one shard from its label index: ``(internal, ghosts)``.
+
+    Internal candidates (ids below ``own``) are the shard's own
+    refinable matches; ghost candidates become the shard's initial
+    boundary *assumptions* -- optimistic supersets of the truth, since
+    the same conditions seed the owner shard.  Unlike the
+    single-machine engine, an empty set is *not* a failure: a pattern
+    node's matches may all live in other shards.
+    """
+    sim: LocalSim = {}
+    assume: LocalSim = {}
+    for u in pattern.nodes():
+        condition = pattern.condition(u)
+        if isinstance(condition, Label):
+            bucket = snapshot.label_ids(condition.name)
+        elif isinstance(condition, AttributeCondition) and condition.label:
+            bucket = [
+                i
+                for i in snapshot.label_ids(condition.label)
+                if condition.matches(snapshot.labels_of(i), snapshot.attrs_of(i))
+            ]
+        else:
+            bucket = [
+                i
+                for i in range(snapshot.num_nodes)
+                if condition.matches(snapshot.labels_of(i), snapshot.attrs_of(i))
+            ]
+        # Buckets are ascending (label rows are built in id order), and
+        # internal ids all precede ghost ids, so one bisect splits them.
+        split = bisect_left(bucket, own)
+        sim[u] = set(bucket[:split])
+        assume[u] = set(bucket[split:])
+    return sim, assume
+
+
+class _ShardState:
+    """One shard's persistent local fixpoint state for one pattern.
+
+    Lives across coordinator rounds: ``sim`` (internal candidates) and
+    ``assume`` (ghost assumptions) only shrink, ``full`` is their
+    maintained union (every witness-counting target set), and
+    ``counters`` keeps the lazily materialized witness counts -- so a
+    re-run after withdrawn assumptions is a pure decrement cascade over
+    the affected area, never a recount of the shard.  Serial and thread
+    runners mutate the object in place; process runners round-trip it
+    through pickling, which preserves exactly the same contents.
+    """
+
+    __slots__ = ("sim", "assume", "full", "counters")
+
+    def __init__(
+        self,
+        sim: LocalSim,
+        assume: Dict[PNode, Set[int]],
+        counters: Dict[PEdge, Dict[int, int]],
+    ) -> None:
+        self.sim = sim
+        self.assume = assume
+        self.full: Dict[PNode, Set[int]] = {
+            u: sim[u] | assume[u] for u in sim
+        }
+        self.counters = counters
+
+    def __getstate__(self):
+        return (self.sim, self.assume, self.full, self.counters)
+
+    def __setstate__(self, state) -> None:
+        self.sim, self.assume, self.full, self.counters = state
+
+
+def _local_fixpoint(
+    snapshot: CompactGraph,
+    own: int,
+    pattern,
+    state: Optional[_ShardState],
+    withdrawn: Optional[Dict[PNode, Set[int]]] = None,
+) -> Tuple[_ShardState, LocalSim]:
+    """The shard-local greatest fixpoint under boundary assumptions.
+
+    ``state.assume[u]`` holds the ghost local ids currently presumed to
+    match ``u``; they witness pattern edges like any candidate but are
+    never refined here (their status is the coordinator's to decide).
+    On the first run ``state`` is ``None``: candidates and assumptions
+    get seeded from the label index and witness-less candidates are
+    doomed by a full scan.  On re-runs the state carries the previous
+    round's (shrinking) result and ``withdrawn`` the ghost ids the
+    coordinator refuted since -- which are simply enqueued as removal
+    batches, so a re-run costs the affected area, not the shard.
+    Internal sets may legitimately empty out (matches can live
+    entirely elsewhere).
+
+    Returns ``(state, removed)`` where ``removed[u]`` is the set of
+    internal ids pruned during *this* run -- the delta the coordinator
+    turns into withdrawn assumptions elsewhere.
+
+    The refinement is the compact engine's batched, lazy-counter
+    scheme (see ``compact_maximum_simulation``): witness-less
+    candidates are detected with ``isdisjoint``, counters materialize
+    on first touch against ``full ∪ still-queued`` and stay valid
+    across rounds, and removals propagate in batches -- with the two
+    sharding twists that ghost ids sit in every target set but are
+    only ever removed by coordinator withdrawal, and empty candidate
+    sets do not abort.
+    """
+    succ = snapshot.succ_rows
+    pred = snapshot.pred_rows
+    pending: Dict[PNode, Set[int]] = {}
+    removed_acc: LocalSim = {}
+    if state is None:
+        sim, assume = _seed_candidates(snapshot, own, pattern)
+        state = _ShardState(
+            sim, assume, {edge: {} for edge in pattern.edges()}
+        )
+        full = state.full
+        for u in pattern.nodes():
+            doomed: Set[int] = set()
+            for u1 in pattern.successors(u):
+                no_witness = full[u1].isdisjoint
+                doomed.update(v for v in sim[u] if no_witness(succ[v]))
+            if doomed:
+                sim[u] -= doomed
+                full[u] -= doomed
+                pending[u] = doomed
+                removed_acc[u] = set(doomed)
+    else:
+        sim = state.sim
+        full = state.full
+        assume = state.assume
+        # Apply the withdrawal: drop the refuted ghosts from the
+        # assumption and witness-target sets, then queue them as
+        # ordinary removal batches.
+        for u, ghosts in (withdrawn or {}).items():
+            if ghosts:
+                assume[u] -= ghosts
+                full[u] -= ghosts
+                pending[u] = set(ghosts)
+    counters = state.counters
+
+    while pending:
+        u1, removed = pending.popitem()
+        touched = set().union(*map(pred.__getitem__, removed))
+        if not touched:
+            continue
+        intersect_removed = removed.intersection
+        for u in pattern.predecessors(u1):
+            candidates = sim[u]
+            affected = candidates & touched
+            if not affected:
+                continue
+            # A counter materialized mid-propagation must count every
+            # witness whose departure has not been *processed* yet:
+            # full(u1) plus anything still queued for u1 (a self-loop
+            # pattern edge can re-queue ids for u1 during this very
+            # pop).  The current batch is excluded from both, so it
+            # needs no decrement on a fresh counter; queued ids will
+            # decrement exactly once when their own batch pops.
+            queued_for_u1 = pending.get(u1)
+            if queued_for_u1:
+                intersect_targets = (full[u1] | queued_for_u1).intersection
+            else:
+                intersect_targets = full[u1].intersection
+            edge_counter = counters[(u, u1)]
+            newly: Set[int] = set()
+            for v in affected:
+                count = edge_counter.get(v)
+                if count is None:
+                    count = len(intersect_targets(succ[v]))
+                else:
+                    count -= len(intersect_removed(succ[v]))
+                edge_counter[v] = count
+                if count == 0:
+                    newly.add(v)
+            if newly:
+                candidates -= newly
+                full[u] -= newly
+                gone = removed_acc.get(u)
+                if gone is None:
+                    removed_acc[u] = set(newly)
+                else:
+                    gone |= newly
+                queued = pending.get(u)
+                if queued is None:
+                    pending[u] = newly
+                else:
+                    queued |= newly
+    return state, removed_acc
+
+
+def _local_edge_matches(
+    snapshot: CompactGraph,
+    pattern,
+    state: _ShardState,
+    global_row: List[int],
+    node_table: List[Node],
+) -> Tuple[
+    IdEdgeMatches,
+    IdEdgeMatches,
+    Dict[PEdge, Set[Tuple[Node, Node]]],
+    Dict[PNode, Set[Node]],
+]:
+    """One shard's slice of the final result, ready to merge.
+
+    Returns the per-edge match sets in composite global id space
+    grouped by source id and by target id (the two
+    :class:`CompactExtension` indexes), the same pairs decoded to node
+    keys, and the decoded node match sets -- all built shard-side, so
+    the coordinator's merge is pure C-level set/dict updates (only
+    by-target rows can collide across shards, at cut targets).  At the
+    global fixpoint the surviving assumptions are exactly the true
+    boundary matches, so ghost witnesses are emitted like internal
+    ones; ``global_row`` folds both into the shared id space.
+    """
+    succ = snapshot.succ_rows
+    sim = state.sim
+    full = state.full
+    decode_local = snapshot.node_of
+    decode_global = node_table.__getitem__
+    matches: IdEdgeMatches = {}
+    reverse: IdEdgeMatches = {}
+    decoded: Dict[PEdge, Set[Tuple[Node, Node]]] = {}
+    for edge in pattern.edges():
+        u, u1 = edge
+        # ``full`` is sim ∪ assume by invariant -- exactly the
+        # surviving witnesses.
+        intersect = full[u1].intersection
+        grouped: Dict[int, Set[int]] = {}
+        by_target: Dict[int, Set[int]] = {}
+        pairs: Set[Tuple[Node, Node]] = set()
+        for v in sim[u]:
+            witnesses = intersect(succ[v])
+            if witnesses:
+                source = global_row[v]
+                targets = {global_row[w] for w in witnesses}
+                grouped[source] = targets
+                for w in targets:
+                    sources = by_target.get(w)
+                    if sources is None:
+                        by_target[w] = {source}
+                    else:
+                        sources.add(source)
+                pairs.update(
+                    zip(repeat(decode_local(v)), map(decode_global, targets))
+                )
+        matches[edge] = grouped
+        reverse[edge] = by_target
+        decoded[edge] = pairs
+    nodes = {
+        u: set(map(decode_local, ids)) for u, ids in sim.items()
+    }
+    return matches, reverse, decoded, nodes
+
+
+# ----------------------------------------------------------------------
+# Task plumbing: serial / thread / process execution of local steps
+# ----------------------------------------------------------------------
+#: Executor kinds accepted by the psim / materialization entry points.
+SHARD_EXECUTORS = ("serial", "thread", "process")
+
+
+#: Shard-state store: (session id, shard index) -> state.  Sessions of
+#: several patterns may be in flight at once (wave-driven
+#: materialization), so the key carries both.
+_StateStore = Dict[Tuple[int, int], _ShardState]
+
+
+def _execute(
+    sharded: ShardedGraph, store: _StateStore, task: Tuple
+) -> Tuple[int, object]:
+    """Evaluate one local task against a sharded graph (the single code
+    path used by every executor, in-process or not).
+
+    ``store`` holds the per-(session, shard) fixpoint states, so one
+    long-lived runner (and its workers) serves any number of patterns
+    -- concurrently, for wave-driven materialization -- without state
+    ever crossing back to the coordinator.  Terminal tasks (``edges``,
+    ``collect``, ``drop``) evict their session's state.
+    """
+    kind, index, session = task[0], task[1], task[2]
+    snapshot = sharded.shard(index)
+    key = (session, index)
+    if kind == "sim":
+        _, _, _, pattern, withdrawn = task
+        state = store.get(key)
+        first_run = state is None
+        state, removed = _local_fixpoint(
+            snapshot, sharded.own_count(index), pattern, state, withdrawn
+        )
+        store[key] = state
+        sizes = {u: len(ids) for u, ids in state.sim.items()}
+        assumed = (
+            sum(len(ids) for ids in state.assume.values()) if first_run else 0
+        )
+        return index, (removed, sizes, assumed)
+    if kind == "drop":
+        store.pop(key, None)
+        return index, None
+    state = store.pop(key, None)
+    if state is None:
+        raise RuntimeError(
+            f"shard {index} has no state for session {session}; "
+            "was the worker restarted mid-evaluation?"
+        )
+    if kind == "edges":
+        _, _, _, pattern = task
+        return index, _local_edge_matches(
+            snapshot,
+            pattern,
+            state,
+            sharded.global_row(index),
+            sharded.node_table,
+        )
+    # "collect": the decoded internal simulation of this shard.
+    decode = snapshot.node_of
+    return index, {u: set(map(decode, ids)) for u, ids in state.sim.items()}
+
+
+# Module level so the process pool pickles them by reference; the
+# sharded snapshot ships once per worker through the initializer,
+# mirroring repro.engine.executor.  Each worker owns the states of the
+# shards pinned to it.
+_WORKER_PAYLOAD: Dict[str, object] = {}
+
+
+def _worker_init(sharded: ShardedGraph) -> None:
+    _WORKER_PAYLOAD["sharded"] = sharded
+    _WORKER_PAYLOAD["store"] = {}
+
+
+def _worker_run(task: Tuple) -> Tuple[int, object]:
+    return _execute(
+        _WORKER_PAYLOAD["sharded"],  # type: ignore[arg-type]
+        _WORKER_PAYLOAD["store"],  # type: ignore[arg-type]
+        task,
+    )
+
+
+class ShardRunner:
+    """Executes batches of shard-local tasks for one sharded graph.
+
+    Pools are created once and reused across every round and every view
+    materialized through the runner -- the expensive part of process
+    parallelism (worker startup, shipping the sharded snapshot) is paid
+    a single time.  Process mode pins every shard to a dedicated
+    single-worker pool (shard ``i`` always lands on pool ``i mod
+    workers``), so each worker keeps its shards' fixpoint states
+    resident and per-round traffic is just withdrawal batches out,
+    removal deltas back.  Use as a context manager, or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedGraph,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ) -> None:
+        if executor not in SHARD_EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{SHARD_EXECUTORS}"
+            )
+        self.sharded = sharded
+        self.executor = executor
+        self.workers = workers if workers is not None else max(
+            1, min(sharded.num_shards, os.cpu_count() or 1)
+        )
+        self._session = 0
+        self._store: _StateStore = {}
+        self._pools: List[ProcessPoolExecutor] = []
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        if executor == "process" and self.workers > 1:
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_worker_init,
+                    initargs=(sharded,),
+                )
+                for _ in range(min(self.workers, sharded.num_shards))
+            ]
+        elif executor == "thread" and self.workers > 1:
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.workers)
+
+    def new_session(self) -> int:
+        """A fresh session id for one pattern evaluation.  Several
+        sessions may be in flight at once; each evaluation ends with a
+        terminal task per shard (``edges`` / ``collect`` / ``drop``)
+        that evicts its worker-resident state."""
+        self._session += 1
+        return self._session
+
+    def map(self, tasks: Sequence[Tuple]) -> List[Tuple[int, object]]:
+        """Run local tasks, returning ``(shard index, result)`` pairs."""
+        if self._pools:
+            futures = [
+                self._pools[task[1] % len(self._pools)].submit(_worker_run, task)
+                for task in tasks
+            ]
+            return [future.result() for future in futures]
+        sharded = self.sharded
+        store = self._store
+        if self._thread_pool is not None and len(tasks) > 1:
+            return list(
+                self._thread_pool.map(
+                    lambda task: _execute(sharded, store, task), tasks
+                )
+            )
+        return [_execute(sharded, store, task) for task in tasks]
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown()
+        self._pools = []
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown()
+            self._thread_pool = None
+        self._store.clear()
+
+    def __enter__(self) -> "ShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _resolve_runner(
+    sharded: ShardedGraph,
+    runner: Optional[ShardRunner],
+    executor: str,
+    workers: Optional[int],
+) -> Tuple[ShardRunner, bool]:
+    """An existing runner (not owned) or a fresh one (owned by caller)."""
+    if runner is not None:
+        if runner.sharded is not sharded:
+            raise ValueError("runner was built for a different ShardedGraph")
+        return runner, False
+    return ShardRunner(sharded, executor=executor, workers=workers), True
+
+
+# ----------------------------------------------------------------------
+# The coordinator: assumption exchange to the global fixpoint
+# ----------------------------------------------------------------------
+class _Evaluation:
+    """State machine driving one pattern to its global fixpoint.
+
+    Phases: ``sim`` (rounds of local fixpoints + removal-driven
+    exchange), then ``edges`` (extract + merge the result slices) or
+    ``collect`` (decoded simulation only) or ``drop`` (failed match;
+    evict worker states), then done.  Several evaluations can progress
+    through the same :class:`ShardRunner` in shared waves
+    (:func:`_drive`), which is what keeps pool round-trips -- the
+    dominant process-mode cost -- proportional to the number of
+    *rounds*, not patterns x rounds.
+
+    Round 1 runs every shard with label-index seeding (assumptions
+    start as each shard's condition-matching ghosts -- the same
+    optimistic superset the owner seeds from, so both sides agree on
+    round zero).  The exchange is *removal-driven*: each local run
+    reports the internal ids it pruned, the coordinator translates
+    them through the boundary bridges into withdrawal batches, and
+    only the shards that lost an assumption re-run -- continuing from
+    their worker-resident state, so a re-run is a decrement cascade
+    over the affected area.  Every id leaves its (shrinking)
+    simulation set exactly once, so each translated withdrawal is
+    unique by construction -- the coordinator needs no view of the
+    assumption sets at all.  Work per round is therefore proportional
+    to the invalidated area, not to the boundary size.
+    """
+
+    __slots__ = (
+        "pattern",
+        "sharded",
+        "session",
+        "mode",
+        "stats",
+        "phase",
+        "done",
+        "empty",
+        "sizes",
+        "withdrawn",
+        "active",
+        "_incoming",
+        "id_matches",
+        "by_target",
+        "edge_matches",
+        "node_matches",
+        "collected",
+    )
+
+    def __init__(
+        self, pattern, sharded: ShardedGraph, session: int, mode: str = "edges"
+    ) -> None:
+        assert mode in ("edges", "collect")
+        k = sharded.num_shards
+        self.pattern = pattern
+        self.sharded = sharded
+        self.session = session
+        self.mode = mode
+        self.stats = PSimStats(shards=k)
+        self.phase = "sim"
+        self.done = False
+        self.empty = False
+        self.sizes: List[Optional[Dict[PNode, int]]] = [None] * k
+        self.withdrawn: List[Optional[Dict[PNode, Set[int]]]] = [None] * k
+        self.active: List[int] = list(range(k))
+        self._incoming: List[Tuple[int, object]] = []
+        self.id_matches: Optional[IdEdgeMatches] = None
+        self.by_target: Optional[IdEdgeMatches] = None
+        self.edge_matches: Optional[Dict[PEdge, Set[Tuple[Node, Node]]]] = None
+        self.node_matches: Optional[Dict[PNode, Set[Node]]] = None
+        self.collected: Optional[Dict[PNode, Set[Node]]] = None
+
+    # -- wave protocol -------------------------------------------------
+    def tasks(self) -> List[Tuple]:
+        """This wave's tasks (empty once done)."""
+        if self.phase == "sim":
+            self.stats.rounds += 1
+            self.stats.local_runs += len(self.active)
+            return [
+                ("sim", i, self.session, self.pattern, self.withdrawn[i])
+                for i in self.active
+            ]
+        if self.phase == "edges":
+            return [
+                ("edges", i, self.session, self.pattern)
+                for i in range(self.sharded.num_shards)
+            ]
+        if self.phase == "collect":
+            return [
+                ("collect", i, self.session)
+                for i in range(self.sharded.num_shards)
+            ]
+        if self.phase == "drop":
+            return [
+                ("drop", i, self.session)
+                for i in range(self.sharded.num_shards)
+            ]
+        return []
+
+    def absorb(self, index: int, payload: object) -> None:
+        self._incoming.append((index, payload))
+
+    def end_wave(self) -> None:
+        incoming, self._incoming = self._incoming, []
+        if self.phase == "sim":
+            self._end_sim_wave(incoming)
+        elif self.phase == "edges":
+            self._merge_edges(incoming)
+            self.phase = "done"
+            self.done = True
+        elif self.phase == "collect":
+            merged: Dict[PNode, Set[Node]] = {
+                u: set() for u in self.pattern.nodes()
+            }
+            for _, decoded in incoming:
+                for u, matches in decoded.items():  # type: ignore[attr-defined]
+                    merged[u] |= matches
+            self.collected = merged
+            self.phase = "done"
+            self.done = True
+        else:  # drop acknowledgements
+            self.phase = "done"
+            self.done = True
+
+    # -- internals -----------------------------------------------------
+    def _end_sim_wave(self, incoming: List[Tuple[int, object]]) -> None:
+        sharded = self.sharded
+        withdrawn = self.withdrawn
+        deltas: List[Tuple[int, LocalSim]] = []
+        for index, payload in incoming:
+            removed, shard_sizes, assumed = payload  # type: ignore[misc]
+            self.sizes[index] = shard_sizes
+            withdrawn[index] = None
+            deltas.append((index, removed))
+            self.stats.initial_assumptions += assumed
+        # Exchange: every pruned internal id refutes the corresponding
+        # ghost assumption in the shards that hold one (pre-resolved
+        # through the boundary bridges, so a removal batch meets each
+        # holder in set-at-a-time operations); refuted ghosts become
+        # the holder's next withdrawal batch.
+        rerun: Set[int] = set()
+        round_invalidated = 0
+        for index, removed in deltas:
+            bridges = sharded.bridges(index)
+            for u, ids in removed.items():
+                for holder, exported, translate in bridges:
+                    common = ids & exported
+                    if not common:
+                        continue
+                    hit = set(map(translate.__getitem__, common))
+                    batches = withdrawn[holder]
+                    if batches is None:
+                        withdrawn[holder] = {u: hit}
+                    else:
+                        batch = batches.get(u)
+                        if batch is None:
+                            batches[u] = hit
+                        else:
+                            batch |= hit
+                    rerun.add(holder)
+                    round_invalidated += len(hit)
+        self.stats.per_round_invalidated.append(round_invalidated)
+        self.stats.invalidated += round_invalidated
+        if rerun:
+            self.active = sorted(rerun)
+            return
+        # Global fixpoint reached: extract, or clean up a failed match.
+        if any(
+            not any(shard_sizes[u] for shard_sizes in self.sizes)  # type: ignore[index]
+            for u in self.pattern.nodes()
+        ):
+            self.empty = True
+            self.phase = "drop"
+        else:
+            self.phase = self.mode
+
+    def _merge_edges(self, incoming: List[Tuple[int, object]]) -> None:
+        pattern = self.pattern
+        id_matches: IdEdgeMatches = {edge: {} for edge in pattern.edges()}
+        by_target: IdEdgeMatches = {edge: {} for edge in pattern.edges()}
+        edge_matches: Dict[PEdge, Set[Tuple[Node, Node]]] = {
+            edge: set() for edge in pattern.edges()
+        }
+        node_matches: Dict[PNode, Set[Node]] = {
+            u: set() for u in pattern.nodes()
+        }
+        for _, shard_slice in incoming:
+            local_ids, local_reverse, local_pairs, local_nodes = shard_slice  # type: ignore[misc]
+            for edge, grouped in local_ids.items():
+                # Source rows are owned by exactly one shard: plain merge.
+                id_matches[edge].update(grouped)
+            for edge, grouped in local_reverse.items():
+                reverse = by_target[edge]
+                if reverse:
+                    for w, sources in grouped.items():
+                        current = reverse.get(w)
+                        if current is None:
+                            reverse[w] = sources
+                        else:
+                            current |= sources
+                else:
+                    # First contributor: adopt the shard's rows outright.
+                    by_target[edge] = grouped
+            for edge, pairs in local_pairs.items():
+                current_pairs = edge_matches[edge]
+                if current_pairs:
+                    current_pairs |= pairs
+                else:
+                    edge_matches[edge] = pairs
+            for u, nodes in local_nodes.items():
+                current_nodes = node_matches[u]
+                if current_nodes:
+                    current_nodes |= nodes
+                else:
+                    node_matches[u] = nodes
+        self.id_matches = id_matches
+        self.by_target = by_target
+        self.edge_matches = edge_matches
+        self.node_matches = node_matches
+
+
+def _drive(evaluations: List[_Evaluation], runner: ShardRunner) -> None:
+    """Run evaluations to completion in shared waves.
+
+    Each wave gathers every active evaluation's tasks into a single
+    ``runner.map`` call: one pool round-trip per wave regardless of how
+    many patterns are in flight, and slow shards of one pattern overlap
+    with other patterns' work instead of idling the pool.
+    """
+    remaining = [e for e in evaluations if not e.done]
+    while remaining:
+        tasks: List[Tuple] = []
+        owners: List[_Evaluation] = []
+        for evaluation in remaining:
+            for task in evaluation.tasks():
+                tasks.append(task)
+                owners.append(evaluation)
+        results = runner.map(tasks)
+        for owner, (index, payload) in zip(owners, results):
+            owner.absorb(index, payload)
+        for evaluation in remaining:
+            evaluation.end_wave()
+        remaining = [e for e in remaining if not e.done]
+
+
+def partial_max_simulation(
+    pattern,
+    sharded: ShardedGraph,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    runner: Optional[ShardRunner] = None,
+) -> Optional[Dict[PNode, Set[Node]]]:
+    """The maximum simulation of ``pattern`` over a sharded graph,
+    computed by partial evaluation -- provably equal to single-machine
+    :func:`~repro.simulation.simulation.maximum_simulation` on the
+    unsharded graph (property-tested across partitioners).
+
+    Returns ``{u: matches}`` over original node keys with every set
+    nonempty, or ``None`` when the pattern has no match.
+    """
+    runner, owned = _resolve_runner(sharded, runner, executor, workers)
+    try:
+        evaluation = _Evaluation(
+            pattern, sharded, runner.new_session(), mode="collect"
+        )
+        _drive([evaluation], runner)
+    finally:
+        if owned:
+            runner.close()
+    return None if evaluation.empty else evaluation.collected
+
+
+def _sharded_evaluate(
+    pattern,
+    sharded: ShardedGraph,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    runner: Optional[ShardRunner] = None,
+    stats_out: Optional[List[PSimStats]] = None,
+) -> Tuple[MatchResult, Optional[IdEdgeMatches], Optional[IdEdgeMatches]]:
+    """Full evaluation: result plus both composite-id indexes.
+
+    Returns ``(result, by_source, by_target)``; the id components are
+    ``None`` on a failed match.  ``by_source`` is grouped by source id
+    -- exactly the form :class:`~repro.views.view.CompactExtension`
+    stores -- and ``by_target`` its precomputed reversal, both built
+    shard-side and merged with C-level updates (only by-target rows can
+    collide across shards, at cut targets).
+    """
+    runner, owned = _resolve_runner(sharded, runner, executor, workers)
+    try:
+        evaluation = _Evaluation(pattern, sharded, runner.new_session())
+        _drive([evaluation], runner)
+    finally:
+        if owned:
+            runner.close()
+    if stats_out is not None:
+        stats_out.append(evaluation.stats)
+    if evaluation.empty:
+        return MatchResult.empty(), None, None
+    return (
+        MatchResult(evaluation.node_matches, evaluation.edge_matches),
+        evaluation.id_matches,
+        evaluation.by_target,
+    )
+
+
+def sharded_match_with_ids(
+    pattern,
+    sharded: ShardedGraph,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    runner: Optional[ShardRunner] = None,
+    stats_out: Optional[List[PSimStats]] = None,
+) -> Tuple[MatchResult, Optional[IdEdgeMatches]]:
+    """Evaluate ``Qs`` on a sharded graph; also return the composite
+    global-id edge matches (``None`` on a failed match).
+
+    The id-space component is grouped by source id -- exactly the form
+    :class:`~repro.views.view.CompactExtension` stores, with ids drawn
+    from the sharded graph's composite space.
+    """
+    result, id_matches, _ = _sharded_evaluate(
+        pattern,
+        sharded,
+        executor=executor,
+        workers=workers,
+        runner=runner,
+        stats_out=stats_out,
+    )
+    return result, id_matches
+
+
+def sharded_match(
+    pattern,
+    sharded: ShardedGraph,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    runner: Optional[ShardRunner] = None,
+) -> MatchResult:
+    """Evaluate ``Qs`` on a sharded graph (the paper's Match, via
+    partial evaluation); equal to ``match`` on the unsharded graph."""
+    result, _ = sharded_match_with_ids(
+        pattern, sharded, executor=executor, workers=workers, runner=runner
+    )
+    return result

@@ -25,6 +25,7 @@ fast path in :mod:`repro.simulation.compact_engine`.
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from typing import Callable, Dict, Hashable, Optional, Set
 
@@ -119,14 +120,24 @@ def maximum_simulation(
 def match(pattern: Pattern, graph: DataGraph) -> MatchResult:
     """Evaluate ``Qs`` on ``G`` via graph simulation (the paper's Match).
 
-    ``graph`` may be a mutable :class:`DataGraph` or a frozen
-    :class:`CompactGraph`; snapshots take the integer-id fast path and
-    produce an equal result.  Returns the unique maximum result
+    ``graph`` may be a mutable :class:`DataGraph`, a frozen
+    :class:`CompactGraph`, or a
+    :class:`~repro.shard.sharded.ShardedGraph`; snapshots take the
+    integer-id fast path, sharded graphs the partial-evaluation path,
+    and all produce an equal result.  Returns the unique maximum result
     ``{(e, Se)}`` as a :class:`MatchResult`; the empty result when
     ``G`` does not match.
     """
     if isinstance(graph, CompactGraph):
         return compact_match(pattern, graph)
+    # The shard layer sits above this module; if it was never imported,
+    # graph cannot be a ShardedGraph, so a sys.modules probe keeps the
+    # dispatch cycle-free and costs one dict lookup.
+    shard_module = sys.modules.get("repro.shard.sharded")
+    if shard_module is not None and isinstance(graph, shard_module.ShardedGraph):
+        from repro.shard.psim import sharded_match
+
+        return sharded_match(pattern, graph)
     sim = maximum_simulation(pattern, graph)
     if sim is None:
         return MatchResult.empty()

@@ -58,6 +58,23 @@ class ViewSet:
         self._version += 1
         self._definitions_version += 1
 
+    def remove(self, name: str) -> None:
+        """Evict view ``name``: drop the definition *and* any cached
+        extension.
+
+        Raises ``KeyError`` when no such definition exists.  Bumps both
+        :attr:`version` and :attr:`definitions_version` -- removing a
+        view can change containment decisions (a query that was only
+        coverable through it must now plan differently), so cached λ
+        mappings and cached answers both become unreachable.
+        """
+        if name not in self._definitions:
+            raise KeyError(f"unknown view {name!r}")
+        del self._definitions[name]
+        self._extensions.pop(name, None)
+        self._version += 1
+        self._definitions_version += 1
+
     def __contains__(self, name: str) -> bool:
         return name in self._definitions
 
@@ -118,11 +135,15 @@ class ViewSet:
         Evaluates each view on ``G`` and stores ``V(G)`` (Section II-B);
         defaults to all definitions.  Bumps :attr:`version`.
 
-        ``graph`` may be a mutable :class:`DataGraph` or a frozen
-        :class:`~repro.graph.compact.CompactGraph`.  Against a snapshot,
-        simulation extensions are bound to its id space (the snapshot
-        token recorded in :attr:`snapshot_token`), which is what unlocks
-        the MatchJoin integer fast path at query time.
+        ``graph`` may be a mutable :class:`DataGraph`, a frozen
+        :class:`~repro.graph.compact.CompactGraph`, or a
+        :class:`~repro.shard.sharded.ShardedGraph`.  Against a snapshot
+        (sharded or not), simulation extensions are bound to its id
+        space (the snapshot token recorded in :attr:`snapshot_token`),
+        which is what unlocks the MatchJoin integer fast path at query
+        time.  For shard-parallel materialization with a worker pool,
+        use :func:`repro.shard.materialize.parallel_materialize`, which
+        installs the same extensions through :meth:`set_extension`.
         """
         for name in names if names is not None else list(self._definitions):
             self._extensions[name] = materialize(self._definitions[name], graph)

@@ -23,6 +23,7 @@ Theorem 1's guarantee is intact).
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.graph.compact import CompactGraph
@@ -63,18 +64,20 @@ class CompactExtension:
         self,
         snapshot: CompactGraph,
         id_matches: IdEdgeMatches,
+        by_target: Optional[IdEdgeMatches] = None,
     ) -> None:
         self.token = snapshot.snapshot_token
         self.version = snapshot.snapshot_version
         self.nodes: List[Node] = snapshot.node_table
         self.by_source: IdEdgeMatches = id_matches
-        by_target: IdEdgeMatches = {}
-        for edge, grouped in id_matches.items():
-            reverse: Dict[int, Set[int]] = {}
-            for v, targets in grouped.items():
-                for w in targets:
-                    reverse.setdefault(w, set()).add(v)
-            by_target[edge] = reverse
+        if by_target is None:
+            by_target = {}
+            for edge, grouped in id_matches.items():
+                reverse: Dict[int, Set[int]] = {}
+                for v, targets in grouped.items():
+                    for w in targets:
+                        reverse.setdefault(w, set()).add(v)
+                by_target[edge] = reverse
         self.by_target = by_target
 
 
@@ -206,9 +209,11 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
 
     Simulation views store the match sets of the unique maximum match;
     bounded views additionally store the distance index ``I(V)``.
-    ``graph`` may be a frozen :class:`CompactGraph`, in which case
+    ``graph`` may be a frozen :class:`CompactGraph` or a
+    :class:`~repro.shard.sharded.ShardedGraph`, in which case
     simulation extensions also carry the id-space
-    :class:`CompactExtension` payload for the MatchJoin fast path.
+    :class:`CompactExtension` payload for the MatchJoin fast path
+    (composite ids for sharded graphs, computed shard by shard).
     """
     pattern = definition.pattern
     if isinstance(pattern, BoundedPattern):
@@ -226,6 +231,13 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
                 if previous is None or distance < previous:
                     index[pair] = distance
         return MaterializedView(definition, result.edge_matches, distances=index)
+    # Shard layer dispatch (sys.modules probe: if the shard subpackage
+    # was never imported, graph cannot be a ShardedGraph).
+    shard_module = sys.modules.get("repro.shard.sharded")
+    if shard_module is not None and isinstance(graph, shard_module.ShardedGraph):
+        from repro.shard.materialize import materialize_view
+
+        return materialize_view(definition, graph)
     if isinstance(graph, CompactGraph):
         result, id_matches = compact_match_with_ids(pattern, graph)
         if id_matches is None:

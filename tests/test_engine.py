@@ -214,6 +214,46 @@ class TestAnswerCache:
         assert not engine.answer(contained_query).stats.cache_hit
 
 
+class TestViewSetRemove:
+    def test_remove_drops_definition_and_extension(self, views):
+        assert views.is_materialized("V2")
+        definitions_before = views.definitions_version
+        version_before = views.version
+        views.remove("V2")
+        assert "V2" not in views
+        assert not views.is_materialized("V2")
+        with pytest.raises(KeyError):
+            views.definition("V2")
+        with pytest.raises(KeyError):
+            views.extension("V2")
+        # Both counters bump: containment caches and answer caches must
+        # see the eviction.
+        assert views.definitions_version > definitions_before
+        assert views.version > version_before
+        with pytest.raises(KeyError):
+            views.remove("V2")  # already gone
+
+    def test_remove_invalidates_engine_caches(
+        self, graph, views, contained_query
+    ):
+        engine = QueryEngine(views, graph=graph)
+        first = engine.answer(contained_query)
+        assert first.stats.strategy == "matchjoin"
+        assert engine.plan(contained_query).containment_cached
+        # Evicting a view the λ mapping uses must strand both the
+        # cached containment decision and the cached answer.
+        views.remove("V2")
+        plan = engine.plan(contained_query)
+        assert not plan.containment_cached
+        assert plan.strategy == "direct"  # no longer coverable
+        refreshed = engine.execute(plan)
+        assert not refreshed.stats.cache_hit
+        assert refreshed.edge_matches == first.edge_matches
+        # A definition-only view (never materialized) is removable too.
+        views.remove("V1")
+        assert len(views) == 0
+
+
 class TestMaintenanceIntegration:
     def test_view_maintenance_invalidates_and_refreshes(
         self, graph, definitions, contained_query

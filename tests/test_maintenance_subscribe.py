@@ -1,0 +1,143 @@
+"""MaintenanceEvent delivery: ordering and consistency under bursts.
+
+``IncrementalViewSet.subscribe`` promises that callbacks fire *after*
+the view state is consistent again, in subscription order, once per
+applied update.  These tests drive interleaved insert/delete bursts
+and verify, from inside the callbacks themselves, that
+
+* events arrive in exact application order, to every subscriber, with
+  all subscribers notified of event *n* before any sees event *n + 1*;
+* a subscriber reading ``tracker.extension(name)`` mid-burst observes
+  extensions identical to a from-scratch materialization of the graph
+  state at that event -- never a half-updated cascade;
+* unsubscribing mid-burst stops delivery immediately without
+  disturbing other subscribers.
+"""
+
+import random
+
+from helpers import build_graph, build_pattern, random_labeled_graph
+from repro.views.maintenance import IncrementalViewSet, MaintenanceEvent
+from repro.views.storage import ViewSet
+from repro.views.view import ViewDefinition
+
+
+def _definitions():
+    v1 = build_pattern({"a": "A", "b": "B"}, [("a", "b")])
+    v2 = build_pattern({"b": "B", "c": "C"}, [("b", "c")])
+    v3 = build_pattern({"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")])
+    return [
+        ViewDefinition("AB", v1),
+        ViewDefinition("BC", v2),
+        ViewDefinition("ABC", v3),
+    ]
+
+
+def _burst(rng, graph, rounds):
+    """A deterministic interleaved insert/delete schedule: each entry is
+    ``(op, source, target)``, valid against the evolving graph."""
+    nodes = list(graph.nodes())
+    present = set(graph.edges())
+    schedule = []
+    for _ in range(rounds):
+        if present and rng.random() < 0.45:
+            edge = rng.choice(sorted(present, key=repr))
+            schedule.append(("delete", *edge))
+            present.discard(edge)
+        else:
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            if (source, target) in present:
+                continue
+            schedule.append(("insert", source, target))
+            present.add((source, target))
+    return schedule
+
+
+class TestSubscriberOrdering:
+    def test_events_in_application_order_across_subscribers(self):
+        rng = random.Random(7)
+        graph = random_labeled_graph(rng, 20, 40)
+        tracker = IncrementalViewSet(_definitions(), graph)
+        log = []
+        tracker.subscribe(lambda event: log.append(("first", event)))
+        tracker.subscribe(lambda event: log.append(("second", event)))
+        schedule = _burst(rng, graph, 30)
+        for op, source, target in schedule:
+            if op == "insert":
+                tracker.insert_edge(source, target)
+            else:
+                tracker.delete_edge(source, target)
+        expected = [MaintenanceEvent(op, s, t) for op, s, t in schedule]
+        # Both subscribers saw every event, in application order, and
+        # for each event "first" fired before "second".
+        assert [e for who, e in log if who == "first"] == expected
+        assert [e for who, e in log if who == "second"] == expected
+        assert [who for who, _ in log] == ["first", "second"] * len(expected)
+
+    def test_subscribers_observe_consistent_extensions(self):
+        rng = random.Random(11)
+        graph = random_labeled_graph(rng, 18, 35)
+        definitions = _definitions()
+        tracker = IncrementalViewSet(definitions, graph)
+        # The subscriber maintains its own mirror of the graph and, on
+        # every event, compares the tracker's incrementally maintained
+        # extensions against a from-scratch materialization.
+        mirror = graph.copy()
+        checked = []
+
+        def verify(event):
+            if event.op == "insert":
+                mirror.add_edge(event.source, event.target)
+            else:
+                mirror.remove_edge(event.source, event.target)
+            reference = ViewSet(definitions)
+            reference.materialize(mirror)
+            for definition in definitions:
+                assert (
+                    tracker.extension(definition.name).edge_matches
+                    == reference.extension(definition.name).edge_matches
+                ), (event, definition.name)
+            checked.append(event)
+
+        tracker.subscribe(verify)
+        for op, source, target in _burst(rng, graph, 40):
+            if op == "insert":
+                tracker.insert_edge(source, target)
+            else:
+                tracker.delete_edge(source, target)
+        assert len(checked) >= 30  # the burst actually exercised the hook
+
+    def test_unsubscribe_mid_burst(self):
+        graph = build_graph(
+            {1: "A", 2: "B", 3: "C", 4: "B"}, [(1, 2), (2, 3)]
+        )
+        tracker = IncrementalViewSet(_definitions(), graph)
+        first, second = [], []
+
+        def leaver(event):
+            first.append(event)
+            if len(first) == 2:
+                tracker.unsubscribe(leaver)
+
+        tracker.subscribe(leaver)
+        tracker.subscribe(second.append)
+        tracker.insert_edge(1, 4)
+        tracker.delete_edge(2, 3)
+        tracker.insert_edge(4, 3)
+        assert len(first) == 2  # nothing after self-unsubscribe
+        assert [e.op for e in second] == ["insert", "delete", "insert"]
+        # Duplicate subscribe is a no-op: still one delivery per event.
+        tracker.subscribe(second.append)
+        tracker.subscribe(second.append)
+        tracker.delete_edge(1, 4)
+        assert [e.op for e in second] == ["insert", "delete", "insert", "delete"]
+
+    def test_duplicate_insert_fires_no_event(self):
+        graph = build_graph({1: "A", 2: "B"}, [(1, 2)])
+        tracker = IncrementalViewSet(_definitions(), graph)
+        events = []
+        tracker.subscribe(events.append)
+        tracker.insert_edge(1, 2)  # already present: no state change
+        assert events == []
+        tracker.insert_edge(2, 1)
+        assert [e.op for e in events] == ["insert"]
