@@ -4,17 +4,20 @@ Two caches back the engine (both instances of :class:`LRUCache`):
 
 * the **containment-decision cache** memoizes ``contain`` / ``minimal``
   / ``minimum`` outcomes per (query fingerprint, selection policy,
-  view-cache version) -- the paper's Theorem 3 check is quadratic in
-  ``|Q|`` and linear in ``card(V)``, so a deployment answering the same
-  query shapes repeatedly should pay it once;
-* the **answer cache** memoizes full :class:`MatchResult` objects under
-  the same keys, so a repeated query is a dictionary lookup.
+  ``definitions_version``) -- the paper's Theorem 3 check is quadratic
+  in ``|Q|`` and linear in ``card(V)``, so a deployment answering the
+  same query shapes repeatedly should pay it once, and extension
+  refreshes never re-trigger it;
+* the **answer cache** memoizes full :class:`MatchResult` objects keyed
+  by the **per-view version vector** of exactly the views the plan
+  reads (:meth:`ViewSet.version_vector`) -- or the graph's mutation
+  version for direct plans.
 
-Both keys embed the owning :class:`~repro.views.storage.ViewSet`'s
-``version`` counter, which every extension/definition mutation bumps:
-a maintenance update (Section I: "incremental methods ... maintain
-cached pattern views") therefore invalidates stale entries *by
-construction* -- they become unreachable and age out of the LRU.
+A maintenance update (Section I: "incremental methods ... maintain
+cached pattern views") bumps only the stamps of the views it actually
+changed, so the stale entries it strands -- unreachable by
+construction, aging out of the LRU -- are exactly the answers that
+depended on a changed view; everything else keeps hitting.
 """
 
 from __future__ import annotations

@@ -12,15 +12,17 @@ concurrently.  :class:`QueryEngine` owns a
   3, 5, 6) once and return an inspectable :class:`QueryPlan` choosing
   MatchJoin over the views (``Q ⊑ V``) or direct ``Match`` on ``G``;
 * :meth:`answer` / :meth:`execute` -- evaluate a plan, consulting an
-  LRU answer cache keyed by (query fingerprint, selection, view-cache
-  version);
+  LRU answer cache keyed by (query fingerprint, selection, and the
+  **per-view version vector** of exactly the views the plan reads --
+  or the graph version for direct plans) so a maintenance update only
+  strands the answers whose plan actually read a changed view;
 * :meth:`answer_batch` -- evaluate many queries via serial, thread or
   process executors (simulation fixpoints are CPU-bound, so the
   process pool is the scaling path);
-* :meth:`attach_maintenance` -- subscribe to an
+* :meth:`attach_maintenance` -- follow an
   :class:`~repro.views.maintenance.IncrementalViewSet`; graph updates
-  refresh the engine's extensions lazily and invalidate stale cache
-  entries through the view-set version counter.
+  refresh the engine's extensions lazily, importing only the views
+  each update batch changed.
 
 The engine freezes its data graph into a
 :class:`~repro.graph.compact.CompactGraph` snapshot exactly once and
@@ -28,10 +30,14 @@ reuses it everywhere ``G`` is read -- materializing missing extensions,
 direct evaluation, and every batch executor (the snapshot ships to
 process-pool workers in place of the mutable graph).  Extensions
 materialized against the snapshot carry id-space payloads, so MatchJoin
-runs its integer fast path end to end.  The snapshot is invalidated
-through the same maintenance ``subscribe()`` hook that refreshes
-extensions, and by the graph's own mutation :attr:`~DataGraph.version`
-counter.
+runs its integer fast path end to end.  Maintenance events do **not**
+drop this snapshot: the engine consumes them as batches and *refreshes*
+it through the graph's edge-op journal
+(:meth:`DataGraph.edge_changes_since` /
+:meth:`~repro.graph.compact.CompactGraph.refreshed`), re-binding the
+refreshed extensions of changed views into the new id space and
+re-stamping the untouched ones (zero-cost ``rebound``), so the integer
+fast path survives the update stream.
 
 With ``shards=N`` the engine snapshots ``G`` as a
 :class:`~repro.shard.sharded.ShardedGraph` instead: the graph is
@@ -73,6 +79,7 @@ from repro.graph.pattern import BoundedPattern, Pattern
 from repro.simulation.result import MatchResult
 from repro.views.maintenance import IncrementalViewSet
 from repro.views.storage import ViewSet
+from repro.views.view import MaterializedView, bind_extension
 
 
 class QueryEngine:
@@ -154,6 +161,7 @@ class QueryEngine:
         self._answer_cache = LRUCache(answer_cache_size)
         self._maintenance: Optional[IncrementalViewSet] = None
         self._maintenance_dirty = False
+        self._maintenance_cursor = 0
         # A CompactGraph, or a ShardedGraph in shards mode.
         self._snapshot = None
 
@@ -176,23 +184,36 @@ class QueryEngine:
         A :class:`~repro.graph.compact.CompactGraph` normally, or a
         :class:`~repro.shard.sharded.ShardedGraph` in ``shards=N``
         mode.  Frozen (and partitioned) once and reused for
-        materialization, direct evaluation and batch execution;
-        re-frozen only after the graph mutates or a maintenance event
-        fires.
+        materialization, direct evaluation and batch execution.  After
+        the graph mutates, the stale snapshot is *refreshed* from the
+        graph's edge-op journal whenever the gap is pure edge churn --
+        reusing unchanged adjacency rows (and, in shards mode,
+        rebuilding only the shards owning the updated edges) -- and
+        fully rebuilt otherwise.
         """
         if self._graph is None:
             return None
         snapshot = self._snapshot
         if snapshot is None or snapshot.snapshot_version != self._graph.version:
             if self._shards is not None:
-                from repro.shard.sharded import ShardedGraph
-
-                snapshot = ShardedGraph(
-                    self._graph,
-                    num_shards=self._shards,
-                    strategy=self._partitioner,
+                ops = (
+                    None
+                    if snapshot is None
+                    else self._graph.edge_changes_since(snapshot.snapshot_version)
                 )
+                if ops is not None:
+                    snapshot = snapshot.refreshed(self._graph, ops)
+                else:
+                    from repro.shard.sharded import ShardedGraph
+
+                    snapshot = ShardedGraph(
+                        self._graph,
+                        num_shards=self._shards,
+                        strategy=self._partitioner,
+                    )
             else:
+                # freeze() consults the same journal and refreshes the
+                # cached CompactGraph in place of a full rebuild.
                 snapshot = self._graph.freeze()
             self._snapshot = snapshot
         return snapshot
@@ -207,8 +228,10 @@ class QueryEngine:
     def invalidate(self) -> None:
         """Drop every cached decision and answer explicitly.
 
-        Normally unnecessary: cache keys embed ``views.version``, so
-        catalog mutations already strand stale entries.
+        Normally unnecessary: answer keys embed the version stamps of
+        the views each plan reads (or the graph version for direct
+        plans) and decision keys embed ``definitions_version``, so any
+        relevant mutation already strands the stale entries.
         """
         self._containment_cache.clear()
         self._answer_cache.clear()
@@ -219,40 +242,103 @@ class QueryEngine:
     def attach_maintenance(self, tracker: IncrementalViewSet) -> None:
         """Keep the catalog fresh from an incremental maintenance tracker.
 
-        Subscribes to ``tracker``; after any ``insert_edge`` /
-        ``delete_edge`` the engine marks itself dirty and, before the
-        next plan or evaluation, re-imports every tracked extension
-        (bumping the catalog version, which invalidates cached answers
-        built on the stale extensions).  View definitions present in the
-        tracker but missing from the catalog are added.
+        Subscribes to ``tracker``; updates mark the engine dirty and,
+        before the next plan or evaluation, it consumes the pending
+        events as one batch: the snapshot is refreshed (not dropped)
+        through the graph's edge-op journal, and only the extensions
+        the batch actually *changed* are re-imported (bumping only
+        those views' version stamps, so cached answers over untouched
+        views stay live).  View definitions present in the tracker but
+        missing from the catalog are added.
+
+        If the engine was built with a data graph, it adopts the
+        tracker's maintained copy as its evaluation graph -- direct
+        evaluation, on-demand materialization and snapshot refresh must
+        all follow the same update stream the views do.
         """
         if self._maintenance is not None:
             raise ValueError("a maintenance tracker is already attached")
         self._maintenance = tracker
+        self._maintenance_cursor = -1  # import everything on first refresh
         tracker.subscribe(self._on_maintenance_event)
+        if self._graph is not None and self._graph is not tracker.graph:
+            self._graph = tracker.graph
+            self._snapshot = None
         self._maintenance_dirty = True
         self._refresh_if_dirty()
 
     def detach_maintenance(self) -> None:
-        """Stop following the attached tracker (keeps current extensions)."""
+        """Stop following the attached tracker (keeps current extensions
+        and the adopted graph)."""
         if self._maintenance is not None:
             self._maintenance.unsubscribe(self._on_maintenance_event)
             self._maintenance = None
             self._maintenance_dirty = False
 
     def _on_maintenance_event(self, event) -> None:
+        # Events are consumed in batches by _refresh_if_dirty; the
+        # snapshot is deliberately *kept* -- it refreshes from the
+        # graph's edge-op journal instead of being rebuilt.
         self._maintenance_dirty = True
-        self._snapshot = None
 
     def _refresh_if_dirty(self) -> None:
         if not self._maintenance_dirty or self._maintenance is None:
             self._maintenance_dirty = False
             return
-        for name in self._maintenance.names():
-            if name not in self._views:
-                self._views.add(self._maintenance.definition(name))
-            self._views.set_extension(self._maintenance.extension(name))
+        tracker = self._maintenance
+        changed = set(tracker.changed_since(self._maintenance_cursor))
+        self._maintenance_cursor = tracker.seq
         self._maintenance_dirty = False
+        for name in tracker.names():
+            if name not in self._views:
+                self._views.add(tracker.definition(name))
+                changed.add(name)
+        # Refresh the snapshot first (cheap, journal-driven) so changed
+        # extensions bind straight into the new id space.  Under
+        # maintenance the engine keeps a snapshot whenever it has a
+        # graph: refreshes are affected-area cheap, and binding the
+        # imports keeps MatchJoin on the integer fast path throughout
+        # the update stream.
+        snapshot = self.snapshot() if self._graph is not None else None
+        for name in tracker.names():
+            if name not in changed:
+                continue
+            extension = tracker.extension(name)
+            if snapshot is not None:
+                extension = bind_extension(extension, snapshot)
+            self._views.set_extension(extension)
+        if snapshot is not None:
+            self._rebind_unchanged(changed, snapshot)
+
+    def _rebind_unchanged(self, changed, snapshot) -> None:
+        """Re-stamp unchanged snapshot-bound extensions onto the
+        refreshed snapshot's token (no version bump: the match sets are
+        identical, only provenance moved), so MatchJoin's id-space fast
+        path re-engages across the whole catalog."""
+        extends = getattr(snapshot, "extends_token", None)
+        for name in self._views.names():
+            if name in changed or not self._views.is_materialized(name):
+                continue
+            extension = self._views.extension(name)
+            compact = extension.compact
+            if compact is None or compact.token == snapshot.snapshot_token:
+                continue
+            try:
+                if extends is not None and compact.token == extends:
+                    rebound = MaterializedView(
+                        extension.definition,
+                        extension.edge_matches,
+                        distances=extension.distances,
+                        compact=compact.rebound(snapshot),
+                    )
+                else:
+                    rebound = bind_extension(extension, snapshot)
+            except KeyError:
+                # The extension references nodes the snapshot no longer
+                # has (out-of-band mutation): leave it; the fast path
+                # simply stays disengaged for this view.
+                continue
+            self._views.rebind_extension(rebound)
 
     # ------------------------------------------------------------------
     # Planning
@@ -278,7 +364,6 @@ class QueryEngine:
         # Containment depends on view *definitions* only, so its cache
         # survives extension refreshes (materialization, maintenance).
         decision_key = (fingerprint, selection, self._views.definitions_version)
-        key = (fingerprint, selection, self._views.version)
         containment = self._containment_cache.get(decision_key)
         cached = containment is not None
         if not cached:
@@ -291,12 +376,23 @@ class QueryEngine:
             strategy, reason = DIRECT, REASON_ISOLATED_NODES
         else:
             strategy, reason = MATCHJOIN, None
+        views_used = containment.views_used() if strategy == MATCHJOIN else ()
+        # The answer key covers exactly what the plan reads: the
+        # version stamps of the views MatchJoin consumes, or the graph
+        # version for direct evaluation.  An update therefore strands
+        # only the answers whose inputs actually changed.
+        key = (
+            fingerprint,
+            selection,
+            self._views.definitions_version,
+            self._key_material(strategy, views_used),
+        )
         return QueryPlan(
             query=query,
             strategy=strategy,
             selection=selection,
             containment=containment,
-            views_used=containment.views_used() if strategy == MATCHJOIN else (),
+            views_used=views_used,
             bounded=bounded,
             cache_key=key,
             containment_cached=cached,
@@ -311,11 +407,13 @@ class QueryEngine:
         return self.execute(self.plan(query, selection))
 
     def execute(self, plan: QueryPlan) -> MatchResult:
-        """Evaluate a plan (re-planning first if the catalog moved on)."""
+        """Evaluate a plan (re-planning first if the definitions moved
+        on; extension refreshes only re-key the answer, the containment
+        decision stays valid)."""
         self._refresh_if_dirty()
-        if plan.cache_key[-1] != self._views.version:
+        if plan.cache_key[2] != self._views.definitions_version:
             plan = self.plan(plan.query, plan.selection)
-        hit = self._answer_cache.get(plan.cache_key)
+        hit = self._answer_cache.get(self._current_key(plan))
         if hit is not None:
             return self._deliver(hit, plan, elapsed=0.0, cache_hit=True)
         spec = self._spec_for(plan)
@@ -325,8 +423,8 @@ class QueryEngine:
         [(_, result, elapsed, _)] = run_specs(
             [(0, spec)], self._views.extensions(), graph, executor="serial"
         )
-        # _spec_for may have materialized extensions (bumping version);
-        # store under the *current* key so the next lookup hits.
+        # _spec_for may have materialized extensions (bumping version
+        # stamps); store under the *current* key so the next lookup hits.
         self._answer_cache.put(self._current_key(plan), result)
         return self._deliver(result, plan, elapsed=elapsed, cache_hit=False)
 
@@ -394,13 +492,25 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _key_material(self, strategy: str, views_used) -> Tuple:
+        """What an answer depends on: per-view version stamps for a
+        MatchJoin plan, the graph's mutation version for a direct one."""
+        if strategy == MATCHJOIN:
+            return ("V", self._views.version_vector(views_used))
+        return ("G", self._graph.version if self._graph is not None else -1)
+
     def _current_key(self, plan: QueryPlan) -> Tuple:
         """The plan's answer-cache key against the catalog's *current*
-        version (on-demand materialization moves the version between
+        state (on-demand materialization moves version stamps between
         planning and storing the answer; only extensions changed, so
         the plan itself stays valid)."""
-        fingerprint, selection, _ = plan.cache_key
-        return (fingerprint, selection, self._views.version)
+        fingerprint, selection, _, _ = plan.cache_key
+        return (
+            fingerprint,
+            selection,
+            self._views.definitions_version,
+            self._key_material(plan.strategy, plan.views_used),
+        )
 
     def _spec_for(self, plan: QueryPlan) -> EvaluationSpec:
         """Turn a plan into a picklable spec, materializing as needed."""

@@ -91,8 +91,12 @@ class QueryPlan:
         when the query or any view is bounded.
     cache_key:
         The engine's answer-cache key: ``(pattern fingerprint,
-        selection, views version)``.  Exposed so callers can correlate
-        plans with cache entries.
+        selection, definitions version, key material)`` where the key
+        material is the per-view version vector of ``views_used`` for
+        MatchJoin plans and the graph's mutation version for direct
+        plans -- so a maintenance update only re-keys the answers whose
+        inputs it touched.  Exposed so callers can correlate plans with
+        cache entries.
     containment_cached:
         True when the containment decision was served from the
         engine's decision cache rather than recomputed.

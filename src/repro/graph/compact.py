@@ -24,6 +24,16 @@ recognise that two id spaces are the same and safely exchange raw
 integer ids; see ``MaterializedView.compact`` and the MatchJoin fast
 path.
 
+A snapshot can also be *refreshed* (:meth:`CompactGraph.refreshed`)
+after a batch of edge updates: unchanged adjacency rows, label buckets
+and attribute tables are shared with the predecessor snapshot, only the
+touched rows are rebuilt, and -- crucially -- every pre-existing node
+keeps its dense id (new nodes append at the end).  The refreshed
+snapshot mints a fresh :attr:`snapshot_token` (its *content* differs)
+but records the predecessor's token in :attr:`extends_token`, which is
+the maintenance pipeline's licence to re-stamp extensions of unchanged
+views onto the new token without recomputing them.
+
 The public read API mirrors :class:`DataGraph` (``nodes()``,
 ``successors``, ``labels``, ``descendants_within`` ...) over the
 *original node keys*, so every generic engine -- plain, dual, strong and
@@ -80,6 +90,7 @@ class CompactGraph:
         "_num_edges",
         "snapshot_version",
         "snapshot_token",
+        "extends_token",
     )
 
     def __init__(self, graph, version: int) -> None:
@@ -111,6 +122,85 @@ class CompactGraph:
         self._num_edges = graph.num_edges
         self.snapshot_version = version
         self.snapshot_token = _new_token()
+        self.extends_token = None
+
+    @classmethod
+    def refreshed(
+        cls, old: "CompactGraph", graph, version: int, ops
+    ) -> "CompactGraph":
+        """A new snapshot of ``graph`` built by patching ``old``.
+
+        ``ops`` is the ordered edge-op batch (``(op, source, target)``
+        triples) separating ``old`` from the current graph state; the
+        caller (``DataGraph.freeze`` via the edge-op journal) guarantees
+        the only other changes are appended nodes.  Adjacency rows of
+        untouched nodes, the label buckets and the attribute tables are
+        shared with ``old``; every pre-existing node keeps its id, and
+        new nodes take the next ids in graph order -- so id-space
+        consumers of ``old`` remain valid in the result (recorded via
+        :attr:`extends_token`).  Cost: O(|V|) pointer copies plus the
+        touched adjacency, not O(|V| + |E|) reconstruction.
+        """
+        from itertools import islice
+
+        new = cls.__new__(cls)
+        n_old = len(old._nodes)
+        appended = list(islice(graph.nodes(), n_old, None))
+        touched_out = {s for _, s, _ in ops}
+        touched_in = {t for _, _, t in ops}
+        if appended:
+            nodes = old._nodes + appended
+            ids = dict(old._ids)
+            labels = list(old._labels)
+            attrs = list(old._attrs)
+            label_ids = dict(old._label_ids)
+            for i, node in enumerate(appended, start=n_old):
+                ids[node] = i
+                node_labels = graph.labels(node)
+                node_attrs = graph.attrs(node)
+                labels.append(node_labels)
+                attrs.append(dict(node_attrs) if node_attrs else {})
+                for label in node_labels:
+                    # New ids exceed every old id, so appending keeps
+                    # the bucket sorted.
+                    label_ids[label] = label_ids.get(label, ()) + (i,)
+        else:
+            nodes = old._nodes
+            ids = old._ids
+            labels = old._labels
+            attrs = old._attrs
+            label_ids = old._label_ids
+        succ = list(old._succ)
+        pred = list(old._pred)
+        succ_sets: List[Optional[FrozenSet[Node]]] = list(old._succ_sets)
+        pred_sets: List[Optional[FrozenSet[Node]]] = list(old._pred_sets)
+        for node in appended:
+            succ.append(())
+            pred.append(())
+            succ_sets.append(None)
+            pred_sets.append(None)
+        for node in touched_out:
+            i = ids[node]
+            succ[i] = tuple(ids[w] for w in graph.successors(node))
+            succ_sets[i] = None
+        for node in touched_in:
+            i = ids[node]
+            pred[i] = tuple(ids[w] for w in graph.predecessors(node))
+            pred_sets[i] = None
+        new._nodes = nodes
+        new._ids = ids
+        new._succ = succ
+        new._pred = pred
+        new._labels = labels
+        new._attrs = attrs
+        new._label_ids = label_ids
+        new._succ_sets = succ_sets
+        new._pred_sets = pred_sets
+        new._num_edges = graph.num_edges
+        new.snapshot_version = version
+        new.snapshot_token = _new_token()
+        new.extends_token = old.snapshot_token
+        return new
 
     # ------------------------------------------------------------------
     # Identity

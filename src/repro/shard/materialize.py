@@ -24,6 +24,13 @@ Entry points:
   :class:`~repro.shard.psim.ShardRunner`, so thread/process pools are
   created once and the sharded snapshot ships to workers once for all
   views (the same ship-once discipline as ``repro.engine.executor``).
+
+Both entry points accept *refreshed* sharded snapshots
+(:meth:`ShardedGraph.refreshed`) unchanged: a refresh keeps composite
+ids stable and mints a fresh composite token, so extensions
+materialized afterwards coexist with re-stamped (``rebound``)
+extensions of views the update stream never touched -- one token, fast
+path intact.
 """
 
 from __future__ import annotations

@@ -82,6 +82,7 @@ class ShardedGraph:
         "_num_edges",
         "snapshot_version",
         "snapshot_token",
+        "extends_token",
     )
 
     def __init__(
@@ -204,6 +205,168 @@ class ShardedGraph:
         self._num_edges = graph.num_edges
         self.snapshot_version = graph.version
         self.snapshot_token = _new_token()
+        self.extends_token = None
+
+    # ------------------------------------------------------------------
+    # Delta refresh
+    # ------------------------------------------------------------------
+    def refreshed(self, graph: DataGraph, ops) -> "ShardedGraph":
+        """A new sharded snapshot of ``graph`` built by patching this one.
+
+        ``ops`` is the ordered edge-op batch (``(op, source, target)``
+        triples, e.g. from
+        :meth:`~repro.graph.digraph.DataGraph.edge_changes_since`)
+        separating this snapshot from the current graph state; the
+        caller guarantees the only other changes are brand-new nodes.
+
+        Each op is routed to the shard *owning* its source (out-
+        adjacency lives with the owner), and only those shards' frozen
+        snapshots are rebuilt -- every other shard's
+        :class:`CompactGraph` is reused by reference.  New nodes are
+        assigned to the last shard, whose own nodes sit at the top of
+        the composite id space, so **every pre-existing node keeps its
+        composite global id**; the boundary tables (ghosts, bridges,
+        cross-predecessors) are re-derived from the updated cut.  The
+        result mints a fresh composite ``snapshot_token`` and records
+        this snapshot's token in :attr:`extends_token`, so extensions
+        of views an update did not touch can be re-stamped onto it and
+        MatchJoin's id-space path re-engages immediately.
+        """
+        old_partition = self.partition
+        k = old_partition.num_shards
+        new_nodes = [node for node in graph.nodes() if node not in self._home]
+
+        # --- partition bookkeeping -----------------------------------
+        assignment = dict(old_partition.assignment)
+        for node in new_nodes:
+            assignment[node] = k - 1
+        shards = list(old_partition._shards)
+        if new_nodes:
+            shards[k - 1] = shards[k - 1] + new_nodes
+        # Net effect per edge (an edge may be deleted and re-inserted
+        # within one batch; only its final state matters for the cut).
+        final: Dict[Edge, str] = {}
+        for op, source, target in ops:
+            final[(source, target)] = op
+        cross = [edge for edge in old_partition._cross if edge not in final]
+        for edge, op in final.items():
+            if op == "insert" and assignment[edge[0]] != assignment[edge[1]]:
+                cross.append(edge)
+        affected = {assignment[source] for _, source, _ in ops}
+        if new_nodes:
+            affected.add(k - 1)
+        ghosts = list(old_partition._ghosts)
+        for index in affected:
+            ghosts[index] = frozenset(
+                target
+                for source, target in cross
+                if assignment[source] == index
+            )
+        partition = Partition.__new__(Partition)
+        partition.strategy = old_partition.strategy
+        partition.num_shards = k
+        partition._assignment = assignment
+        partition._shards = shards
+        partition._cross = tuple(cross)
+        partition._ghosts = tuple(ghosts)
+        partition._internal_edges = graph.num_edges - len(cross)
+        partition._num_edges = graph.num_edges
+
+        # --- per-shard snapshots: rebuild affected, reuse the rest ----
+        new = ShardedGraph.__new__(ShardedGraph)
+        new.partition = partition
+        shard_snapshots = list(self._shards)
+        for index in sorted(affected):
+            local = DataGraph()
+            for node in partition.nodes_of(index):
+                local.add_node(
+                    node, labels=graph.labels(node), attrs=graph.attrs(node)
+                )
+            for node in partition.nodes_of(index):
+                for target in graph.successors(node):
+                    local.add_edge(node, target)
+            for ghost in partition.ghosts_of(index):
+                local.add_node(
+                    ghost, labels=graph.labels(ghost), attrs=graph.attrs(ghost)
+                )
+            shard_snapshots[index] = local.freeze()
+        new._shards = tuple(shard_snapshots)
+        new._own_counts = tuple(len(partition.nodes_of(i)) for i in range(k))
+
+        # Only the last shard can have grown, so every offset -- and
+        # with it every pre-existing composite id -- is unchanged.
+        offsets: List[int] = []
+        total = 0
+        for count in new._own_counts:
+            offsets.append(total)
+            total += count
+        new._offsets = tuple(offsets)
+        new._home = assignment
+        new._node_table = (
+            self._node_table + new_nodes if new_nodes else self._node_table
+        )
+
+        global_rows = list(self._global_rows)
+        ghost_ids = list(self._ghost_ids)
+        for index in sorted(affected):
+            snapshot = shard_snapshots[index]
+            row: List[int] = []
+            ghosts_of_shard: Dict[Node, int] = {}
+            own = new._own_counts[index]
+            for local_id in range(snapshot.num_nodes):
+                node = snapshot.node_of(local_id)
+                home = assignment[node]
+                row.append(offsets[home] + shard_snapshots[home].id_of(node))
+                if local_id >= own:
+                    ghosts_of_shard[node] = local_id
+            global_rows[index] = row
+            ghost_ids[index] = ghosts_of_shard
+        new._global_rows = tuple(global_rows)
+        new._ghost_ids = tuple(ghost_ids)
+
+        # Boundary tables are O(cut): re-derive them wholesale.
+        ghost_shards: Dict[Node, List[int]] = {}
+        for index, ghosts_of_shard in enumerate(new._ghost_ids):
+            for node in ghosts_of_shard:
+                ghost_shards.setdefault(node, []).append(index)
+        new._ghost_shards = {
+            node: tuple(holders) for node, holders in ghost_shards.items()
+        }
+        bridges: List[List[Tuple[int, FrozenSet[int], Dict[int, int]]]] = [
+            [] for _ in range(k)
+        ]
+        for holder, ghosts_of_shard in enumerate(new._ghost_ids):
+            per_owner: Dict[int, Dict[int, int]] = {}
+            for node, ghost_id in ghosts_of_shard.items():
+                owner = assignment[node]
+                per_owner.setdefault(owner, {})[
+                    shard_snapshots[owner].id_of(node)
+                ] = ghost_id
+            for owner, mapping in per_owner.items():
+                bridges[owner].append((holder, frozenset(mapping), mapping))
+        new._bridges = tuple(tuple(entries) for entries in bridges)
+        cross_pred: Dict[Node, set] = {}
+        for source, target in partition.cross_edges:
+            cross_pred.setdefault(target, set()).add(source)
+        new._cross_pred = {
+            node: frozenset(sources) for node, sources in cross_pred.items()
+        }
+
+        labeled_new = [node for node in new_nodes if graph.labels(node)]
+        if labeled_new:
+            label_nodes = dict(self._label_nodes)
+            for node in labeled_new:
+                for label in graph.labels(node):
+                    label_nodes[label] = label_nodes.get(label, ()) + (node,)
+            new._label_nodes = label_nodes
+        else:
+            new._label_nodes = self._label_nodes
+
+        new._num_edges = graph.num_edges
+        new.snapshot_version = graph.version
+        new.snapshot_token = _new_token()
+        new.extends_token = self.snapshot_token
+        return new
 
     # ------------------------------------------------------------------
     # Shard access (what psim / materialize drive)

@@ -9,16 +9,32 @@ filter pairs against each query edge's own bound in O(1).
 
 * :class:`~repro.views.view.ViewDefinition`, :func:`~repro.views.view.materialize`
 * :class:`~repro.views.storage.ViewSet` -- a named cache of definitions
-  and extensions with size accounting (for the ``|V(G)|/|G|`` fractions
-  the paper reports).
-* :mod:`~repro.views.maintenance` -- incremental maintenance of cached
-  extensions under edge insertions/deletions (the paper defers this to
-  [15]; a correct recompute-localized variant is provided).
+  and extensions with per-view version stamps and size accounting (for
+  the ``|V(G)|/|G|`` fractions the paper reports); optionally owns a
+  maintenance backend (:meth:`~repro.views.storage.ViewSet.track` /
+  :meth:`~repro.views.storage.ViewSet.apply_delta`).
+* :mod:`~repro.views.maintenance` -- the delta pipeline's view layer:
+  :class:`~repro.views.maintenance.Delta` batches, incremental
+  deletions *and* affected-area-bounded incremental insertions (in the
+  spirit of the paper's [15]), per-view change accounting.
 * :mod:`~repro.views.selection` -- workload-driven view selection
   (future-work item no. 1 in Section VIII).
 """
 
-from repro.views.view import MaterializedView, ViewDefinition, materialize
+from repro.views.view import (
+    MaterializedView,
+    ViewDefinition,
+    bind_extension,
+    materialize,
+)
 from repro.views.storage import ViewSet
+from repro.views.maintenance import Delta
 
-__all__ = ["MaterializedView", "ViewDefinition", "ViewSet", "materialize"]
+__all__ = [
+    "Delta",
+    "MaterializedView",
+    "ViewDefinition",
+    "ViewSet",
+    "bind_extension",
+    "materialize",
+]

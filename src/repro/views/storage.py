@@ -9,10 +9,13 @@ size of the Youtube graph").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.views.view import MaterializedView, ViewDefinition, materialize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.views.maintenance import Delta, DeltaReport, IncrementalViewSet
 
 
 class ViewSet:
@@ -20,10 +23,21 @@ class ViewSet:
 
     Every mutation -- adding a definition, materializing, installing or
     dropping an extension -- bumps :attr:`version`, a monotonically
-    increasing counter.  Consumers that cache anything derived from the
-    catalog (notably :class:`~repro.engine.engine.QueryEngine`) embed
-    the version in their cache keys, so stale entries are unreachable
-    by construction after any catalog change.
+    increasing counter, and stamps the touched view's *per-view*
+    version (:meth:`view_version`) with it.  Consumers that cache
+    anything derived from the catalog (notably
+    :class:`~repro.engine.engine.QueryEngine`) embed version stamps in
+    their cache keys -- the engine keys each answer on the
+    :meth:`version_vector` of exactly the views its plan reads, so a
+    maintenance update only strands the answers that actually depended
+    on a changed view.
+
+    A ViewSet can also *own* its maintenance backend: :meth:`track`
+    builds an :class:`~repro.views.maintenance.IncrementalViewSet` over
+    the current definitions, and :meth:`apply_delta` routes update
+    batches through it, re-importing only the extensions the batch
+    changed (so unchanged views keep their version stamps and dependent
+    cached answers stay live).
     """
 
     def __init__(self, definitions: Optional[Iterable[ViewDefinition]] = None) -> None:
@@ -31,6 +45,9 @@ class ViewSet:
         self._extensions: Dict[str, MaterializedView] = {}
         self._version = 0
         self._definitions_version = 0
+        self._view_versions: Dict[str, int] = {}
+        self._maintenance: Optional["IncrementalViewSet"] = None
+        self._maintenance_seq = 0
         for definition in definitions or ():
             self.add(definition)
 
@@ -47,6 +64,32 @@ class ViewSet:
         λ mappings key on this and survive extension refreshes."""
         return self._definitions_version
 
+    def view_version(self, name: str) -> int:
+        """The per-view version stamp of view ``name``.
+
+        Stamps are the value of the global :attr:`version` counter at
+        the view's last definition/extension change, so they are unique
+        across views and across a view's whole lifetime (including
+        remove / re-add cycles) -- two equal stamps always denote the
+        same extension state.  Raises ``KeyError`` for unknown views.
+        """
+        if name not in self._definitions:
+            raise KeyError(f"unknown view {name!r}")
+        return self._view_versions[name]
+
+    def version_vector(self, names: Optional[Iterable[str]] = None) -> Tuple[int, ...]:
+        """The per-view stamps of the given views (default: all), in
+        the given order -- the cache-key material for consumers that
+        read exactly those views."""
+        return tuple(
+            self.view_version(name)
+            for name in (names if names is not None else self._definitions)
+        )
+
+    def _stamp(self, name: str) -> None:
+        self._version += 1
+        self._view_versions[name] = self._version
+
     # ------------------------------------------------------------------
     # Definition management
     # ------------------------------------------------------------------
@@ -55,7 +98,7 @@ class ViewSet:
         if definition.name in self._definitions:
             raise ValueError(f"duplicate view name {definition.name!r}")
         self._definitions[definition.name] = definition
-        self._version += 1
+        self._stamp(definition.name)
         self._definitions_version += 1
 
     def remove(self, name: str) -> None:
@@ -72,6 +115,7 @@ class ViewSet:
             raise KeyError(f"unknown view {name!r}")
         del self._definitions[name]
         self._extensions.pop(name, None)
+        self._view_versions.pop(name, None)
         self._version += 1
         self._definitions_version += 1
 
@@ -147,7 +191,7 @@ class ViewSet:
         """
         for name in names if names is not None else list(self._definitions):
             self._extensions[name] = materialize(self._definitions[name], graph)
-            self._version += 1
+            self._stamp(name)
 
     @property
     def snapshot_token(self) -> Optional[int]:
@@ -202,12 +246,105 @@ class ViewSet:
         if extension.name not in self._definitions:
             raise KeyError(f"unknown view {extension.name!r}")
         self._extensions[extension.name] = extension
-        self._version += 1
+        self._stamp(extension.name)
+
+    def rebind_extension(self, extension: MaterializedView) -> None:
+        """Install a *logically identical* extension without bumping any
+        version counter.
+
+        The provenance-only sibling of :meth:`set_extension`: the match
+        sets must be unchanged and only the id-space payload differs
+        (re-stamped onto a refreshed snapshot via
+        :meth:`~repro.views.view.CompactExtension.rebound` or
+        :func:`~repro.views.view.bind_extension`).  Because no version
+        moves, cached answers over the view stay live -- which is the
+        point: snapshot refreshes must not masquerade as data changes.
+        """
+        if extension.name not in self._definitions:
+            raise KeyError(f"unknown view {extension.name!r}")
+        if extension.name not in self._extensions:
+            raise KeyError(
+                f"view {extension.name!r} has no extension to rebind"
+            )
+        self._extensions[extension.name] = extension
 
     def drop_extension(self, name: str) -> None:
         """Forget a cached extension (no-op when not materialized)."""
         if self._extensions.pop(name, None) is not None:
-            self._version += 1
+            self._stamp(name)
+
+    # ------------------------------------------------------------------
+    # Maintenance backend (the delta pipeline's view layer)
+    # ------------------------------------------------------------------
+    @property
+    def maintenance(self) -> Optional["IncrementalViewSet"]:
+        """The owned maintenance backend (``None`` until :meth:`track`)."""
+        return self._maintenance
+
+    def track(
+        self, graph: DataGraph, *, budget: Optional[int] = None
+    ) -> "IncrementalViewSet":
+        """Own a maintenance backend over ``graph`` for the current
+        simulation definitions.
+
+        Builds an :class:`~repro.views.maintenance.IncrementalViewSet`
+        (which copies ``graph``), imports its freshly materialized
+        extensions, and returns it.  From here on,
+        :meth:`apply_delta` keeps the cached extensions consistent
+        under edge updates, re-importing (and version-stamping) only
+        the views each batch actually changed.  ``budget`` is the
+        affected-area budget for incremental insertions.
+
+        Bounded views cannot be maintained incrementally (their
+        extensions shift non-locally with distances) and are skipped:
+        they keep whatever extension they have and must be
+        rematerialized explicitly after updates.  Definitions added
+        after this call are likewise not maintained.
+        """
+        from repro.views.maintenance import IncrementalViewSet
+
+        if self._maintenance is not None:
+            raise ValueError("a maintenance backend is already attached")
+        tracked = [d for d in self._definitions.values() if not d.is_bounded]
+        tracker = IncrementalViewSet(tracked, graph, budget=budget)
+        self._maintenance = tracker
+        self._maintenance_seq = tracker.seq
+        for name in tracker.names():
+            self.set_extension(tracker.extension(name))
+        return tracker
+
+    def apply_delta(self, delta: "Delta") -> "DeltaReport":
+        """Apply an update batch through the owned maintenance backend.
+
+        Routes ``delta`` to the tracker, then re-imports extensions for
+        exactly the views the batch changed -- each import bumps that
+        view's version stamp (and the global :attr:`version`), so
+        cached answers reading a changed view become unreachable while
+        answers over untouched views stay live.  Requires
+        :meth:`track` first.
+        """
+        if self._maintenance is None:
+            raise ValueError(
+                "no maintenance backend attached; call track(graph) first"
+            )
+        report = self._maintenance.apply_delta(delta)
+        self.import_maintenance()
+        return report
+
+    def import_maintenance(self) -> List[str]:
+        """Pull pending extension refreshes from the owned backend.
+
+        Returns the names imported.  Normally :meth:`apply_delta` calls
+        this; it is exposed for consumers that drive the tracker
+        directly (single ``insert_edge`` / ``delete_edge`` calls)."""
+        tracker = self._maintenance
+        if tracker is None:
+            return []
+        changed = tracker.changed_since(self._maintenance_seq)
+        self._maintenance_seq = tracker.seq
+        for name in changed:
+            self.set_extension(tracker.extension(name))
+        return changed
 
     def __repr__(self) -> str:
         return (

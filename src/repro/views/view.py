@@ -80,6 +80,29 @@ class CompactExtension:
                 by_target[edge] = reverse
         self.by_target = by_target
 
+    def rebound(self, snapshot) -> "CompactExtension":
+        """The same match sets re-stamped onto ``snapshot``.
+
+        Valid only when ``snapshot`` *extends* this payload's id space
+        -- i.e. it was refreshed from the snapshot this extension was
+        materialized against (``snapshot.extends_token == self.token``),
+        which guarantees every pre-existing node kept its id.  The
+        maintenance pipeline uses this to keep the MatchJoin fast path
+        engaged for views an update did not touch, at zero cost.
+        """
+        if getattr(snapshot, "extends_token", None) != self.token:
+            raise ValueError(
+                "snapshot does not extend this extension's id space; "
+                "re-materialize or bind_extension() instead"
+            )
+        clone = CompactExtension.__new__(CompactExtension)
+        clone.token = snapshot.snapshot_token
+        clone.version = snapshot.snapshot_version
+        clone.nodes = snapshot.node_table
+        clone.by_source = self.by_source
+        clone.by_target = self.by_target
+        return clone
+
 
 class ViewDefinition:
     """A named view: a (bounded) graph pattern query used as a view.
@@ -256,3 +279,33 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
             definition, {edge: set() for edge in pattern.edges()}
         )
     return MaterializedView(definition, result.edge_matches)
+
+
+def bind_extension(extension: MaterializedView, snapshot) -> MaterializedView:
+    """A copy of ``extension`` whose id-space payload is bound to
+    ``snapshot`` (a :class:`CompactGraph` or
+    :class:`~repro.shard.sharded.ShardedGraph`).
+
+    The node-key match sets are shared, only the integer-id payload is
+    (re)built -- O(|V(G)|), no re-evaluation.  This is how the
+    maintenance pipeline re-engages the MatchJoin fast path for a view
+    whose extension was refreshed incrementally: the tracker hands back
+    node-key match sets, and binding stamps them into the refreshed
+    snapshot's id space.  Bounded views carry no id-space payload and
+    are returned unchanged.
+    """
+    if extension.definition.is_bounded:
+        return extension
+    id_of = snapshot.id_of
+    id_matches: IdEdgeMatches = {}
+    for edge, pairs in extension.edge_matches.items():
+        grouped: Dict[int, Set[int]] = {}
+        for v, w in pairs:
+            grouped.setdefault(id_of(v), set()).add(id_of(w))
+        id_matches[edge] = grouped
+    return MaterializedView(
+        extension.definition,
+        extension.edge_matches,
+        distances=extension.distances,
+        compact=CompactExtension(snapshot, id_matches),
+    )

@@ -412,18 +412,30 @@ class TestEngineSnapshot:
         assert second is not first
         assert second.snapshot_version == graph.version
 
-    def test_maintenance_event_invalidates_snapshot(self, workload):
+    def test_maintenance_event_refreshes_snapshot(self, workload):
         graph, views, queries = workload
         definitions = list(views)[:2]
         tracker = IncrementalViewSet(definitions, graph)
         engine = QueryEngine(ViewSet(definitions), graph=graph)
         engine.attach_maintenance(tracker)
-        engine.snapshot()
-        assert engine._snapshot is not None
-        nodes = list(graph.nodes())
-        tracker.insert_edge(nodes[0], nodes[1])
-        assert engine._snapshot is None  # dropped by the subscribe hook
-        assert engine.snapshot() is not None
+        # The engine adopts the tracker's maintained graph copy, so
+        # snapshots follow the same update stream the views do.
+        assert engine.graph is tracker.graph
+        first = engine.snapshot()
+        assert first is not None
+        nodes = list(tracker.graph.nodes())
+        source = next(
+            node for node in nodes
+            if not tracker.graph.has_edge(node, nodes[0])
+        )
+        tracker.insert_edge(source, nodes[0])
+        second = engine.snapshot()
+        # The update is visible, but absorbed as a journal-driven
+        # refresh of the previous snapshot -- not a drop-and-rebuild.
+        assert second is not first
+        assert second.snapshot_version == tracker.graph.version
+        assert second.extends_token == first.snapshot_token
+        assert second.has_edge(source, nodes[0])
 
     def test_views_only_engine_has_no_snapshot(self, workload):
         _, views, _ = workload

@@ -444,17 +444,31 @@ class TestEngineSharded:
         assert second.snapshot_version == graph.version
         assert "fresh" in second
 
-    def test_maintenance_event_invalidates_sharded_snapshot(self, workload):
+    def test_maintenance_event_refreshes_sharded_snapshot(self, workload):
         graph, definitions, _ = workload
         tracker = IncrementalViewSet(definitions[:2], graph)
         engine = QueryEngine(ViewSet(definitions[:2]), graph=graph, shards=2)
         engine.attach_maintenance(tracker)
-        engine.snapshot()
-        assert engine._snapshot is not None
-        nodes = list(graph.nodes())
-        tracker.insert_edge(nodes[0], nodes[1])
-        assert engine._snapshot is None
-        assert isinstance(engine.snapshot(), ShardedGraph)
+        first = engine.snapshot()
+        assert isinstance(first, ShardedGraph)
+        nodes = list(tracker.graph.nodes())
+        source = next(
+            node for node in nodes
+            if not tracker.graph.has_edge(node, nodes[0])
+        )
+        tracker.insert_edge(source, nodes[0])
+        second = engine.snapshot()
+        # Refreshed -- only the shard owning the new edge's source is
+        # rebuilt, the other is reused by reference, and the composite
+        # token chains to the previous snapshot.
+        assert isinstance(second, ShardedGraph)
+        assert second is not first
+        assert second.extends_token == first.snapshot_token
+        touched = second.partition.shard_of(source)
+        for index in range(second.num_shards):
+            if index != touched:
+                assert second.shard(index) is first.shard(index)
+        assert second.has_edge(source, nodes[0])
 
     def test_direct_fallback_runs_psim(self, workload):
         graph, definitions, _ = workload
