@@ -47,6 +47,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import Optional, Sequence
 
 from repro.core.answer import answer_with_views
@@ -268,7 +269,10 @@ def _cmd_maintain(args) -> int:
     except (OSError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
-    tracker = views.track(graph, budget=args.budget)
+    with warnings.catch_warnings():
+        # The skipped-bounded warning is surfaced in the report instead.
+        warnings.simplefilter("ignore", UserWarning)
+        tracker = views.track(graph, budget=args.budget)
     # Engage the snapshot layer so the report can show refresh-vs-
     # rebuild behaviour of the frozen graph under the same stream.
     previous = tracker.graph.freeze()
@@ -281,10 +285,12 @@ def _cmd_maintain(args) -> int:
     snapshot_refreshes = snapshot_rebuilds = 0
     retained_batches = {name: 0 for name in tracker.names()}
     applied = skipped = 0
+    stale_bounded: set = set()
     for batch in batches:
         report = views.apply_delta(batch)
         applied += report.applied
         skipped += report.skipped
+        stale_bounded.update(report.stale_bounded)
         for name in tracker.names():
             if name not in report.changed_views:
                 retained_batches[name] += 1
@@ -327,6 +333,7 @@ def _cmd_maintain(args) -> int:
             "refreshes": snapshot_refreshes,
             "rebuilds": snapshot_rebuilds,
         },
+        "stale_bounded": sorted(stale_bounded, key=str),
         "verified": bool(args.verify),
     }
     if args.format == "json":
@@ -351,6 +358,12 @@ def _cmd_maintain(args) -> int:
             f"{counters['revived_pairs']} revived); "
             f"cached answers retainable through "
             f"{retained_batches[name]}/{len(batches)} batches"
+        )
+    if stale_bounded:
+        print(
+            "stale bounded views (not maintained incrementally, "
+            "rematerialize before reading): "
+            + ", ".join(sorted(stale_bounded, key=str))
         )
     if args.verify:
         print("verified: maintained extensions == rematerialization "

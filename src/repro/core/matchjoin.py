@@ -219,17 +219,7 @@ def _compact_match_join(
     whose endpoints lose no candidates reuses the stored node-key pair
     set outright instead of decoding pair by pair.
     """
-    token = None
-    for edge in query.edges():
-        for view_name, _ in containment.mapping.get(edge, ()):
-            payload = extensions[view_name].compact
-            if payload is None:
-                return None
-            if token is None:
-                token = payload.token
-            elif payload.token != token:
-                return None
-    if token is None:
+    if shared_snapshot_token(query, containment, extensions) is None:
         return None
 
     # --- merge (Fig. 2 lines 1-4), sharing single-view indexes --------
@@ -241,37 +231,125 @@ def _compact_match_join(
     stored_pairs: Dict[PEdge, Set[NodePair]] = {}
     for edge in query.edges():
         refs = containment.mapping.get(edge, ())
-        if len(refs) == 1:
-            view_name, view_edge = refs[0]
-            extension = extensions[view_name]
-            payload = extension.compact
-            nodes = payload.nodes
-            source_index = payload.by_source[view_edge]
-            target_index = payload.by_target[view_edge]
-            stored_pairs[edge] = extension.edge_matches[view_edge]
-        else:
-            source_index = {}
-            target_index = {}
-            for view_name, view_edge in refs:
-                payload = extensions[view_name].compact
-                nodes = payload.nodes
-                for v, targets in payload.by_source[view_edge].items():
-                    current = source_index.get(v)
-                    if current is None:
-                        source_index[v] = set(targets)
-                    else:
-                        current |= targets
-                for w, sources in payload.by_target[view_edge].items():
-                    current = target_index.get(w)
-                    if current is None:
-                        target_index[w] = set(sources)
-                    else:
-                        current |= sources
+        source_index, target_index, edge_nodes, stored = merge_edge_indexes(
+            refs, extensions
+        )
+        if edge_nodes is not None:
+            nodes = edge_nodes
+        if stored is not None:
+            stored_pairs[edge] = stored
         if not source_index:
             return MatchResult.empty()
         by_source[edge] = source_index
         by_target[edge] = target_index
 
+    return compact_candidate_fixpoint(query, by_source, by_target, stored_pairs, nodes)
+
+
+def shared_snapshot_token(
+    query: Pattern,
+    containment: Containment,
+    extensions: Extensions,
+    ref_check=None,
+):
+    """The single snapshot token behind every extension λ references,
+    or ``None`` when the fast paths must fall back: a referenced
+    extension carries no :class:`CompactExtension` payload, payloads
+    come from different snapshots (ids must never mix), the λ mapping
+    references nothing, or the optional ``ref_check(query_edge,
+    extension, view_edge, payload)`` vetoes a reference (BMatchJoin
+    uses it to demand a distance table where bound filtering applies).
+    """
+    token = None
+    for edge in query.edges():
+        for view_name, view_edge in containment.mapping.get(edge, ()):
+            extension = extensions[view_name]
+            payload = extension.compact
+            if payload is None:
+                return None
+            if token is None:
+                token = payload.token
+            elif payload.token != token:
+                return None
+            if ref_check is not None and not ref_check(
+                edge, extension, view_edge, payload
+            ):
+                return None
+    return token
+
+
+def union_payload_into(
+    source_index: Dict[int, Set[int]],
+    target_index: Dict[int, Set[int]],
+    payload,
+    view_edge: PEdge,
+) -> None:
+    """Union one stored payload index pair into mutable merge targets
+    (the multi-view arm of Fig. 2 lines 1-4, id space)."""
+    for v, targets in payload.by_source[view_edge].items():
+        current = source_index.get(v)
+        if current is None:
+            source_index[v] = set(targets)
+        else:
+            current |= targets
+    for w, sources in payload.by_target[view_edge].items():
+        current = target_index.get(w)
+        if current is None:
+            target_index[w] = set(sources)
+        else:
+            current |= sources
+
+
+def merge_edge_indexes(refs, extensions: Extensions):
+    """Merged id indexes for one query edge adopting λ-image pairs
+    unfiltered.
+
+    Returns ``(source_index, target_index, nodes, stored)``: for a
+    single λ image the *stored* payload indexes are shared without
+    copying and ``stored`` is the stored node-key pair set (reusable
+    wholesale when refinement leaves the edge untouched); multi-view
+    images union into fresh dicts with ``stored = None``.  ``nodes``
+    is the decode table (``None`` only when ``refs`` is empty).
+    """
+    if len(refs) == 1:
+        view_name, view_edge = refs[0]
+        extension = extensions[view_name]
+        payload = extension.compact
+        return (
+            payload.by_source[view_edge],
+            payload.by_target[view_edge],
+            payload.nodes,
+            extension.edge_matches[view_edge],
+        )
+    source_index: Dict[int, Set[int]] = {}
+    target_index: Dict[int, Set[int]] = {}
+    nodes = None
+    for view_name, view_edge in refs:
+        payload = extensions[view_name].compact
+        nodes = payload.nodes
+        union_payload_into(source_index, target_index, payload, view_edge)
+    return source_index, target_index, nodes, None
+
+
+def compact_candidate_fixpoint(
+    query: Pattern,
+    by_source: Dict[PEdge, Dict[int, Set[int]]],
+    by_target: Dict[PEdge, Dict[int, Set[int]]],
+    stored_pairs: Dict[PEdge, Set[NodePair]],
+    nodes,
+) -> MatchResult:
+    """The id-space candidate-level fixpoint plus result packaging.
+
+    Shared by the plain MatchJoin fast path and the BMatchJoin fast path
+    (:func:`repro.core.bounded.bmatchjoin._compact_bounded_match_join`):
+    both hand in merged, pre-grouped id indexes (every ``source_index``
+    nonempty) and get back the finished decoded :class:`MatchResult`.
+    ``stored_pairs`` maps edges whose merged index *is* a stored
+    extension index (single λ image, no filtering) to the stored
+    node-key pair set, reused wholesale when refinement leaves the edge
+    untouched; ``nodes`` is the snapshot's id -> key decode table.  The
+    indexes are only read, never mutated.
+    """
     # --- candidate pools and witness counters --------------------------
     valid: Dict[PNode, Set[int]] = {}
     out_edges: Dict[PNode, List[PEdge]] = {}
@@ -286,12 +364,12 @@ def _compact_match_join(
             pool.update(by_target[edge].keys())
         valid[u] = pool
 
-    # counters[e][v] = |by_source[e][v] & valid(target of e)|; initially
-    # every stored target is a valid candidate of the target node.
-    counters: Dict[PEdge, Dict[int, int]] = {
-        edge: {v: len(targets) for v, targets in index.items()}
-        for edge, index in by_source.items()
-    }
+    # counters[e][v] = |by_source[e][v] & valid(target of e)| -- *lazy*,
+    # exactly like the compact simulation engine: a candidate's counter
+    # is only materialized the first time a removal batch touches it
+    # (one set.intersection against the current target pool), so edges
+    # untouched by refinement never pay the counting pass.
+    counters: Dict[PEdge, Dict[int, int]] = {edge: {} for edge in by_source}
 
     # --- seed: candidates missing support on some out-edge -------------
     pending: Dict[PNode, Set[int]] = {}
@@ -328,15 +406,29 @@ def _compact_match_join(
                 continue
             source_index = by_source[edge]
             edge_counter = counters[edge]
+            # A counter materialized mid-propagation must count every
+            # witness whose departure has not been *processed* yet:
+            # valid(u1) plus anything still queued for u1 (a self-loop
+            # query edge can re-queue ids for u1 during this very pop).
+            # The current batch is excluded from both, so it needs no
+            # decrement on a fresh counter; queued ids will decrement
+            # exactly once when their own batch pops.
+            queued_for_u1 = pending.get(u1)
+            if queued_for_u1:
+                intersect_targets = (valid[u1] | queued_for_u1).intersection
+            else:
+                intersect_targets = valid[u1].intersection
             intersect_removed = removed.intersection
             newly: Set[int] = set()
             for v in affected:
-                lost = len(intersect_removed(source_index[v]))
-                if lost:
-                    count = edge_counter[v] - lost
-                    edge_counter[v] = count
-                    if count == 0:
-                        newly.add(v)
+                count = edge_counter.get(v)
+                if count is None:
+                    count = len(intersect_targets(source_index[v]))
+                else:
+                    count -= len(intersect_removed(source_index[v]))
+                edge_counter[v] = count
+                if count == 0:
+                    newly.add(v)
             if newly:
                 candidates -= newly
                 if not candidates:

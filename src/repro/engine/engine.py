@@ -249,7 +249,12 @@ class QueryEngine:
         the batch actually *changed* are re-imported (bumping only
         those views' version stamps, so cached answers over untouched
         views stay live).  View definitions present in the tracker but
-        missing from the catalog are added.
+        missing from the catalog are added.  Bounded views in the
+        catalog are outside incremental maintenance entirely: each
+        consumed batch flags their cached extensions stale (stamp bump
+        included, so dependent cached answers are evicted) and the
+        engine rematerializes them from the refreshed snapshot on the
+        next read.
 
         If the engine was built with a data graph, it adopts the
         tracker's maintained copy as its evaluation graph -- direct
@@ -286,13 +291,29 @@ class QueryEngine:
             self._maintenance_dirty = False
             return
         tracker = self._maintenance
-        changed = set(tracker.changed_since(self._maintenance_cursor))
+        cursor_before = self._maintenance_cursor
+        changed = set(tracker.changed_since(cursor_before))
         self._maintenance_cursor = tracker.seq
         self._maintenance_dirty = False
         for name in tracker.names():
             if name not in self._views:
                 self._views.add(tracker.definition(name))
                 changed.add(name)
+        # Bounded views are outside the tracker's maintenance (their
+        # extensions shift non-locally with distances): any applied
+        # update strands them, so flag them stale -- bumping their
+        # version stamps, which evicts dependent cached answers -- and
+        # let _spec_for rematerialize them from the refreshed snapshot
+        # on the next read.  Gated on updates actually applied (seq
+        # advanced past the cursor; a fresh attach maps its -1 sentinel
+        # to 0), so attaching to a quiet tracker evicts nothing.
+        if tracker.seq > max(cursor_before, 0):
+            for name in self._views.names():
+                if (
+                    self._views.definition(name).is_bounded
+                    and self._views.is_materialized(name)
+                ):
+                    self._views.mark_stale(name)
         # Refresh the snapshot first (cheap, journal-driven) so changed
         # extensions bind straight into the new id space.  Under
         # maintenance the engine keeps a snapshot whenever it has a
@@ -318,6 +339,12 @@ class QueryEngine:
         extends = getattr(snapshot, "extends_token", None)
         for name in self._views.names():
             if name in changed or not self._views.is_materialized(name):
+                continue
+            if self._views.is_stale(name):
+                # Stale (bounded) extensions must not be re-stamped onto
+                # the fresh token -- that would launder outdated match
+                # sets into provenance the fast path trusts.  They wait
+                # for rematerialization instead.
                 continue
             extension = self._views.extension(name)
             compact = extension.compact
@@ -533,6 +560,7 @@ class QueryEngine:
         missing = [
             name for name in plan.views_used
             if not self._views.is_materialized(name)
+            or self._views.is_stale(name)
         ]
         if missing:
             if self._graph is None:

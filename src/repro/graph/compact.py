@@ -45,7 +45,6 @@ paths use.
 from __future__ import annotations
 
 import os
-from collections import deque
 from typing import (
     Any,
     Dict,
@@ -336,28 +335,91 @@ class CompactGraph:
         return (nodes[i] for i in self._label_ids.get(label, ()))
 
     # ------------------------------------------------------------------
+    # Id-space traversal primitives (the bounded fast paths)
+    # ------------------------------------------------------------------
+    def descendants_within_ids(self, i: int, bound: int) -> Dict[int, int]:
+        """``{id: distance}`` for every node reachable from id ``i`` by a
+        nonempty path of length in ``[1, bound]`` (shortest distances).
+
+        Level-synchronous BFS over the CSR rows: each frontier expands
+        with C-level ``set.update`` against adjacency tuples, which is
+        what makes the bounded engines competitive on snapshots.
+        """
+        if bound < 1:
+            return {}
+        succ = self._succ
+        dist: Dict[int, int] = {}
+        frontier = set(succ[i])
+        depth = 1
+        while frontier:
+            dist.update(dict.fromkeys(frontier, depth))
+            if depth >= bound:
+                break
+            frontier = set().union(
+                *map(succ.__getitem__, frontier)
+            ).difference(dist)
+            depth += 1
+        return dist
+
+    def reachable_ids(self, i: int) -> set:
+        """All ids reachable from id ``i`` by a nonempty path."""
+        succ = self._succ
+        seen: set = set()
+        stack = list(succ[i])
+        while stack:
+            j = stack.pop()
+            if j in seen:
+                continue
+            seen.add(j)
+            stack.extend(succ[j])
+        return seen
+
+    def reverse_within_ids(self, targets, bound: int) -> set:
+        """Ids with a nonempty path of length <= ``bound`` *into* any of
+        the target ids -- the multi-source reverse bounded BFS at the
+        heart of the BMatch refinement, in id space."""
+        pred = self._pred
+        seen: set = set()
+        frontier = set().union(*map(pred.__getitem__, targets))
+        depth = 1
+        while frontier:
+            seen |= frontier
+            if depth >= bound:
+                break
+            frontier = set().union(
+                *map(pred.__getitem__, frontier)
+            ).difference(seen)
+            depth += 1
+        return seen
+
+    def reverse_reachable_ids(self, targets) -> set:
+        """Ids with *any* nonempty path into any of the target ids."""
+        pred = self._pred
+        seen: set = set()
+        stack: List[int] = []
+        for t in targets:
+            stack.extend(pred[t])
+        while stack:
+            j = stack.pop()
+            if j in seen:
+                continue
+            seen.add(j)
+            stack.extend(pred[j])
+        return seen
+
+    # ------------------------------------------------------------------
     # Traversal helpers (same contract as DataGraph)
     # ------------------------------------------------------------------
     def descendants_within(self, source: Node, bound: int) -> Dict[Node, int]:
         """Map each node reachable from ``source`` by a path of length in
         ``[1, bound]`` to its shortest such distance (id-space BFS)."""
-        if bound < 1:
-            return {}
-        succ = self._succ
-        dist: Dict[int, int] = {}
-        start = succ[self._ids[source]]
-        queued = set(start)
-        frontier = deque((j, 1) for j in start)
-        while frontier:
-            i, d = frontier.popleft()
-            dist[i] = d
-            if d < bound:
-                for j in succ[i]:
-                    if j not in queued:
-                        queued.add(j)
-                        frontier.append((j, d + 1))
         nodes = self._nodes
-        return {nodes[i]: d for i, d in dist.items()}
+        return {
+            nodes[i]: d
+            for i, d in self.descendants_within_ids(
+                self._ids[source], bound
+            ).items()
+        }
 
     def __repr__(self) -> str:
         return (

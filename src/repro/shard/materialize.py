@@ -38,10 +38,21 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.graph.pattern import BoundedPattern
-from repro.shard.psim import ShardRunner, _drive, _Evaluation, _sharded_evaluate
+from repro.shard.psim import (
+    ShardRunner,
+    _drive,
+    _Evaluation,
+    _sharded_evaluate,
+    sharded_bounded_match_with_ids,
+)
 from repro.shard.sharded import ShardedGraph
 from repro.views.storage import ViewSet
-from repro.views.view import CompactExtension, MaterializedView, ViewDefinition
+from repro.views.view import (
+    CompactExtension,
+    MaterializedView,
+    ViewDefinition,
+    decode_distance_index,
+)
 
 
 def _package(
@@ -68,6 +79,49 @@ def _package(
     )
 
 
+def materialize_bounded_view(
+    definition: ViewDefinition, sharded: ShardedGraph
+) -> MaterializedView:
+    """Evaluate one *bounded* view on a sharded graph.
+
+    Bounded simulation does not decompose into per-shard fixpoints (a
+    bounded path may thread through several shards), so the evaluation
+    runs the generic engine over the composite read API -- every
+    distance question answered by the per-shard bounded BFS with
+    ghost-distance stitching.  The extension carries a composite-id
+    :class:`CompactExtension` whose ``distances`` payload is the
+    id-space index ``I(V)``, stamped with the composite snapshot token,
+    so the BMatchJoin id-space fast path engages on sharded bounded
+    views exactly as on single-snapshot ones.
+    """
+    pattern = definition.pattern
+    result, by_source, by_target, id_distances = sharded_bounded_match_with_ids(
+        pattern, sharded
+    )
+    if by_source is None:
+        empty_ids = {edge: {} for edge in pattern.edges()}
+        return MaterializedView(
+            definition,
+            {edge: set() for edge in pattern.edges()},
+            distances={},
+            compact=CompactExtension(
+                sharded,
+                empty_ids,
+                by_target={e: {} for e in pattern.edges()},
+                distances={},
+            ),
+        )
+    compact = CompactExtension(
+        sharded, by_source, by_target=by_target, distances=id_distances
+    )
+    return MaterializedView(
+        definition,
+        result.edge_matches,
+        distances=decode_distance_index(id_distances, sharded.node_table),
+        compact=compact,
+    )
+
+
 def materialize_view(
     definition: ViewDefinition,
     sharded: ShardedGraph,
@@ -79,15 +133,12 @@ def materialize_view(
 
     Simulation views run the partial-evaluation fixpoint shard-parallel
     and attach a composite-id :class:`CompactExtension`; bounded views
-    fall back to the generic engine over the sharded graph's
-    ``DataGraph``-compatible API (their extensions change non-locally
-    with distances, so there is no per-shard decomposition to exploit).
+    go through :func:`materialize_bounded_view` (stitched bounded BFS,
+    composite-id distance payload).
     """
     pattern = definition.pattern
     if isinstance(pattern, BoundedPattern):
-        from repro.views.view import materialize as _materialize
-
-        return _materialize(definition, sharded)
+        return materialize_bounded_view(definition, sharded)
     result, id_matches, by_target = _sharded_evaluate(
         pattern, sharded, executor=executor, workers=workers, runner=runner
     )

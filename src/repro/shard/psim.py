@@ -863,3 +863,77 @@ def sharded_match(
         pattern, sharded, executor=executor, workers=workers, runner=runner
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# Bounded patterns over a sharded graph
+# ----------------------------------------------------------------------
+def sharded_bounded_match(pattern, sharded: ShardedGraph) -> MatchResult:
+    """Evaluate ``Qb`` on a sharded graph (the paper's BMatch).
+
+    Bounded simulation refines against *path* reachability, which does
+    not decompose into per-shard local fixpoints the way edge-witness
+    simulation does (a single bounded path may thread through several
+    shards).  The engine therefore runs the generic refinement over the
+    sharded graph's composite read API -- candidate seeding from the
+    composite label index, and every forward distance question answered
+    by the per-shard bounded BFS with ghost-distance stitching
+    (:meth:`ShardedGraph.descendants_within_ids`).  Equal to
+    ``bounded_match`` on the unsharded graph.
+    """
+    from repro.simulation.bounded import (
+        bounded_edge_matches,
+        maximum_bounded_simulation,
+    )
+
+    sim = maximum_bounded_simulation(pattern, sharded)
+    if sim is None:
+        return MatchResult.empty()
+    edge_matches = bounded_edge_matches(pattern, sharded, sim)
+    return MatchResult(sim, edge_matches)
+
+
+def sharded_bounded_match_with_ids(pattern, sharded: ShardedGraph):
+    """Full bounded evaluation with the composite-id extension payload.
+
+    Returns ``(result, by_source, by_target, id_distances)`` where the
+    id components use the sharded graph's composite global-id space --
+    exactly the form :class:`~repro.views.view.CompactExtension` stores
+    -- and ``id_distances`` is the id-space distance index ``I(V)``
+    (pair -> shortest distance, minimized across view edges).  The id
+    components are ``None`` on a failed match.
+    """
+    from repro.simulation.bounded import (
+        bounded_edge_matches,
+        maximum_bounded_simulation,
+    )
+
+    sim = maximum_bounded_simulation(pattern, sharded)
+    if sim is None:
+        return MatchResult.empty(), None, None, None
+    per_edge = bounded_edge_matches(pattern, sharded, sim, with_distances=True)
+    id_of = sharded.id_of
+    by_source: IdEdgeMatches = {}
+    by_target: IdEdgeMatches = {}
+    id_distances: Dict[Tuple[int, int], int] = {}
+    edge_matches = {}
+    for edge, pair_distances in per_edge.items():
+        grouped: Dict[int, Set[int]] = {}
+        reverse: Dict[int, Set[int]] = {}
+        for (v, w), d in pair_distances.items():
+            vi, wi = id_of(v), id_of(w)
+            grouped.setdefault(vi, set()).add(wi)
+            reverse.setdefault(wi, set()).add(vi)
+            key = (vi, wi)
+            previous = id_distances.get(key)
+            if previous is None or d < previous:
+                id_distances[key] = d
+        by_source[edge] = grouped
+        by_target[edge] = reverse
+        edge_matches[edge] = set(pair_distances)
+    return (
+        MatchResult(sim, edge_matches),
+        by_source,
+        by_target,
+        id_distances,
+    )

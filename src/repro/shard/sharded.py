@@ -30,7 +30,7 @@ unchanged on views materialized shard-parallel.
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_right
 from typing import (
     Any,
     Dict,
@@ -519,24 +519,60 @@ class ShardedGraph:
     # ------------------------------------------------------------------
     # Traversal helpers (same contract as DataGraph)
     # ------------------------------------------------------------------
-    def descendants_within(self, source: Node, bound: int) -> Dict[Node, int]:
-        """Map each node reachable from ``source`` by a path of length in
-        ``[1, bound]`` to its shortest such distance (cross-shard BFS)."""
+    def descendants_within_ids(self, global_id: int, bound: int) -> Dict[int, int]:
+        """``{composite global id: distance}`` for nonempty paths of
+        length in ``[1, bound]`` from global id ``global_id``.
+
+        Per-shard bounded BFS with **ghost-distance stitching**: each
+        level expands over the CSR rows of the shard that *owns* the
+        frontier node (the owner holds its complete out-adjacency), and
+        reached ids translate through the per-shard global-id rows, so
+        a path crossing a shard boundary continues in the target's home
+        shard at the correct distance.  Ghost copies are never expanded
+        (they carry no out-edges); their global ids already point at
+        the owner's coordinates.
+        """
         if bound < 1:
             return {}
-        start = self.successors(source)
-        dist: Dict[Node, int] = {}
-        queued = set(start)
-        frontier = deque((target, 1) for target in start)
+        offsets = self._offsets
+        shards = self._shards
+        rows = self._global_rows
+        home = bisect_right(offsets, global_id) - 1
+        dist: Dict[int, int] = {}
+        # Expansion frontier as (home shard, local id) pairs -- always
+        # owner coordinates, so out_ids() sees the full out-adjacency.
+        frontier: List[Tuple[int, int]] = [(home, global_id - offsets[home])]
+        depth = 1
         while frontier:
-            node, d = frontier.popleft()
-            dist[node] = d
-            if d < bound:
-                for target in self.successors(node):
-                    if target not in queued:
-                        queued.add(target)
-                        frontier.append((target, d + 1))
+            reached: set = set()
+            for shard, local in frontier:
+                row = rows[shard]
+                for j in shards[shard].out_ids(local):
+                    reached.add(row[j])
+            reached.difference_update(dist)
+            for g in reached:
+                dist[g] = depth
+            if depth >= bound:
+                break
+            frontier = [
+                (s, g - offsets[s])
+                for g in reached
+                for s in (bisect_right(offsets, g) - 1,)
+            ]
+            depth += 1
         return dist
+
+    def descendants_within(self, source: Node, bound: int) -> Dict[Node, int]:
+        """Map each node reachable from ``source`` by a path of length in
+        ``[1, bound]`` to its shortest such distance (per-shard BFS with
+        ghost-distance stitching, see :meth:`descendants_within_ids`)."""
+        table = self._node_table
+        return {
+            table[g]: d
+            for g, d in self.descendants_within_ids(
+                self.id_of(source), bound
+            ).items()
+        }
 
     def __repr__(self) -> str:
         return (

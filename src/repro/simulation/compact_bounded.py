@@ -1,0 +1,228 @@
+"""Integer-id bounded-simulation engine for :class:`CompactGraph` snapshots.
+
+This is the bounded sibling of :mod:`repro.simulation.compact_engine`:
+the fast path behind :func:`repro.simulation.bounded.bounded_match` when
+the target is a frozen snapshot.  It runs the same per-edge refinement
+as the generic BMatch engine, but entirely in the snapshot's dense id
+space:
+
+* candidate sets are sets of ints seeded straight from the label index
+  (:func:`~repro.simulation.compact_engine.compact_candidates`);
+* the refinement's "which nodes can reach the current match set of u'
+  within k hops?" question is answered by the snapshot's multi-source
+  reverse bounded BFS (:meth:`CompactGraph.reverse_within_ids`), whose
+  frontiers expand with C-level ``set.update`` over CSR rows;
+* match-set construction and the distance index ``I(V)`` come from the
+  id-space forward BFS (:meth:`CompactGraph.descendants_within_ids`)
+  behind a memoizing :class:`CompactBoundedDistanceCache`.
+
+Results decode back to original node keys at the very end, so a
+:class:`MatchResult` from this engine is equal (``==``) to one computed
+on the mutable dict backend; the id-space edge matches and the id-space
+distance index additionally feed the
+:class:`~repro.views.view.CompactExtension` payload that bounded view
+materialization stores for the BMatchJoin fast path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.graph.compact import CompactGraph
+from repro.graph.pattern import ANY
+from repro.simulation.compact_engine import (
+    IdEdgeMatches,
+    compact_candidates,
+    decode_edge_matches,
+)
+from repro.simulation.result import MatchResult
+
+PNode = Hashable
+PEdge = Tuple[PNode, PNode]
+
+#: Id-space distance index ``I(V)``: ``{(source id, target id): dist}``,
+#: minimized over all view edges exactly like the node-key index.
+IdDistances = Dict[Tuple[int, int], int]
+
+
+class CompactBoundedDistanceCache:
+    """Memoizing id-space forward bounded-BFS oracle over a snapshot.
+
+    The id-space twin of
+    :class:`~repro.simulation.distance.BoundedDistanceCache`: BMatch
+    repeatedly asks for the descendants of the same id at the same (or
+    smaller) depth while building match sets, so caching by id with
+    depth-widening keeps this linear in practice.
+    """
+
+    __slots__ = ("_graph", "_cache", "_full")
+
+    def __init__(self, graph: CompactGraph) -> None:
+        self._graph = graph
+        self._cache: Dict[int, Tuple[int, Dict[int, int]]] = {}
+        self._full: Dict[int, Set[int]] = {}
+
+    def descendants(self, source: int, bound: int) -> Dict[int, int]:
+        """``{id: distance}`` for nonempty paths of length <= bound."""
+        cached = self._cache.get(source)
+        if cached is not None and cached[0] >= bound:
+            depth, dist = cached
+            if depth == bound:
+                return dist
+            return {i: d for i, d in dist.items() if d <= bound}
+        dist = self._graph.descendants_within_ids(source, bound)
+        self._cache[source] = (bound, dist)
+        return dist
+
+    def reachable(self, source: int) -> Set[int]:
+        """All ids reachable by a nonempty path (memoized)."""
+        if source not in self._full:
+            self._full[source] = self._graph.reachable_ids(source)
+        return self._full[source]
+
+
+def compact_maximum_bounded_simulation(
+    pattern, graph: CompactGraph
+) -> Optional[Dict[PNode, Set[int]]]:
+    """The maximum bounded simulation over a snapshot, in id space.
+
+    The same greatest fixpoint as the generic engine
+    (:func:`repro.simulation.bounded.maximum_bounded_simulation`) --
+    each step intersects ``sim(u)`` with the reverse-BFS cone of
+    ``sim(u')`` -- reached by *chaotic iteration over an edge
+    worklist*: an edge is (re-)evaluated only after its target set
+    shrank, instead of the generic engine's full edge sweep per outer
+    round.  The refinement operator is monotone and the greatest
+    fixpoint unique, so evaluation order cannot change the result
+    (property-tested against the dict backend).  Candidate sets hold
+    ints and every BFS frontier expands with C-level set operations
+    over CSR rows.  Returns ``{u: ids}`` with every set nonempty, or
+    ``None`` on no match.
+    """
+    sim = compact_candidates(pattern, graph)
+    if sim is None:
+        return None
+    queue = deque(pattern.edges())
+    queued = set(queue)
+    # Reverse cones keyed by (target node, bound), valid while the
+    # target set has not shrunk since computation: parallel edges into
+    # the same pattern node with equal bounds share one BFS.
+    versions: Dict[PNode, int] = {u: 0 for u in sim}
+    cones: Dict[Tuple[PNode, object], Tuple[int, Set[int]]] = {}
+    while queue:
+        edge = queue.popleft()
+        queued.discard(edge)
+        u, u1 = edge
+        bound = pattern.bound(edge)
+        key = (u1, bound)
+        cached = cones.get(key)
+        if cached is not None and cached[0] == versions[u1]:
+            allowed = cached[1]
+        else:
+            if bound is ANY:
+                allowed = graph.reverse_reachable_ids(sim[u1])
+            else:
+                allowed = graph.reverse_within_ids(sim[u1], bound)
+            cones[key] = (versions[u1], allowed)
+        if not sim[u] <= allowed:
+            sim[u] &= allowed
+            if not sim[u]:
+                return None
+            versions[u] += 1
+            # sim(u) shrank: every edge *targeting* u sees a smaller
+            # reverse cone and must be re-checked.
+            for stale in pattern.in_edges(u):
+                if stale not in queued:
+                    queued.add(stale)
+                    queue.append(stale)
+    return sim
+
+
+def compact_bounded_edge_matches(
+    pattern,
+    graph: CompactGraph,
+    sim: Dict[PNode, Set[int]],
+    with_distances: bool = False,
+    cache: Optional[CompactBoundedDistanceCache] = None,
+) -> Tuple[IdEdgeMatches, Optional[IdDistances]]:
+    """Per-edge match sets in id space, grouped by source id.
+
+    With ``with_distances=True`` the second component is the id-space
+    distance index ``I(V)`` -- each materialized pair mapped to its
+    actual shortest-path distance, minimized across view edges (the
+    exact semantics of the node-key index, so the BMatchJoin fast path
+    filters identically to the dict path).  ``None`` otherwise.
+    """
+    cache = cache or CompactBoundedDistanceCache(graph)
+    matches: IdEdgeMatches = {}
+    index: Optional[IdDistances] = {} if with_distances else None
+    for edge in pattern.edges():
+        u, u1 = edge
+        bound = pattern.bound(edge)
+        targets = sim[u1]
+        grouped: Dict[int, Set[int]] = {}
+        for v in sim[u]:
+            if bound is ANY:
+                if index is not None:
+                    # Distances for * edges are shortest-path hops: the
+                    # full-depth BFS both enumerates the reachable set
+                    # and carries the distances, so one traversal does.
+                    dist = cache.descendants(v, graph.num_nodes)
+                    witnesses = targets.intersection(dist)
+                    if not witnesses:
+                        continue
+                    grouped[v] = witnesses
+                    for w in witnesses:
+                        key = (v, w)
+                        d = dist[w]
+                        previous = index.get(key)
+                        if previous is None or d < previous:
+                            index[key] = d
+                    continue
+                witnesses = cache.reachable(v) & targets
+                if not witnesses:
+                    continue
+                grouped[v] = witnesses
+            else:
+                dist = cache.descendants(v, bound)
+                witnesses = targets.intersection(dist)
+                if not witnesses:
+                    continue
+                grouped[v] = witnesses
+                if index is not None:
+                    for w in witnesses:
+                        key = (v, w)
+                        d = dist[w]
+                        previous = index.get(key)
+                        if previous is None or d < previous:
+                            index[key] = d
+        matches[edge] = grouped
+    return matches, index
+
+
+def compact_bounded_match_with_ids(
+    pattern, graph: CompactGraph, with_distances: bool = False
+) -> Tuple[MatchResult, Optional[IdEdgeMatches], Optional[IdDistances]]:
+    """Evaluate ``Qb`` on a snapshot; also return the id-space payload.
+
+    The second and third components feed the compact extension payload
+    bounded view materialization stores (``None`` on a failed match, and
+    the distance index only with ``with_distances=True``).
+    """
+    sim = compact_maximum_bounded_simulation(pattern, graph)
+    if sim is None:
+        return MatchResult.empty(), None, None
+    id_matches, index = compact_bounded_edge_matches(
+        pattern, graph, sim, with_distances=with_distances
+    )
+    decode = graph.node_table.__getitem__
+    node_matches = {u: set(map(decode, ids)) for u, ids in sim.items()}
+    result = MatchResult(node_matches, decode_edge_matches(id_matches, graph))
+    return result, id_matches, index
+
+
+def compact_bounded_match(pattern, graph: CompactGraph) -> MatchResult:
+    """Evaluate ``Qb`` on a snapshot via the id-space fast path."""
+    result, _, _ = compact_bounded_match_with_ids(pattern, graph)
+    return result

@@ -126,21 +126,35 @@ class Delta:
         <target>`` for insertions, ``- ...`` / ``delete ...`` for
         deletions.  Node keys are decoded as JSON scalars when they
         parse (so ``3`` is the integer node 3) and kept as raw strings
-        otherwise.  Blank lines and ``#`` comments are skipped.
+        otherwise.  Blank lines and ``#`` comments (full-line only) are
+        skipped.
+
+        Malformed input raises :class:`ValueError` naming the offending
+        1-based line number: a line with anything other than exactly
+        three whitespace-separated tokens (missing operands *and*
+        trailing junk alike), or an unrecognized op token.
         """
         ops: List[Tuple[str, Node, Node]] = []
-        for raw in lines:
+        for lineno, raw in enumerate(lines, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             tokens = line.split()
             if len(tokens) != 3:
-                raise ValueError(f"malformed delta line {raw!r}")
+                raise ValueError(
+                    f"malformed delta line {lineno}: {raw.rstrip()!r} "
+                    f"(expected 3 tokens '<op> <source> <target>', "
+                    f"got {len(tokens)})"
+                )
             op = {"+": INSERT, "-": DELETE, INSERT: INSERT, DELETE: DELETE}.get(
                 tokens[0]
             )
             if op is None:
-                raise ValueError(f"unknown delta op in line {raw!r}")
+                raise ValueError(
+                    f"unknown delta op {tokens[0]!r} on line {lineno}: "
+                    f"{raw.rstrip()!r} (expected '+', '-', "
+                    f"{INSERT!r} or {DELETE!r})"
+                )
             ops.append((op, _parse_key(tokens[1]), _parse_key(tokens[2])))
         return cls(ops)
 
@@ -212,13 +226,18 @@ class DeltaReport(NamedTuple):
     views whose extensions actually changed -- the eviction set for
     downstream caches; ``per_view`` maps every maintained view to the
     stat deltas this round produced (same keys as
-    :meth:`ViewStats.snapshot`).
+    :meth:`ViewStats.snapshot`).  ``stale_bounded`` names the bounded
+    views the round left stale (filled by
+    :meth:`~repro.views.storage.ViewSet.apply_delta`: bounded views are
+    not maintained incrementally, so any graph-changing round strands
+    their cached extensions until rematerialization).
     """
 
     applied: int
     skipped: int
     changed_views: Tuple[str, ...]
     per_view: Dict[str, Dict[str, int]]
+    stale_bounded: Tuple[str, ...] = ()
 
 
 class IncrementalView:
@@ -599,6 +618,12 @@ class IncrementalViewSet:
     :meth:`as_viewset`.  Per-update change accounting
     (:attr:`seq` / :meth:`changed_since`) tells cache layers exactly
     which views an update stream touched.
+
+    Bounded view definitions are *not* maintainable (their extensions
+    shift non-locally with distances); they are skipped at construction
+    and their names recorded in :attr:`skipped_bounded` so owners (see
+    :meth:`~repro.views.storage.ViewSet.track`) can warn and flag them
+    stale after updates.
     """
 
     def __init__(
@@ -614,10 +639,18 @@ class IncrementalViewSet:
         self._subscribers: List[Callable[[MaintenanceEvent], None]] = []
         self._seq = 0
         self._changed_at: Dict[str, int] = {}
+        skipped: List[str] = []
         for definition in definitions:
+            if isinstance(definition.pattern, BoundedPattern):
+                # Bounded views change non-locally under updates (the
+                # whole distance index can shift); they are recorded --
+                # not tracked -- so callers can flag them stale.
+                skipped.append(definition.name)
+                continue
             self._trackers[definition.name] = IncrementalView(
                 definition, self._graph, shared=True, budget=budget
             )
+        self.skipped_bounded: Tuple[str, ...] = tuple(skipped)
 
     def names(self) -> List[str]:
         """Names of the maintained views, in registration order."""

@@ -9,7 +9,8 @@ size of the Youtube graph").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.views.view import MaterializedView, ViewDefinition, materialize
@@ -48,6 +49,7 @@ class ViewSet:
         self._view_versions: Dict[str, int] = {}
         self._maintenance: Optional["IncrementalViewSet"] = None
         self._maintenance_seq = 0
+        self._stale: Set[str] = set()
         for definition in definitions or ():
             self.add(definition)
 
@@ -116,6 +118,7 @@ class ViewSet:
         del self._definitions[name]
         self._extensions.pop(name, None)
         self._view_versions.pop(name, None)
+        self._stale.discard(name)
         self._version += 1
         self._definitions_version += 1
 
@@ -191,13 +194,14 @@ class ViewSet:
         """
         for name in names if names is not None else list(self._definitions):
             self._extensions[name] = materialize(self._definitions[name], graph)
+            self._stale.discard(name)
             self._stamp(name)
 
     @property
     def snapshot_token(self) -> Optional[int]:
         """The snapshot token shared by *every* materialized extension,
         or ``None`` when there are no extensions, any extension is not
-        snapshot-bound (mutable-graph or bounded materialization), or
+        snapshot-bound (materialized from a mutable graph), or
         the extensions come from different snapshots.  Derived from the
         extensions themselves, so partial re-materializations can never
         misreport the catalog's provenance."""
@@ -246,6 +250,7 @@ class ViewSet:
         if extension.name not in self._definitions:
             raise KeyError(f"unknown view {extension.name!r}")
         self._extensions[extension.name] = extension
+        self._stale.discard(extension.name)
         self._stamp(extension.name)
 
     def rebind_extension(self, extension: MaterializedView) -> None:
@@ -271,7 +276,42 @@ class ViewSet:
     def drop_extension(self, name: str) -> None:
         """Forget a cached extension (no-op when not materialized)."""
         if self._extensions.pop(name, None) is not None:
+            self._stale.discard(name)
             self._stamp(name)
+
+    # ------------------------------------------------------------------
+    # Staleness (the bounded-view maintenance contract)
+    # ------------------------------------------------------------------
+    def mark_stale(self, name: str) -> None:
+        """Flag view ``name``'s cached extension as stale and bump its
+        version stamp (evicting dependent cached answers).
+
+        The staleness contract exists for **bounded views**: their
+        extensions shift non-locally under edge updates (every
+        distance in ``I(V)`` can change), so the maintenance pipeline
+        cannot refresh them incrementally -- instead it marks them
+        stale, and readers (notably
+        :class:`~repro.engine.engine.QueryEngine`) rematerialize a
+        stale view from the refreshed graph before the next use.  The
+        extension object itself is *kept* (``extension(name)`` still
+        returns it) so that callers who explicitly want the
+        last-materialized state can read it; :meth:`is_stale` is the
+        signal that it no longer reflects the graph.
+        """
+        if name not in self._definitions:
+            raise KeyError(f"unknown view {name!r}")
+        if name in self._extensions:
+            self._stale.add(name)
+            self._stamp(name)
+
+    def is_stale(self, name: str) -> bool:
+        """Whether view ``name``'s cached extension is flagged stale
+        (always ``False`` when nothing is materialized)."""
+        return name in self._stale
+
+    def stale_views(self) -> Tuple[str, ...]:
+        """Names of every stale-flagged view, in registration order."""
+        return tuple(name for name in self._definitions if name in self._stale)
 
     # ------------------------------------------------------------------
     # Maintenance backend (the delta pipeline's view layer)
@@ -296,17 +336,32 @@ class ViewSet:
         affected-area budget for incremental insertions.
 
         Bounded views cannot be maintained incrementally (their
-        extensions shift non-locally with distances) and are skipped:
-        they keep whatever extension they have and must be
-        rematerialized explicitly after updates.  Definitions added
-        after this call are likewise not maintained.
+        extensions shift non-locally with distances) and are **not
+        tracked**: the tracker records their names in
+        ``skipped_bounded`` and a :class:`UserWarning` is emitted so
+        callers learn those views are unmaintained.  After each
+        graph-changing :meth:`apply_delta`, skipped bounded views with
+        cached extensions are flagged stale (:meth:`is_stale`) with
+        their version stamps bumped, and must be rematerialized before
+        the next read.  Definitions added after this call are likewise
+        not maintained.
         """
         from repro.views.maintenance import IncrementalViewSet
 
         if self._maintenance is not None:
             raise ValueError("a maintenance backend is already attached")
-        tracked = [d for d in self._definitions.values() if not d.is_bounded]
-        tracker = IncrementalViewSet(tracked, graph, budget=budget)
+        tracker = IncrementalViewSet(
+            self._definitions.values(), graph, budget=budget
+        )
+        if tracker.skipped_bounded:
+            warnings.warn(
+                "bounded views are not maintained incrementally and were "
+                f"skipped by track(): {', '.join(tracker.skipped_bounded)}; "
+                "apply_delta() will flag them stale -- rematerialize "
+                "before reading them after updates",
+                UserWarning,
+                stacklevel=2,
+            )
         self._maintenance = tracker
         self._maintenance_seq = tracker.seq
         for name in tracker.names():
@@ -322,6 +377,14 @@ class ViewSet:
         cached answers reading a changed view become unreachable while
         answers over untouched views stay live.  Requires
         :meth:`track` first.
+
+        Bounded views are not maintained by the tracker; when the batch
+        actually changed the graph (``applied > 0``), every bounded
+        view with a cached extension is flagged stale via
+        :meth:`mark_stale` -- bumping its version stamp so dependent
+        cached answers are evicted -- and reported in the returned
+        :class:`~repro.views.maintenance.DeltaReport` as
+        ``stale_bounded``.
         """
         if self._maintenance is None:
             raise ValueError(
@@ -329,6 +392,14 @@ class ViewSet:
             )
         report = self._maintenance.apply_delta(delta)
         self.import_maintenance()
+        if report.applied:
+            stale = tuple(
+                name
+                for name, definition in self._definitions.items()
+                if definition.is_bounded and self.is_stale(name)
+            )
+            if stale:
+                report = report._replace(stale_bounded=stale)
         return report
 
     def import_maintenance(self) -> List[str]:
@@ -336,14 +407,25 @@ class ViewSet:
 
         Returns the names imported.  Normally :meth:`apply_delta` calls
         this; it is exposed for consumers that drive the tracker
-        directly (single ``insert_edge`` / ``delete_edge`` calls)."""
+        directly (single ``insert_edge`` / ``delete_edge`` calls).
+
+        Whenever the tracker applied *any* update since the last sync
+        (its ``seq`` advanced), every materialized bounded view is
+        flagged stale here -- this is the single choke point both the
+        batch and the direct-drive paths go through, so bounded
+        staleness cannot be bypassed by driving the tracker by hand."""
         tracker = self._maintenance
         if tracker is None:
             return []
+        advanced = tracker.seq > self._maintenance_seq
         changed = tracker.changed_since(self._maintenance_seq)
         self._maintenance_seq = tracker.seq
         for name in changed:
             self.set_extension(tracker.extension(name))
+        if advanced:
+            for name, definition in self._definitions.items():
+                if definition.is_bounded and name in self._extensions:
+                    self.mark_stale(name)
         return changed
 
     def __repr__(self) -> str:

@@ -56,15 +56,31 @@ class CompactExtension:
         ``{view edge: {id: set of ids}}`` -- the match sets grouped both
         ways, ready for the MatchJoin fixpoint.  Treated as immutable;
         consumers copy before refining.
+    distances:
+        For bounded views, the id-space distance index ``I(V)``:
+        ``{(source id, target id): distance}`` over every materialized
+        pair, minimized across view edges -- the same semantics as
+        :attr:`MaterializedView.distances`, so BMatchJoin's id-space
+        bound filtering is pair-for-pair identical to the node-key
+        path.  ``None`` for simulation views (pairs are data edges,
+        distance 1 by construction).
     """
 
-    __slots__ = ("token", "version", "nodes", "by_source", "by_target")
+    __slots__ = (
+        "token",
+        "version",
+        "nodes",
+        "by_source",
+        "by_target",
+        "distances",
+    )
 
     def __init__(
         self,
         snapshot: CompactGraph,
         id_matches: IdEdgeMatches,
         by_target: Optional[IdEdgeMatches] = None,
+        distances: Optional[Dict[Tuple[int, int], int]] = None,
     ) -> None:
         self.token = snapshot.snapshot_token
         self.version = snapshot.snapshot_version
@@ -79,6 +95,7 @@ class CompactExtension:
                         reverse.setdefault(w, set()).add(v)
                 by_target[edge] = reverse
         self.by_target = by_target
+        self.distances = distances
 
     def rebound(self, snapshot) -> "CompactExtension":
         """The same match sets re-stamped onto ``snapshot``.
@@ -101,6 +118,7 @@ class CompactExtension:
         clone.nodes = snapshot.node_table
         clone.by_source = self.by_source
         clone.by_target = self.by_target
+        clone.distances = self.distances
         return clone
 
 
@@ -239,7 +257,19 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
     (composite ids for sharded graphs, computed shard by shard).
     """
     pattern = definition.pattern
+    # Shard layer dispatch (sys.modules probe: if the shard subpackage
+    # was never imported, graph cannot be a ShardedGraph).
+    shard_module = sys.modules.get("repro.shard.sharded")
+    sharded = shard_module is not None and isinstance(
+        graph, shard_module.ShardedGraph
+    )
     if isinstance(pattern, BoundedPattern):
+        if sharded:
+            from repro.shard.materialize import materialize_bounded_view
+
+            return materialize_bounded_view(definition, graph)
+        if isinstance(graph, CompactGraph):
+            return _materialize_bounded_compact(definition, graph)
         result, per_edge_distances = bounded_match_with_distances(pattern, graph)
         if not result:
             return MaterializedView(
@@ -254,10 +284,7 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
                 if previous is None or distance < previous:
                     index[pair] = distance
         return MaterializedView(definition, result.edge_matches, distances=index)
-    # Shard layer dispatch (sys.modules probe: if the shard subpackage
-    # was never imported, graph cannot be a ShardedGraph).
-    shard_module = sys.modules.get("repro.shard.sharded")
-    if shard_module is not None and isinstance(graph, shard_module.ShardedGraph):
+    if sharded:
         from repro.shard.materialize import materialize_view
 
         return materialize_view(definition, graph)
@@ -281,6 +308,53 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
     return MaterializedView(definition, result.edge_matches)
 
 
+def decode_distance_index(
+    id_distances: Dict[Tuple[int, int], int], nodes: List[Node]
+) -> Dict[NodePair, int]:
+    """Decode an id-space distance index to node keys (one table pass)."""
+    decode = nodes.__getitem__
+    return {
+        (decode(v), decode(w)): d for (v, w), d in id_distances.items()
+    }
+
+
+def _materialize_bounded_compact(
+    definition: ViewDefinition, graph: CompactGraph
+) -> MaterializedView:
+    """Bounded materialization against a frozen snapshot.
+
+    Runs the id-space bounded engine and attaches a
+    :class:`CompactExtension` whose :attr:`~CompactExtension.distances`
+    carries the distance index ``I(V)`` in id space -- built during
+    materialization, never re-derived per query -- so the BMatchJoin
+    fast path can bound-filter without decoding a single pair.  The
+    node-key index stored on the :class:`MaterializedView` is decoded
+    from the same id-space table, so the two views of ``I(V)`` cannot
+    drift.
+    """
+    from repro.simulation.compact_bounded import compact_bounded_match_with_ids
+
+    pattern = definition.pattern
+    result, id_matches, id_distances = compact_bounded_match_with_ids(
+        pattern, graph, with_distances=True
+    )
+    if id_matches is None:
+        empty_ids: IdEdgeMatches = {edge: {} for edge in pattern.edges()}
+        return MaterializedView(
+            definition,
+            {edge: set() for edge in pattern.edges()},
+            distances={},
+            compact=CompactExtension(graph, empty_ids, distances={}),
+        )
+    compact = CompactExtension(graph, id_matches, distances=id_distances)
+    return MaterializedView(
+        definition,
+        result.edge_matches,
+        distances=decode_distance_index(id_distances, graph.node_table),
+        compact=compact,
+    )
+
+
 def bind_extension(extension: MaterializedView, snapshot) -> MaterializedView:
     """A copy of ``extension`` whose id-space payload is bound to
     ``snapshot`` (a :class:`CompactGraph` or
@@ -291,8 +365,11 @@ def bind_extension(extension: MaterializedView, snapshot) -> MaterializedView:
     maintenance pipeline re-engages the MatchJoin fast path for a view
     whose extension was refreshed incrementally: the tracker hands back
     node-key match sets, and binding stamps them into the refreshed
-    snapshot's id space.  Bounded views carry no id-space payload and
-    are returned unchanged.
+    snapshot's id space.  Bounded views are returned unchanged: they
+    sit outside incremental maintenance (binding a stale bounded
+    extension onto a fresh token would launder outdated distances), so
+    they are *rematerialized* -- with a fresh id-space distance payload
+    -- rather than re-bound.
     """
     if extension.definition.is_bounded:
         return extension

@@ -104,6 +104,18 @@ class TestDelta:
         with pytest.raises(ValueError):
             Delta.parse(["? 1 2"])
 
+    def test_parse_errors_name_the_offending_line(self):
+        # Too few tokens: a clear ValueError, not a bare IndexError.
+        with pytest.raises(ValueError, match=r"line 3"):
+            Delta.parse(["# header", "+ 1 2", "+ 9"])
+        # Trailing junk tokens are rejected, not silently dropped.
+        with pytest.raises(ValueError, match=r"line 2.*got 4"):
+            Delta.parse(["+ 1 2", "- 3 4 extra"])
+        # Unknown ops name the line too (blank/comment lines still
+        # count toward the reported number -- it must match the file).
+        with pytest.raises(ValueError, match=r"'\?' on line 4"):
+            Delta.parse(["+ 1 2", "", "# note", "? 1 2"])
+
 
 class TestConstructorSatellites:
     def test_shared_constructor_parameter(self):
