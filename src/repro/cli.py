@@ -16,6 +16,10 @@ Subcommands::
     python -m repro maintain  --graph graph.json --views views.json \
                               --updates stream.txt [--batch 50] \
                               [--budget N] [--verify] [--format json]
+    python -m repro serve     --graph graph.json --views views.json \
+                              [--host 127.0.0.1] [--port 7677] \
+                              [--strategy minimal] [--budget N] \
+                              [--max-inflight 8] [--max-queue 64]
     python -m repro stats     --graph graph.json [--views views.json] \
                               [--shards 4] [--partitioner hash] \
                               [--format json]
@@ -35,7 +39,12 @@ maintenance pipeline in batches, reporting per-layer refresh statistics
 -- per-view incremental/recompute/irrelevant counts, snapshot
 refresh-vs-rebuild counts, and how many batches left each view's
 cached answers retainable (``--verify`` additionally asserts every
-checkpoint against a from-scratch rematerialization); ``stats`` prints
+checkpoint against a from-scratch rematerialization); ``serve`` runs
+the long-running asyncio service (:mod:`repro.serve`): concurrent
+readers over immutable epoch snapshots, epoch swap on maintenance,
+request coalescing and admission control, speaking newline-delimited
+JSON over TCP (``{"op": "query"|"update"|"stats"|"ping", ...}``, see
+:mod:`repro.serve.protocol`); ``stats`` prints
 size accounting -- with ``--format json`` it emits a machine-readable report
 including the label histogram and the snapshot / label-index statistics
 of the compact graph backend, plus a ``partition`` section when
@@ -371,6 +380,55 @@ def _cmd_maintain(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import QueryServer, serve_tcp
+    from repro.views.maintenance import IncrementalViewSet
+
+    try:
+        graph = read_graph(args.graph)
+        views = read_viewset(args.views)
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    tracker = IncrementalViewSet(
+        views.definitions(), graph, budget=args.budget
+    )
+    if tracker.skipped_bounded:
+        print(
+            "note: bounded views are rematerialized per epoch, not "
+            f"incrementally maintained: {', '.join(tracker.skipped_bounded)}",
+            file=sys.stderr,
+        )
+    engine = QueryEngine(views, graph=graph, selection=args.strategy)
+    engine.attach_maintenance(tracker)
+    server = QueryServer(
+        engine,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
+
+    async def main() -> None:
+        async with server:
+            tcp = await serve_tcp(server, host=args.host, port=args.port)
+            host, port = tcp.sockets[0].getsockname()[:2]
+            print(
+                f"serving {graph.num_nodes} nodes / {graph.num_edges} edges, "
+                f"{views.cardinality} views on {host}:{port} "
+                f"(JSON lines; ops: query, update, stats, ping)",
+                flush=True,
+            )
+            async with tcp:
+                await tcp.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     graph = read_graph(args.graph)
     stats = graph_stats(graph)
@@ -528,6 +586,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "rematerialization after every batch")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(func=_cmd_maintain)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-running async query service (JSON over TCP)",
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--views", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7677,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--strategy", choices=("all", "minimal", "minimum"),
+                   default="minimal")
+    p.add_argument("--budget", type=int,
+                   help="maintenance affected-area budget (default: never "
+                        "fall back to recomputation)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="concurrent evaluations (reader pool width)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admitted requests allowed to wait; beyond "
+                        "max-inflight + max-queue, requests are shed "
+                        "with a retriable error")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("stats", help="graph / view-cache statistics")
     p.add_argument("--graph", required=True)

@@ -50,12 +50,27 @@ makes sharded extensions indistinguishable from single-snapshot ones.
 Every result carries an :class:`ExecutionStats` on ``MatchResult.stats``
 (strategy, timing, cache provenance), so callers can meter the engine
 without wrapping it.
+
+**Thread safety.**  All catalog and cache mutation -- planning,
+answer/containment cache reads and writes, snapshot refresh, on-demand
+materialization and maintenance consumption -- is serialized behind one
+reentrant lock, while evaluation itself (the CPU-heavy simulation
+fixpoints) runs *outside* the lock against immutable inputs (a frozen
+snapshot and a point-in-time copy of the extensions dict).  Answer-cache
+keys are computed under the lock at spec-build time, so a maintenance
+batch landing mid-evaluation strands the in-flight answer under the
+*old* version stamps instead of corrupting the cache.  Concurrent
+maintenance must flow through :meth:`apply_delta` (which takes the same
+lock); the serving layer (:mod:`repro.serve`) builds its epoch-swap
+machinery on exactly this contract via :meth:`checkpoint`.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.answer import _STRATEGIES
 from repro.engine.cache import LRUCache
@@ -77,9 +92,39 @@ from repro.errors import NotContainedError, NotMaterializedError
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
 from repro.simulation.result import MatchResult
-from repro.views.maintenance import IncrementalViewSet
+from repro.views.maintenance import Delta, DeltaReport, IncrementalViewSet
 from repro.views.storage import ViewSet
 from repro.views.view import MaterializedView, bind_extension
+
+
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """An immutable capture of everything one evaluation epoch needs.
+
+    Produced by :meth:`QueryEngine.checkpoint` under the engine lock:
+    the frozen snapshot of ``G``, a point-in-time copy of every
+    materialized extension (all views freshened first, so readers never
+    materialize), and the version stamps that key answers for this
+    state.  The serving layer (:mod:`repro.serve`) wraps one checkpoint
+    per epoch; because every field is immutable (or treated as such),
+    any number of reader threads can evaluate against it while the
+    engine itself moves on to the next epoch.
+    """
+
+    snapshot: object
+    extensions: Mapping[str, MaterializedView]
+    view_versions: Mapping[str, int]
+    definitions_version: int
+    graph_version: int
+
+    def key_material(self, strategy: str, views_used: Tuple[str, ...]) -> Tuple:
+        """The answer-key material of this checkpoint for one plan --
+        the same shape :class:`QueryEngine` keys its own cache with, so
+        answers computed on a checkpoint stay correct across epochs
+        (equal stamps always denote equal extension state)."""
+        if strategy == MATCHJOIN:
+            return ("V", tuple(self.view_versions[name] for name in views_used))
+        return ("G", self.graph_version)
 
 
 class QueryEngine:
@@ -164,6 +209,11 @@ class QueryEngine:
         self._maintenance_cursor = 0
         # A CompactGraph, or a ShardedGraph in shards mode.
         self._snapshot = None
+        # Serializes every catalog/cache mutation (planning, cache
+        # reads/writes, snapshot refresh, materialization, maintenance
+        # consumption).  Reentrant: execute -> plan -> snapshot nest.
+        # Evaluation itself runs outside the lock on immutable inputs.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -177,6 +227,16 @@ class QueryEngine:
     def graph(self) -> Optional[DataGraph]:
         """The fallback data graph (``None`` for a views-only engine)."""
         return self._graph
+
+    @property
+    def optimized(self) -> bool:
+        """Whether evaluation runs the Section V optimizations."""
+        return self._optimized
+
+    @property
+    def maintenance(self) -> Optional[IncrementalViewSet]:
+        """The attached maintenance tracker (``None`` when detached)."""
+        return self._maintenance
 
     def snapshot(self):
         """The engine's frozen view of ``G`` (``None`` without a graph).
@@ -193,6 +253,10 @@ class QueryEngine:
         """
         if self._graph is None:
             return None
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self):
         snapshot = self._snapshot
         if snapshot is None or snapshot.snapshot_version != self._graph.version:
             if self._shards is not None:
@@ -220,10 +284,11 @@ class QueryEngine:
 
     def cache_stats(self) -> Dict[str, Dict[str, float]]:
         """Hit/miss/eviction counters for both caches."""
-        return {
-            "containment": self._containment_cache.stats.snapshot(),
-            "answers": self._answer_cache.stats.snapshot(),
-        }
+        with self._lock:
+            return {
+                "containment": self._containment_cache.stats.snapshot(),
+                "answers": self._answer_cache.stats.snapshot(),
+            }
 
     def invalidate(self) -> None:
         """Drop every cached decision and answer explicitly.
@@ -233,8 +298,9 @@ class QueryEngine:
         plans) and decision keys embed ``definitions_version``, so any
         relevant mutation already strands the stale entries.
         """
-        self._containment_cache.clear()
-        self._answer_cache.clear()
+        with self._lock:
+            self._containment_cache.clear()
+            self._answer_cache.clear()
 
     # ------------------------------------------------------------------
     # Maintenance integration
@@ -261,24 +327,99 @@ class QueryEngine:
         evaluation, on-demand materialization and snapshot refresh must
         all follow the same update stream the views do.
         """
-        if self._maintenance is not None:
-            raise ValueError("a maintenance tracker is already attached")
-        self._maintenance = tracker
-        self._maintenance_cursor = -1  # import everything on first refresh
-        tracker.subscribe(self._on_maintenance_event)
-        if self._graph is not None and self._graph is not tracker.graph:
-            self._graph = tracker.graph
-            self._snapshot = None
-        self._maintenance_dirty = True
-        self._refresh_if_dirty()
+        with self._lock:
+            if self._maintenance is not None:
+                raise ValueError("a maintenance tracker is already attached")
+            self._maintenance = tracker
+            self._maintenance_cursor = -1  # import everything on first refresh
+            tracker.subscribe(self._on_maintenance_event)
+            if self._graph is not None and self._graph is not tracker.graph:
+                self._graph = tracker.graph
+                self._snapshot = None
+            self._maintenance_dirty = True
+            self._refresh_if_dirty()
 
     def detach_maintenance(self) -> None:
         """Stop following the attached tracker (keeps current extensions
         and the adopted graph)."""
-        if self._maintenance is not None:
-            self._maintenance.unsubscribe(self._on_maintenance_event)
-            self._maintenance = None
-            self._maintenance_dirty = False
+        with self._lock:
+            if self._maintenance is not None:
+                self._maintenance.unsubscribe(self._on_maintenance_event)
+                self._maintenance = None
+                self._maintenance_dirty = False
+
+    def apply_delta(self, delta: Delta) -> DeltaReport:
+        """Apply a maintenance batch atomically w.r.t. concurrent readers.
+
+        Routes ``delta`` through the attached
+        :class:`~repro.views.maintenance.IncrementalViewSet` and
+        consumes the resulting events -- snapshot refresh, changed-view
+        re-import, bounded-view staleness -- as one batch, all under the
+        engine lock.  This is the *only* safe way to drive maintenance
+        while other threads call :meth:`execute` / :meth:`answer`:
+        driving the tracker directly from a second thread would mutate
+        its witness-counter state mid-read.  Readers already past the
+        lock (evaluating) finish on the pre-delta extensions and store
+        their answers under the pre-delta version stamps, so the cache
+        never mixes epochs.
+        """
+        with self._lock:
+            if self._maintenance is None:
+                raise ValueError(
+                    "no maintenance tracker attached; call "
+                    "attach_maintenance() first"
+                )
+            report = self._maintenance.apply_delta(delta)
+            self._refresh_if_dirty()
+            return report
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Freshen the whole catalog and capture it as an immutable
+        :class:`EngineCheckpoint`.
+
+        Under the engine lock: pending maintenance is consumed, the
+        snapshot refreshed, and every missing or stale view (bounded
+        views after an update) is rematerialized -- then the snapshot,
+        a point-in-time copy of the extensions, and the version stamps
+        are captured.  The serving layer calls this once per epoch so
+        readers never pay materialization and never observe a
+        half-applied update.  Requires a data graph.
+        """
+        with self._lock:
+            if self._graph is None:
+                raise ValueError(
+                    "checkpoint() requires a data graph to freshen against"
+                )
+            self._refresh_if_dirty()
+            snapshot = self._snapshot_locked()
+            names = self._views.names()
+            missing = [
+                name for name in names
+                if not self._views.is_materialized(name)
+                or self._views.is_stale(name)
+            ]
+            if missing:
+                if self._shards is not None:
+                    from repro.shard.materialize import parallel_materialize
+
+                    parallel_materialize(
+                        self._views,
+                        snapshot,
+                        names=missing,
+                        executor=self._executor,
+                        workers=self._workers,
+                    )
+                else:
+                    self._views.materialize(snapshot, names=missing)
+            return EngineCheckpoint(
+                snapshot=snapshot,
+                extensions=self._views.extensions(),
+                view_versions={
+                    name: self._views.view_version(name) for name in names
+                },
+                definitions_version=self._views.definitions_version,
+                graph_version=self._graph.version,
+            )
 
     def _on_maintenance_event(self, event) -> None:
         # Events are consumed in batches by _refresh_if_dirty; the
@@ -377,6 +518,12 @@ class QueryEngine:
         is memoized per (query fingerprint, selection, catalog
         version); repeated shapes skip straight to strategy choice.
         """
+        with self._lock:
+            return self._plan_locked(query, selection)
+
+    def _plan_locked(
+        self, query: Pattern, selection: Optional[str] = None
+    ) -> QueryPlan:
         self._refresh_if_dirty()
         selection = selection or self._selection
         if selection not in _STRATEGIES:
@@ -437,22 +584,29 @@ class QueryEngine:
         """Evaluate a plan (re-planning first if the definitions moved
         on; extension refreshes only re-key the answer, the containment
         decision stays valid)."""
-        self._refresh_if_dirty()
-        if plan.cache_key[2] != self._views.definitions_version:
-            plan = self.plan(plan.query, plan.selection)
-        hit = self._answer_cache.get(self._current_key(plan))
-        if hit is not None:
-            return self._deliver(hit, plan, elapsed=0.0, cache_hit=True)
-        spec = self._spec_for(plan)
-        # Freeze lazily: MatchJoin specs never read the graph, so only a
-        # direct-evaluation spec is worth the (one-off) freeze cost.
-        graph = self.snapshot() if spec.kind == DIRECT else None
+        with self._lock:
+            self._refresh_if_dirty()
+            if plan.cache_key[2] != self._views.definitions_version:
+                plan = self._plan_locked(plan.query, plan.selection)
+            hit = self._answer_cache.get(self._current_key(plan))
+            if hit is not None:
+                return self._deliver(hit, plan, elapsed=0.0, cache_hit=True)
+            spec = self._spec_for(plan)
+            # _spec_for may have materialized extensions (bumping version
+            # stamps); key the answer on the state actually evaluated,
+            # *before* releasing the lock -- a maintenance batch landing
+            # mid-evaluation then strands this answer under the old
+            # stamps instead of storing it under the new ones.
+            key = self._current_key(plan)
+            # Freeze lazily: MatchJoin specs never read the graph, so
+            # only a direct-evaluation spec is worth the freeze cost.
+            graph = self._snapshot_locked() if spec.kind == DIRECT else None
+            extensions = self._views.extensions()
         [(_, result, elapsed, _)] = run_specs(
-            [(0, spec)], self._views.extensions(), graph, executor="serial"
+            [(0, spec)], extensions, graph, executor="serial"
         )
-        # _spec_for may have materialized extensions (bumping version
-        # stamps); store under the *current* key so the next lookup hits.
-        self._answer_cache.put(self._current_key(plan), result)
+        with self._lock:
+            self._answer_cache.put(key, result)
         return self._deliver(result, plan, elapsed=elapsed, cache_hit=False)
 
     def answer_batch(
@@ -471,40 +625,48 @@ class QueryEngine:
         """
         executor = executor or self._executor
         workers = workers if workers is not None else self._workers
-        plans = [self.plan(query, selection) for query in queries]
-        results: List[Optional[MatchResult]] = [None] * len(plans)
+        with self._lock:
+            plans = [self._plan_locked(query, selection) for query in queries]
+            results: List[Optional[MatchResult]] = [None] * len(plans)
 
-        # Resolve answer-cache hits; deduplicate the remaining work by
-        # cache key so each distinct query is evaluated exactly once.
-        pending: Dict[Tuple, List[int]] = {}
-        specs: List[Tuple[int, EvaluationSpec]] = []
-        for index, plan in enumerate(plans):
-            hit = self._answer_cache.get(plan.cache_key)
-            if hit is not None:
-                results[index] = self._deliver(
-                    hit, plan, elapsed=0.0, cache_hit=True, executor=executor
-                )
-                continue
-            if plan.cache_key in pending:
-                pending[plan.cache_key].append(index)
-                continue
-            pending[plan.cache_key] = [index]
-            specs.append((index, self._spec_for(plan)))
+            # Resolve answer-cache hits; deduplicate the remaining work
+            # by cache key so each distinct query is evaluated once.
+            pending: Dict[Tuple, List[int]] = {}
+            specs: List[Tuple[int, EvaluationSpec]] = []
+            for index, plan in enumerate(plans):
+                hit = self._answer_cache.get(plan.cache_key)
+                if hit is not None:
+                    results[index] = self._deliver(
+                        hit, plan, elapsed=0.0, cache_hit=True,
+                        executor=executor,
+                    )
+                    continue
+                if plan.cache_key in pending:
+                    pending[plan.cache_key].append(index)
+                    continue
+                pending[plan.cache_key] = [index]
+                specs.append((index, self._spec_for(plan)))
+            # Spec building may have materialized extensions (bumping
+            # version stamps); key each answer on the state actually
+            # evaluated before releasing the lock.
+            keys = {index: self._current_key(plans[index]) for index, _ in specs}
+            needs_graph = any(spec.kind == DIRECT for _, spec in specs)
+            graph = self._snapshot_locked() if needs_graph else None
+            extensions = self._views.extensions()
 
         if specs:
-            needs_graph = any(spec.kind == DIRECT for _, spec in specs)
             completed = run_specs(
                 specs,
-                self._views.extensions(),
-                self.snapshot() if needs_graph else None,
+                extensions,
+                graph,
                 executor=executor,
                 workers=workers,
             )
+            with self._lock:
+                for index, result, _, _ in completed:
+                    self._answer_cache.put(keys[index], result)
             for index, result, elapsed, pid in completed:
                 plan = plans[index]
-                # Store under the current key: spec building may have
-                # materialized extensions and bumped the version.
-                self._answer_cache.put(self._current_key(plan), result)
                 for twin in pending[plan.cache_key]:
                     results[twin] = self._deliver(
                         result,

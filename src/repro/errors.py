@@ -28,6 +28,24 @@ class NotMaterializedError(ReproError):
     """Raised when MatchJoin needs an extension that was never built."""
 
 
+class ServerOverloadedError(ReproError):
+    """Raised by the serving layer when admission control sheds a
+    request: the bounded wait queue is full.  Retriable by contract --
+    the request was rejected *before* any work happened, so clients
+    should back off and resend."""
+
+    #: Always ``True``; clients may retry after backing off.
+    retriable = True
+
+
+class ServerClosedError(ReproError):
+    """Raised by the serving layer for requests submitted after
+    shutdown began (or before :meth:`~repro.serve.QueryServer.start`).
+    Not retriable against this server instance."""
+
+    retriable = False
+
+
 class UnsupportedPatternError(ReproError):
     """Raised for pattern shapes outside the algorithms' contract, e.g.
     isolated pattern nodes in the view-based pipeline (view extensions

@@ -1,0 +1,28 @@
+"""The serving layer: ``repro serve`` and its in-process machinery.
+
+Public surface:
+
+* :class:`~repro.serve.server.QueryServer` -- asyncio service over a
+  :class:`~repro.engine.engine.QueryEngine`: concurrent readers on
+  immutable epochs, epoch-based snapshot swap on maintenance, request
+  coalescing, admission control, a ``stats()`` view;
+* :class:`~repro.serve.epoch.Epoch` /
+  :class:`~repro.serve.epoch.SnapshotRegistry` -- the refcounted epoch
+  lifecycle (pin -> evaluate -> release; swap -> retire -> drain);
+* :func:`~repro.serve.protocol.serve_tcp` -- the JSON-lines TCP front
+  end the ``repro serve`` CLI subcommand exposes.
+"""
+
+from repro.serve.epoch import Epoch, SnapshotRegistry
+from repro.serve.protocol import handle_connection, serve_tcp
+from repro.serve.server import QueryServer, ServedAnswer, UpdateOutcome
+
+__all__ = [
+    "Epoch",
+    "QueryServer",
+    "ServedAnswer",
+    "SnapshotRegistry",
+    "UpdateOutcome",
+    "handle_connection",
+    "serve_tcp",
+]

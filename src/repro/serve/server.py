@@ -1,0 +1,404 @@
+"""The asyncio serving layer: concurrent reads over swapped epochs.
+
+:class:`QueryServer` is the front door the ROADMAP's "millions of
+users" story needs: a long-running service answering pattern queries
+*while the graph keeps changing*.  The concurrency model:
+
+* **readers never block on maintenance.**  A query pins the current
+  :class:`~repro.serve.epoch.Epoch` (an immutable
+  :class:`~repro.engine.engine.EngineCheckpoint` -- frozen snapshot +
+  materialized extensions + version stamps) and evaluates against it in
+  a thread pool.  Maintenance builds the next epoch concurrently; the
+  reader finishes on the one it pinned.
+* **updates are epoch swaps, not stop-the-world.**  :meth:`update`
+  applies a :class:`~repro.views.Delta` through
+  :meth:`QueryEngine.apply_delta` and captures
+  :meth:`QueryEngine.checkpoint` in a dedicated maintenance thread,
+  then atomically swaps the registry pointer.  The superseded epoch
+  drains as its in-flight readers complete.
+* **identical in-flight queries coalesce.**  Requests are keyed exactly
+  like the engine's answer cache -- (query fingerprint, selection,
+  definitions version, plan-relevant view version vector) -- so M
+  concurrent arrivals of one query cost one evaluation; later arrivals
+  at the same versions hit the server's answer LRU outright.
+* **admission control sheds, never queues unboundedly.**  At most
+  ``max_inflight`` evaluations run with ``max_queue`` waiters; past
+  that, requests fail fast with the retriable
+  :class:`~repro.errors.ServerOverloadedError`.
+
+All bookkeeping (counters, coalescing map, answer LRU) is touched only
+from the event loop; only pin/release refcounts and the engine itself
+are shared with executor threads, and both are locked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.engine.cache import LRUCache
+from repro.engine.engine import QueryEngine
+from repro.engine.executor import EvaluationSpec, evaluate_spec
+from repro.engine.plan import DIRECT, MATCHJOIN, QueryPlan
+from repro.errors import ServerClosedError, ServerOverloadedError
+from repro.graph.pattern import Pattern
+from repro.serve.epoch import Epoch, SnapshotRegistry
+from repro.simulation.result import MatchResult
+from repro.views.maintenance import Delta, DeltaReport
+
+
+class ServedAnswer(NamedTuple):
+    """One served query: the result plus serving provenance."""
+
+    result: MatchResult
+    epoch: int
+    cache_hit: bool
+    coalesced: bool
+    elapsed: float
+
+
+class UpdateOutcome(NamedTuple):
+    """One applied maintenance batch: the view-layer report plus the
+    epoch id the batch published."""
+
+    report: DeltaReport
+    epoch: int
+
+
+class QueryServer:
+    """Serve pattern queries concurrently with maintenance updates.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.engine.engine.QueryEngine` with a data graph.
+        Attach an :class:`~repro.views.maintenance.IncrementalViewSet`
+        (``engine.attach_maintenance``) before serving if :meth:`update`
+        will be used.
+    max_inflight:
+        Concurrent evaluations (also the reader thread-pool width).
+    max_queue:
+        Admitted requests allowed to wait for an evaluation slot; a
+        request arriving with ``max_inflight + max_queue`` already
+        admitted is shed with :class:`ServerOverloadedError`.
+    answer_cache_size:
+        Capacity of the server's answer LRU (version-stamp keyed, so
+        entries from superseded epochs are stranded, never wrong).
+        ``0`` disables it; coalescing still applies.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        max_inflight: int = 8,
+        max_queue: int = 64,
+        answer_cache_size: int = 1024,
+    ) -> None:
+        if engine.graph is None:
+            raise ValueError("QueryServer requires an engine with a data graph")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self._engine = engine
+        self._max_inflight = max_inflight
+        self._max_queue = max_queue
+        self._registry = SnapshotRegistry()
+        self._answers = LRUCache(answer_cache_size)
+        self._coalescing: Dict[Tuple, asyncio.Future] = {}
+        self._counters = {
+            "admitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed": 0,
+            "coalesced": 0,
+            "evaluated": 0,
+            "cache_hits": 0,
+            "deltas": 0,
+            "ops_applied": 0,
+            "ops_skipped": 0,
+        }
+        self._active = 0
+        self._started = False
+        self._closing = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._update_lock: Optional[asyncio.Lock] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._maint_pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Build and publish epoch 0, then open admission."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(self._max_inflight)
+        self._update_lock = asyncio.Lock()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_inflight, thread_name_prefix="repro-serve-read"
+        )
+        self._maint_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-maint"
+        )
+        checkpoint = await self._loop.run_in_executor(
+            self._maint_pool, self._engine.checkpoint
+        )
+        self._registry.swap(checkpoint)
+        self._started = True
+
+    async def stop(self) -> None:
+        """Clean shutdown: refuse new requests, drain in-flight ones,
+        release the thread pools.  Idempotent."""
+        self._closing = True
+        if not self._started:
+            return
+        await self._idle.wait()
+        # wait=False: the pools are idle by now (every request drained),
+        # and the event loop must not block on thread joins.
+        self._pool.shutdown(wait=False)
+        self._maint_pool.shutdown(wait=False)
+        self._started = False
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine this server fronts."""
+        return self._engine
+
+    @property
+    def current_epoch(self) -> int:
+        """The id of the epoch new readers pin right now."""
+        return self._registry.current_id
+
+    @property
+    def closing(self) -> bool:
+        """Whether shutdown has begun (new requests are refused)."""
+        return self._closing
+
+    def _require_open(self) -> None:
+        if self._closing or not self._started:
+            raise ServerClosedError(
+                "server is not accepting requests"
+                + (" (shutting down)" if self._closing else " (not started)")
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    async def query(
+        self, pattern: Pattern, selection: Optional[str] = None
+    ) -> ServedAnswer:
+        """Answer one query against the current epoch.
+
+        Sheds immediately (retriable
+        :class:`~repro.errors.ServerOverloadedError`) when admission is
+        full; raises :class:`~repro.errors.ServerClosedError` during
+        shutdown.  The returned :class:`ServedAnswer` names the epoch
+        the answer was computed on -- the snapshot-consistency contract
+        is *per epoch*, not "latest": a reader racing an update may be
+        served from the epoch it pinned at admission.
+        """
+        self._require_open()
+        if self._active >= self._max_inflight + self._max_queue:
+            self._counters["shed"] += 1
+            raise ServerOverloadedError(
+                f"admission full: {self._active} requests in flight "
+                f"(max_inflight={self._max_inflight}, "
+                f"max_queue={self._max_queue}); retry after backoff"
+            )
+        self._counters["admitted"] += 1
+        self._active += 1
+        self._idle.clear()
+        try:
+            async with self._slots:
+                epoch = self._registry.pin()
+                try:
+                    answer = await self._answer_pinned(pattern, selection, epoch)
+                finally:
+                    epoch.release()
+            self._counters["completed"] += 1
+            return answer
+        except BaseException:
+            self._counters["failed"] += 1
+            raise
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    async def _answer_pinned(
+        self, pattern: Pattern, selection: Optional[str], epoch: Epoch
+    ) -> ServedAnswer:
+        # Planning takes the engine lock (it may wait out a maintenance
+        # batch), so it must not run on the event loop.
+        plan = await self._loop.run_in_executor(
+            self._pool, self._engine.plan, pattern, selection
+        )
+        key = self._answer_key(plan, epoch)
+        if key is not None:
+            hit = self._answers.get(key)
+            if hit is not None:
+                self._counters["cache_hits"] += 1
+                return ServedAnswer(hit, epoch.epoch_id, True, False, 0.0)
+            pending = self._coalescing.get(key)
+            if pending is not None:
+                self._counters["coalesced"] += 1
+                result = await asyncio.shield(pending)
+                return ServedAnswer(result, epoch.epoch_id, False, True, 0.0)
+            future: asyncio.Future = self._loop.create_future()
+            self._coalescing[key] = future
+        spec = self._spec_from(plan)
+        try:
+            result, elapsed = await self._loop.run_in_executor(
+                self._pool, self._evaluate, spec, epoch
+            )
+        except BaseException as err:
+            if key is not None:
+                self._coalescing.pop(key, None)
+                if not future.done():
+                    future.set_exception(err)
+                    future.exception()  # mark retrieved: followers rethrow
+            raise
+        self._counters["evaluated"] += 1
+        if key is not None:
+            self._answers.put(key, result)
+            self._coalescing.pop(key, None)
+            if not future.done():
+                future.set_result(result)
+        return ServedAnswer(result, epoch.epoch_id, False, False, elapsed)
+
+    def _answer_key(self, plan: QueryPlan, epoch: Epoch) -> Optional[Tuple]:
+        """The answer/coalescing key of ``plan`` *on this epoch* --
+        same material as the engine's answer cache, but stamped from
+        the epoch's checkpoint so concurrent epochs never share an
+        entry unless their inputs are truly identical."""
+        checkpoint = epoch.checkpoint
+        fingerprint, selection, definitions_version, _ = plan.cache_key
+        if definitions_version != checkpoint.definitions_version:
+            # The catalog's definitions moved between checkpoint and
+            # plan (not possible through Delta maintenance; only via
+            # out-of-band catalog edits): bypass caching rather than
+            # risk keying across incompatible plans.
+            return None
+        return (
+            fingerprint,
+            selection,
+            definitions_version,
+            checkpoint.key_material(plan.strategy, plan.views_used),
+        )
+
+    def _spec_from(self, plan: QueryPlan) -> EvaluationSpec:
+        """A picklable spec for ``plan`` -- no materialization: every
+        epoch's checkpoint already carries every extension."""
+        if plan.strategy == DIRECT:
+            return EvaluationSpec(
+                kind=DIRECT,
+                query=plan.query,
+                containment=None,
+                needed=(),
+                bounded=plan.bounded,
+                optimized=self._engine.optimized,
+            )
+        return EvaluationSpec(
+            kind=MATCHJOIN,
+            query=plan.query,
+            containment=plan.containment,
+            needed=plan.views_used,
+            bounded=plan.bounded,
+            optimized=self._engine.optimized,
+        )
+
+    def _evaluate(self, spec: EvaluationSpec, epoch: Epoch):
+        """Synchronous evaluation against a pinned epoch (runs in the
+        reader pool; tests wrap this to control interleavings)."""
+        checkpoint = epoch.checkpoint
+        started = perf_counter()
+        result = evaluate_spec(
+            spec,
+            checkpoint.extensions,
+            checkpoint.snapshot if spec.kind == DIRECT else None,
+        )
+        return result, perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    async def update(self, delta: Delta) -> UpdateOutcome:
+        """Apply a maintenance batch and publish the next epoch.
+
+        Serialized (one batch at a time); the apply + checkpoint runs
+        in the dedicated maintenance thread, so readers keep being
+        admitted and evaluated throughout.  Readers pinned to the old
+        epoch drain on it; readers admitted after the swap see the new
+        one.
+        """
+        self._require_open()
+        async with self._update_lock:
+            report, checkpoint = await self._loop.run_in_executor(
+                self._maint_pool, self._apply_sync, delta
+            )
+            epoch = self._registry.swap(checkpoint)
+            self._counters["deltas"] += 1
+            self._counters["ops_applied"] += report.applied
+            self._counters["ops_skipped"] += report.skipped
+            return UpdateOutcome(report, epoch.epoch_id)
+
+    def _apply_sync(self, delta: Delta):
+        report = self._engine.apply_delta(delta)
+        return report, self._engine.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Introspection (the /stats view)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """A JSON-ready report: epoch lifecycle, request/admission
+        counters, cache counters, and per-view ``ViewStats``."""
+        current = self._registry.current
+        tracker = self._engine.maintenance
+        return {
+            "epoch": dict(
+                self._registry.drain_stats(),
+                current=self._registry.current_id,
+                active_readers=current.readers if current is not None else 0,
+            ),
+            "requests": dict(
+                self._counters,
+                inflight=self._active,
+                max_inflight=self._max_inflight,
+                max_queue=self._max_queue,
+            ),
+            "caches": dict(
+                self._engine.cache_stats(),
+                served_answers=self._answers.stats.snapshot(),
+            ),
+            "views": (
+                {
+                    name: stats.snapshot()
+                    for name, stats in tracker.stats().items()
+                }
+                if tracker is not None
+                else {}
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryServer(epoch={self._registry.current_id}, "
+            f"inflight={self._active}/{self._max_inflight}+{self._max_queue}, "
+            f"{'closing' if self._closing else 'open'})"
+        )

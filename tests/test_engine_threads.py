@@ -1,0 +1,184 @@
+"""Thread-safety of the engine's caches and snapshot lifecycle.
+
+The serving layer runs ``execute``/``answer_batch`` from a reader pool
+while ``apply_delta`` runs on a maintenance thread -- all through one
+shared :class:`QueryEngine`.  These tests hammer exactly that shape:
+reader threads evaluating nonstop while the main thread applies
+maintenance batches.  Nothing here asserts *which* interleaving
+happened -- only that no interleaving raises, corrupts a cache, or
+leaves the engine disagreeing with direct evaluation once quiescent.
+"""
+
+import random
+import threading
+
+import pytest
+
+from helpers import build_graph, build_pattern, random_labeled_graph
+from repro.engine import QueryEngine
+from repro.simulation import match
+from repro.views import Delta, ViewDefinition, ViewSet
+from repro.views.maintenance import IncrementalViewSet
+
+
+def _definitions():
+    return [
+        ViewDefinition("AB", build_pattern({"a": "A", "b": "B"}, [("a", "b")])),
+        ViewDefinition("BC", build_pattern({"b": "B", "c": "C"}, [("b", "c")])),
+        ViewDefinition(
+            "ABC",
+            build_pattern(
+                {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+            ),
+        ),
+    ]
+
+
+def _queries():
+    return [
+        build_pattern({"x": "A", "y": "B"}, [("x", "y")]),
+        build_pattern({"x": "B", "y": "C"}, [("x", "y")]),
+        build_pattern(
+            {"x": "A", "y": "B", "z": "C"}, [("x", "y"), ("y", "z")]
+        ),
+    ]
+
+
+def _random_delta(rng, live, size=6):
+    delta = Delta()
+    nodes = list(live.nodes())
+    for _ in range(size):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        if live.has_edge(a, b):
+            delta.delete(a, b)
+        else:
+            delta.insert(a, b)
+    return delta
+
+
+class TestApplyDelta:
+    def test_requires_an_attached_tracker(self):
+        graph = random_labeled_graph(random.Random(0), 10, 20)
+        engine = QueryEngine(ViewSet(_definitions()), graph=graph)
+        with pytest.raises(ValueError):
+            engine.apply_delta(Delta().insert(0, 1))
+
+    def test_applies_and_refreshes_synchronously(self):
+        rng = random.Random(1)
+        graph = random_labeled_graph(rng, 16, 40)
+        tracker = IncrementalViewSet(_definitions(), graph)
+        engine = QueryEngine(ViewSet(_definitions()), graph=graph)
+        engine.attach_maintenance(tracker)
+        report = engine.apply_delta(Delta().insert(100, 101).insert(100, 101))
+        assert (report.applied, report.skipped) == (1, 1)
+        for query in _queries():
+            plan = engine.plan(query)
+            assert (
+                engine.execute(plan).edge_matches
+                == match(query, tracker.graph).edge_matches
+            )
+
+
+class TestConcurrentExecute:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_readers_hammering_through_maintenance(self, seed):
+        """4 reader threads executing nonstop while the main thread
+        applies 30 maintenance batches through the same engine."""
+        rng = random.Random(seed)
+        graph = random_labeled_graph(rng, 24, 70)
+        tracker = IncrementalViewSet(_definitions(), graph)
+        engine = QueryEngine(ViewSet(_definitions()), graph=graph)
+        engine.attach_maintenance(tracker)
+        queries = _queries()
+        plans = [engine.plan(query) for query in queries]
+
+        errors = []
+        stop = threading.Event()
+
+        def reader(worker):
+            worker_rng = random.Random(1000 + worker)
+            try:
+                while not stop.is_set():
+                    index = worker_rng.randrange(len(plans))
+                    result = engine.execute(plans[index])
+                    # Results must always be well-formed (never a
+                    # torn/corrupt structure), whatever epoch they saw.
+                    assert result.result_size >= 0
+                    if worker_rng.random() < 0.25:
+                        engine.answer_batch(queries)
+            except BaseException as err:  # pragma: no cover - failure path
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=reader, args=(worker,), daemon=True)
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(30):
+                engine.apply_delta(_random_delta(rng, tracker.graph))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert not errors, errors
+        assert all(not thread.is_alive() for thread in threads)
+
+        # Quiescent: the engine agrees with direct evaluation on the
+        # maintained graph, and its caches serve the same answers.
+        for query in queries:
+            plan = engine.plan(query)
+            expected = match(query, tracker.graph).edge_matches
+            assert engine.execute(plan).edge_matches == expected
+            assert engine.execute(plan).edge_matches == expected  # cached
+
+    def test_checkpoints_taken_during_maintenance_are_consistent(self):
+        """checkpoint() from one thread races apply_delta from another;
+        every captured checkpoint must be internally consistent (its
+        extensions match a rematerialization of its own snapshot)."""
+        from repro.views import materialize
+
+        rng = random.Random(7)
+        graph = random_labeled_graph(rng, 20, 50)
+        definitions = _definitions()
+        tracker = IncrementalViewSet(definitions, graph)
+        engine = QueryEngine(ViewSet(definitions), graph=graph)
+        engine.attach_maintenance(tracker)
+
+        captured = []
+        errors = []
+        stop = threading.Event()
+
+        def snapshotter():
+            try:
+                while not stop.is_set():
+                    captured.append(engine.checkpoint())
+            except BaseException as err:  # pragma: no cover - failure path
+                errors.append(err)
+
+        thread = threading.Thread(target=snapshotter, daemon=True)
+        thread.start()
+        try:
+            for _ in range(20):
+                engine.apply_delta(_random_delta(rng, tracker.graph, size=4))
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert captured
+
+        definitions_by_name = {d.name: d for d in definitions}
+        seen_versions = set()
+        for checkpoint in captured:
+            key = tuple(sorted(checkpoint.view_versions.items())) + (
+                checkpoint.graph_version,
+            )
+            if key in seen_versions:
+                continue
+            seen_versions.add(key)
+            for name, extension in checkpoint.extensions.items():
+                fresh = materialize(
+                    definitions_by_name[name], checkpoint.snapshot
+                )
+                assert extension.edge_matches == fresh.edge_matches, name

@@ -634,3 +634,169 @@ class TestMaintainCli:
         assert set(payload["views"]) == {"AB", "BC", "ABC"}
         for counters in payload["views"].values():
             assert "retained_batches" in counters
+
+
+class TestDeletionPaths:
+    """Deletions are *incremental*, not recompute-on-delete: the
+    witness-counter cascade (``IncrementalView._after_delete``) prunes
+    exactly the matches that lost their last witness.  These tests pin
+    that down -- delete-heavy streams must never trigger a recompute,
+    must leave every backend's view of the extension equal to a
+    from-scratch rematerialization, and delete-then-reinsert round
+    trips must restore the original extension exactly."""
+
+    def _delete_heavy_stream(self, rng, live, rounds, delete_bias=0.8):
+        """Ops valid against the evolving tracker graph: mostly
+        deletions of present edges, a few insertions to keep churn."""
+        ops = []
+        present = set(live.edges())
+        for _ in range(rounds):
+            if present and rng.random() < delete_bias:
+                edge = rng.choice(sorted(present, key=repr))
+                ops.append(("delete", *edge))
+                present.discard(edge)
+            else:
+                source = rng.randrange(len(live))
+                target = rng.randrange(len(live))
+                if source == target or (source, target) in present:
+                    continue
+                ops.append(("insert", source, target))
+                present.add((source, target))
+        return ops
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_delete_heavy_stream_equal_on_every_backend(self, seed):
+        """After every delete-heavy batch, the maintained extension
+        equals rematerialization on the dict graph, on a frozen
+        ``CompactGraph`` and on a ``ShardedGraph`` composite."""
+        rng = random.Random(seed + 500)
+        graph = random_labeled_graph(rng, 24, 70)
+        definitions = _definitions()
+        tracked = IncrementalViewSet(definitions, graph)
+        mirror = graph.copy()
+        ops = self._delete_heavy_stream(rng, tracked.graph, 40)
+        index = 0
+        while index < len(ops):
+            take = rng.randrange(1, 6)
+            chunk = ops[index : index + take]
+            index += take
+            report = tracked.apply_delta(Delta(chunk))
+            assert report.applied == len(chunk)
+            for op, source, target in chunk:
+                if op == "insert":
+                    mirror.add_edge(source, target)
+                else:
+                    mirror.remove_edge(source, target)
+            compact = CompactGraph(mirror, mirror.version)
+            sharded = ShardedGraph(mirror, num_shards=2)
+            for definition in definitions:
+                maintained = tracked.extension(definition.name).edge_matches
+                for backend in (mirror, compact, sharded):
+                    fresh = materialize(definition, backend)
+                    assert maintained == fresh.edge_matches, (
+                        seed,
+                        definition.name,
+                        type(backend).__name__,
+                    )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pure_deletion_stream_never_recomputes(self, seed):
+        """A pure-deletion stream exercises only the counter cascade:
+        ``deletions`` climbs, ``recomputes`` stays zero."""
+        rng = random.Random(seed + 900)
+        graph = random_labeled_graph(rng, 20, 60)
+        definitions = _definitions()
+        tracked = IncrementalViewSet(definitions, graph)
+        mirror = graph.copy()
+        edges = sorted(tracked.graph.edges(), key=repr)
+        rng.shuffle(edges)
+        doomed = edges[: len(edges) // 2]
+        index = 0
+        while index < len(doomed):
+            take = rng.randrange(1, 5)
+            chunk = doomed[index : index + take]
+            index += take
+            tracked.apply_delta(
+                Delta(("delete", source, target) for source, target in chunk)
+            )
+            for source, target in chunk:
+                mirror.remove_edge(source, target)
+            for definition in definitions:
+                fresh = materialize(definition, mirror)
+                assert (
+                    tracked.extension(definition.name).edge_matches
+                    == fresh.edge_matches
+                )
+        totals = {name: stats.snapshot() for name, stats in tracked.stats().items()}
+        assert sum(counters["deletions"] for counters in totals.values()) == len(
+            doomed
+        ) * len(definitions)
+        for name, counters in totals.items():
+            assert counters["recomputes"] == 0, (name, counters)
+            assert counters["insertions"] == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_delete_then_reinsert_round_trip(self, seed):
+        """Deleting a batch of edges and reinserting the same batch
+        restores every extension exactly (same match sets -- the
+        cascade and the revival path are true inverses here)."""
+        rng = random.Random(seed + 1300)
+        graph = random_labeled_graph(rng, 22, 64)
+        definitions = _definitions()
+        tracked = IncrementalViewSet(definitions, graph)
+        original = {
+            definition.name: dict(
+                tracked.extension(definition.name).edge_matches
+            )
+            for definition in definitions
+        }
+        edges = sorted(tracked.graph.edges(), key=repr)
+        rng.shuffle(edges)
+        batch = edges[: max(4, len(edges) // 3)]
+        tracked.apply_delta(
+            Delta(("delete", source, target) for source, target in batch)
+        )
+        # Reinsert in a different order: set semantics, not a transcript.
+        rng.shuffle(batch)
+        report = tracked.apply_delta(
+            Delta(("insert", source, target) for source, target in batch)
+        )
+        assert report.applied == len(batch)
+        for definition in definitions:
+            assert (
+                tracked.extension(definition.name).edge_matches
+                == original[definition.name]
+            ), (seed, definition.name)
+
+    def test_deleting_every_edge_then_rebuilding(self):
+        """Edge case: drain the graph empty (every view goes empty via
+        the cascade), then reinsert everything -- extensions come back
+        equal to the original materialization."""
+        rng = random.Random(4242)
+        graph = random_labeled_graph(rng, 14, 40)
+        definitions = _definitions()
+        tracked = IncrementalViewSet(definitions, graph)
+        original = {
+            definition.name: dict(
+                tracked.extension(definition.name).edge_matches
+            )
+            for definition in definitions
+        }
+        edges = sorted(tracked.graph.edges(), key=repr)
+        tracked.apply_delta(
+            Delta(("delete", source, target) for source, target in edges)
+        )
+        for definition in definitions:
+            assert not tracked.extension(definition.name).edge_matches or all(
+                not pairs
+                for pairs in tracked.extension(definition.name)
+                .edge_matches.values()
+            )
+        tracked.apply_delta(
+            Delta(("insert", source, target) for source, target in edges)
+        )
+        for definition in definitions:
+            assert (
+                tracked.extension(definition.name).edge_matches
+                == original[definition.name]
+            ), definition.name
