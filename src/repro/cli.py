@@ -439,8 +439,19 @@ def _cmd_stats(args) -> int:
 
         partition = make_partition(graph, args.shards, args.partitioner)
     if args.format == "json":
+        from repro.graph.flatbuf import SharedCompactGraph
+        from repro.views.flatpack import FlatExtension
+
         index = graph.label_index_stats()
         snapshot = graph.freeze()
+        flat = SharedCompactGraph.share(snapshot)
+        memory = {
+            "backend": flat.flat_store.backend,
+            "graph": {
+                "tables": flat.flat_table_bytes(),
+                "total_bytes": flat.flat_store.total_bytes,
+            },
+        }
         payload = {
             "graph": {
                 "nodes": stats.num_nodes,
@@ -466,6 +477,7 @@ def _cmd_stats(args) -> int:
                 "nodes": snapshot.num_nodes,
                 "edges": snapshot.num_edges,
             },
+            "memory": memory,
         }
         if partition is not None:
             payload["partition"] = partition.stats()
@@ -480,6 +492,31 @@ def _cmd_stats(args) -> int:
                 "extension_fraction": views.extension_fraction(graph),
                 "snapshot_token": views.snapshot_token,
             }
+            # Per-view flat-buffer footprint: the bytes one extension
+            # occupies once packed for zero-copy shipping.  Extensions
+            # loaded from disk carry no id-space payload, so those are
+            # re-materialized against the shared snapshot to measure.
+            from repro.views.view import materialize as _materialize
+
+            view_memory = {}
+            for name in views.names():
+                if not views.is_materialized(name):
+                    continue
+                base = getattr(views.extension(name), "compact", None)
+                if isinstance(base, FlatExtension):
+                    packed = base
+                elif base is not None:
+                    packed = FlatExtension.pack(flat, base)
+                else:
+                    fresh = _materialize(views.definition(name), flat)
+                    packed = getattr(fresh, "compact", None)
+                    if not isinstance(packed, FlatExtension):
+                        continue
+                view_memory[name] = {
+                    "tables": packed.store.table_bytes(),
+                    "total_bytes": packed.store.total_bytes,
+                }
+            memory["views"] = view_memory
         json.dump(payload, sys.stdout, indent=2)
         print()
         return 0

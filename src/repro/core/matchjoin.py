@@ -29,6 +29,7 @@ Total cost of the optimized engine is ``O(|Qs||V(G)| + |V(G)|^2)``
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import repeat
 from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple, Union
 
@@ -37,6 +38,7 @@ from repro.errors import NotContainedError, NotMaterializedError, UnsupportedPat
 from repro.graph.pattern import Pattern
 from repro.graph.scc import node_ranks
 from repro.simulation.result import MatchResult
+from repro.views.flatpack import FlatExtension
 from repro.views.storage import ViewSet
 from repro.views.view import MaterializedView
 
@@ -190,6 +192,189 @@ def _refine_indexes(
                         )
                         counter += 1
     return by_source
+
+
+# ----------------------------------------------------------------------
+# Flat-buffer fast path: batch set-ops over precomputed key sets
+# ----------------------------------------------------------------------
+def _flat_match_join(
+    query: Pattern, containment: Containment, extensions: Extensions
+) -> Optional[MatchResult]:
+    """MatchJoin over flat-buffer extensions, as whole-edge row sweeps.
+
+    Engages when every λ reference carries a
+    :class:`~repro.views.flatpack.FlatExtension` from the same snapshot.
+    Everything the fixpoint touches is a batch set-op over flat data:
+    candidate pools are C-level intersections of the extensions'
+    precomputed per-edge key frozensets, refinement re-derives an edge's
+    live sources in **one comprehension pass over its raw ``(src, tgt)``
+    id rows** (the segment slices themselves -- no grouped ``{id: set}``
+    indexes are ever built, no per-candidate witness counters probed),
+    and untouched edges package by unioning stored node frozensets with
+    zero id decodes.  The sweep recomputes from scratch instead of
+    decrementing counters, trading worst-case increments for straight
+    C-speed passes -- the right trade for the serving regime, where
+    extensions are large and queries converge in a few rounds.  The
+    fixpoint it reaches is the same simulation refinement as
+    :func:`_compact_match_join`, so results are identical to every
+    other engine.
+    """
+    token = shared_snapshot_token(
+        query,
+        containment,
+        extensions,
+        ref_check=lambda edge, ext, view_edge, payload: isinstance(
+            payload, FlatExtension
+        ),
+    )
+    if token is None:
+        return None
+
+    # --- merge (Fig. 2 lines 1-4) on key sets only ---------------------
+    edges = query.edges()
+    edge_refs: Dict[PEdge, list] = {}
+    src_keys: Dict[PEdge, frozenset] = {}
+    tgt_keys: Dict[PEdge, frozenset] = {}
+    nodes = None
+    for edge in edges:
+        refs = containment.mapping.get(edge, ())
+        infos = []
+        for view_name, view_edge in refs:
+            extension = extensions[view_name]
+            infos.append((extension, extension.compact, view_edge))
+        edge_refs[edge] = infos
+        if not infos:
+            return MatchResult.empty()
+        nodes = infos[0][1].nodes
+        if len(infos) == 1:
+            _, payload, view_edge = infos[0]
+            sources = payload.src_keys[view_edge]
+            targets = payload.tgt_keys[view_edge]
+        else:
+            sources = frozenset().union(
+                *(p.src_keys[ve] for _, p, ve in infos)
+            )
+            targets = frozenset().union(
+                *(p.tgt_keys[ve] for _, p, ve in infos)
+            )
+        if not sources:
+            return MatchResult.empty()
+        src_keys[edge] = sources
+        tgt_keys[edge] = targets
+
+    # Raw pair rows, one (src, tgt) slice pair per λ reference.  These
+    # are parallel ``"q"`` views straight out of each extension's
+    # segment; the fixpoint below sweeps them wholesale instead of
+    # grouping them into ``{id: set}`` indexes (the compact path's merge
+    # step) or probing them per candidate (its witness counters).
+    rows: Dict[PEdge, list] = {
+        edge: [p.pair_rows(ve) for _, p, ve in edge_refs[edge]]
+        for edge in edges
+    }
+
+    # --- candidate pools and seed (batch frozenset ops) ----------------
+    valid: Dict[PNode, Set[int]] = {}
+    in_edges: Dict[PNode, List[PEdge]] = {}
+    for u in query.nodes():
+        in_edges[u] = query.in_edges(u)
+        outs = [src_keys[e] for e in query.out_edges(u)]
+        if outs:
+            # Simulation semantics: a candidate needs a stored pair on
+            # *every* out-edge, so the pool is the src-key intersection.
+            valid[u] = outs[0] if len(outs) == 1 else outs[0].intersection(
+                *outs[1:]
+            )
+            if not valid[u]:
+                return MatchResult.empty()
+        else:
+            # Sink nodes are only ever targets; their pool is the union
+            # of the incoming images.
+            ins = [tgt_keys[e] for e in in_edges[u]]
+            valid[u] = ins[0] if len(ins) == 1 else ins[0].union(*ins[1:])
+
+    # --- fixpoint: whole-edge sweeps over flat rows ---------------------
+    # An edge (u, u') needs a sweep only while some stored target is
+    # outside valid(u'); the sweep recomputes, in one pass over the raw
+    # rows, the set of sources that still have a live witness, and
+    # shrinking valid(u) re-queues u's in-edges.  Every step is a batch
+    # set-op (subset test, comprehension over a flat slice, C-level
+    # intersection) -- there are no per-candidate unions or counter
+    # probes, which is what makes large extensions cheap on this path.
+    dirty = deque(edges)
+    queued: Set[PEdge] = set(edges)
+    while dirty:
+        edge = dirty.popleft()
+        queued.discard(edge)
+        u, u_prime = edge
+        live_targets = valid[u_prime]
+        if live_targets >= tgt_keys[edge]:
+            continue  # every stored target is live: no source can die
+        edge_rows = rows[edge]
+        if len(edge_rows) == 1:
+            src_row, tgt_row = edge_rows[0]
+            alive = {
+                v for v, w in zip(src_row, tgt_row) if w in live_targets
+            }
+        else:
+            alive = set()
+            for src_row, tgt_row in edge_rows:
+                alive.update(
+                    v for v, w in zip(src_row, tgt_row) if w in live_targets
+                )
+        candidates = valid[u]
+        survivors = candidates & alive
+        if len(survivors) == len(candidates):
+            continue
+        if not survivors:
+            return MatchResult.empty()
+        valid[u] = survivors
+        for affected in in_edges[u]:
+            if affected not in queued:
+                dirty.append(affected)
+                queued.add(affected)
+
+    # --- package: batch unions for untouched edges ---------------------
+    decode = nodes.__getitem__
+    node_matches: Dict[PNode, Set[Node]] = {u: set() for u in query.nodes()}
+    edge_matches: Dict[PEdge, Set[NodePair]] = {}
+    for edge in edges:
+        u, u_prime = edge
+        infos = edge_refs[edge]
+        valid_src = valid[u]
+        valid_tgt = valid[u_prime]
+        if src_keys[edge] <= valid_src and tgt_keys[edge] <= valid_tgt:
+            # No endpoint candidate of this edge was refined away: every
+            # stored pair survives, so the answer is the stored node-key
+            # sets united wholesale -- no per-pair decode.
+            if len(infos) == 1:
+                extension, payload, view_edge = infos[0]
+                edge_matches[edge] = set(extension.edge_matches[view_edge])
+                node_matches[u] |= payload.src_nodes[view_edge]
+                node_matches[u_prime] |= payload.tgt_nodes[view_edge]
+            else:
+                edge_matches[edge] = set().union(
+                    *(ext.edge_matches[ve] for ext, _, ve in infos)
+                )
+                node_matches[u] = node_matches[u].union(
+                    *(p.src_nodes[ve] for _, p, ve in infos)
+                )
+                node_matches[u_prime] = node_matches[u_prime].union(
+                    *(p.tgt_nodes[ve] for _, p, ve in infos)
+                )
+            continue
+        # Touched edge: one filtering pass over the raw rows, decoding
+        # only the pairs that survived.
+        pairs: Set[NodePair] = set()
+        for src_row, tgt_row in rows[edge]:
+            pairs.update(
+                (decode(v), decode(w))
+                for v, w in zip(src_row, tgt_row)
+                if v in valid_src and w in valid_tgt
+            )
+        edge_matches[edge] = pairs
+        node_matches[u].update(pair[0] for pair in pairs)
+        node_matches[u_prime].update(pair[1] for pair in pairs)
+    return MatchResult(node_matches, edge_matches)
 
 
 # ----------------------------------------------------------------------
@@ -580,7 +765,9 @@ def match_join(
     resolved = _extensions_of(extensions)
     _check_inputs(query, containment, resolved)
     if optimized:
-        fast = _compact_match_join(query, containment, resolved)
+        fast = _flat_match_join(query, containment, resolved)
+        if fast is None:
+            fast = _compact_match_join(query, containment, resolved)
         if fast is not None:
             return fast
     initial = merge_initial_sets(query, containment, resolved)

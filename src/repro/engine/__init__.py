@@ -14,7 +14,13 @@ MatchJoin) into a deployable subsystem:
 
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.engine import QueryEngine
-from repro.engine.executor import EXECUTORS, EvaluationSpec, evaluate_spec, run_specs
+from repro.engine.executor import (
+    EXECUTORS,
+    EvaluationSpec,
+    ShipStats,
+    evaluate_spec,
+    run_specs,
+)
 from repro.engine.plan import ExecutionStats, QueryPlan, pattern_key
 
 __all__ = [
@@ -25,6 +31,7 @@ __all__ = [
     "LRUCache",
     "QueryEngine",
     "QueryPlan",
+    "ShipStats",
     "evaluate_spec",
     "pattern_key",
     "run_specs",

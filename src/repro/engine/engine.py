@@ -148,6 +148,14 @@ class QueryEngine:
         ``"minimum"`` (greedy set-cover, Theorem 6).
     executor / workers:
         Default batch executor (see :data:`EXECUTORS`) and pool width.
+    shared_snapshots:
+        Freeze ``G`` into a shared-memory flat-buffer snapshot
+        (:class:`~repro.graph.flatbuf.SharedCompactGraph`), so
+        extensions materialize flat and the whole serving payload
+        pickles to segment handles.  Defaults to ``None`` = "on when
+        ``executor='process'``" -- pool workers then attach segments
+        instead of deserializing the graph; in-process engines skip
+        the (small) freeze-time encode unless asked.
     answer_cache_size / containment_cache_size:
         LRU capacities; ``0`` disables the respective cache.
     shards / partitioner:
@@ -174,6 +182,7 @@ class QueryEngine:
         optimized: bool = True,
         shards: Optional[int] = None,
         partitioner: str = "hash",
+        shared_snapshots: Optional[bool] = None,
     ) -> None:
         if selection not in _STRATEGIES:
             raise ValueError(
@@ -202,6 +211,13 @@ class QueryEngine:
         self._executor = executor
         self._workers = workers
         self._optimized = optimized
+        self._shared_snapshots = (
+            shared_snapshots
+            if shared_snapshots is not None
+            else executor == "process"
+        )
+        # Cumulative process-pool shipping cost (see ship_stats()).
+        self._ship_totals = {"batches": 0, "bytes": 0, "seconds": 0.0}
         self._containment_cache = LRUCache(containment_cache_size)
         self._answer_cache = LRUCache(answer_cache_size)
         self._maintenance: Optional[IncrementalViewSet] = None
@@ -278,7 +294,7 @@ class QueryEngine:
             else:
                 # freeze() consults the same journal and refreshes the
                 # cached CompactGraph in place of a full rebuild.
-                snapshot = self._graph.freeze()
+                snapshot = self._graph.freeze(shared=self._shared_snapshots)
             self._snapshot = snapshot
         return snapshot
 
@@ -289,6 +305,17 @@ class QueryEngine:
                 "containment": self._containment_cache.stats.snapshot(),
                 "answers": self._answer_cache.stats.snapshot(),
             }
+
+    def ship_stats(self) -> Dict[str, float]:
+        """Cumulative process-pool payload shipping cost.
+
+        ``batches`` process-pool batches have serialized ``bytes`` of
+        shared payload in ``seconds`` total.  With shared snapshots the
+        figures stay near-constant per batch (segment handles ship, not
+        buffers); dict payloads grow with the graph.
+        """
+        with self._lock:
+            return dict(self._ship_totals)
 
     def invalidate(self) -> None:
         """Drop every cached decision and answer explicitly.
@@ -493,11 +520,13 @@ class QueryEngine:
                 continue
             try:
                 if extends is not None and compact.token == extends:
-                    rebound = MaterializedView(
-                        extension.definition,
-                        extension.edge_matches,
-                        distances=extension.distances,
-                        compact=compact.rebound(snapshot),
+                    # preserve_flatness keeps a flat payload's view
+                    # wrapper flat, so its pickle stays a segment
+                    # handle across maintenance epochs.
+                    from repro.views.flatpack import preserve_flatness
+
+                    rebound = preserve_flatness(
+                        extension, compact.rebound(snapshot)
                     )
                 else:
                     rebound = bind_extension(extension, snapshot)
@@ -602,7 +631,7 @@ class QueryEngine:
             # only a direct-evaluation spec is worth the freeze cost.
             graph = self._snapshot_locked() if spec.kind == DIRECT else None
             extensions = self._views.extensions()
-        [(_, result, elapsed, _)] = run_specs(
+        [(_, result, elapsed, _)], _ = run_specs(
             [(0, spec)], extensions, graph, executor="serial"
         )
         with self._lock:
@@ -655,7 +684,7 @@ class QueryEngine:
             extensions = self._views.extensions()
 
         if specs:
-            completed = run_specs(
+            completed, ship = run_specs(
                 specs,
                 extensions,
                 graph,
@@ -665,6 +694,10 @@ class QueryEngine:
             with self._lock:
                 for index, result, _, _ in completed:
                     self._answer_cache.put(keys[index], result)
+                if ship.bytes:
+                    self._ship_totals["batches"] += 1
+                    self._ship_totals["bytes"] += ship.bytes
+                    self._ship_totals["seconds"] += ship.seconds
             for index, result, elapsed, pid in completed:
                 plan = plans[index]
                 for twin in pending[plan.cache_key]:
@@ -675,6 +708,7 @@ class QueryEngine:
                         cache_hit=twin != index,
                         executor=executor,
                         pid=pid,
+                        ship=ship if twin == index else None,
                     )
         return results  # type: ignore[return-value]
 
@@ -765,6 +799,7 @@ class QueryEngine:
         cache_hit: bool,
         executor: str = "serial",
         pid: Optional[int] = None,
+        ship=None,
     ) -> MatchResult:
         """Wrap a (possibly shared, cached) result with fresh stats."""
         stats = ExecutionStats(
@@ -776,6 +811,8 @@ class QueryEngine:
             containment_cached=plan.containment_cached,
             executor=executor,
             pid=pid if pid is not None else os.getpid(),
+            ship_bytes=ship.bytes if ship is not None else 0,
+            ship_seconds=ship.seconds if ship is not None else 0.0,
         )
         return MatchResult(result.node_matches, result.edge_matches, stats=stats)
 

@@ -19,6 +19,7 @@ construction and only wall time differs.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
@@ -91,14 +92,39 @@ def evaluate_spec(
     )
 
 
+@dataclass(frozen=True)
+class ShipStats:
+    """What one process-pool batch paid to ship its shared payload.
+
+    ``bytes`` is the serialized payload size, ``seconds`` the wall time
+    of the single ``pickle.dumps`` that produced it.  Flat-buffer
+    objects (:class:`~repro.graph.flatbuf.SharedCompactGraph`,
+    :class:`~repro.views.flatpack.FlatExtension`) pickle to segment
+    handles, so for a shared-memory snapshot both figures stay small
+    and near-constant in graph size; dict payloads pay the full deep
+    copy here.  In-process executors ship nothing and report zeros.
+    """
+
+    bytes: int = 0
+    seconds: float = 0.0
+
+
 # ----------------------------------------------------------------------
 # Process-pool plumbing (module level so it pickles by reference)
 # ----------------------------------------------------------------------
 _WORKER_PAYLOAD: Dict[str, object] = {}
 
 
-def _worker_init(extensions: Extensions, graph: Optional[DataGraph]) -> None:
-    """Pool initializer: install the shared payload in this worker."""
+def _worker_init(blob: bytes) -> None:
+    """Pool initializer: attach the pre-pickled shared payload.
+
+    The payload is serialized **once per batch** by the parent (see
+    :func:`run_specs`) and handed to every worker as opaque bytes, so
+    the per-worker cost is one ``pickle.loads`` -- which, for
+    flat-buffer payloads, just attaches the existing shared-memory
+    segments instead of rebuilding dict-of-sets structures.
+    """
+    extensions, graph = pickle.loads(blob)
     _WORKER_PAYLOAD["extensions"] = extensions
     _WORKER_PAYLOAD["graph"] = graph
 
@@ -121,10 +147,13 @@ def run_specs(
     graph: Optional[DataGraph],
     executor: str = "serial",
     workers: Optional[int] = None,
-) -> List[Tuple[int, MatchResult, float, int]]:
-    """Evaluate ``(index, spec)`` tasks and return
+) -> Tuple[List[Tuple[int, MatchResult, float, int]], ShipStats]:
+    """Evaluate ``(index, spec)`` tasks.
+
+    Returns ``(results, ship)`` where results are
     ``(index, result, elapsed seconds, pid)`` tuples (in completion
-    order for pools, submission order when serial).
+    order for pools, submission order when serial) and ``ship`` is the
+    batch's :class:`ShipStats` (zeros unless a process pool ran).
 
     ``executor`` is one of :data:`EXECUTORS`; pools degrade gracefully
     to serial execution when there is at most one task or one worker.
@@ -141,7 +170,7 @@ def run_specs(
             started = perf_counter()
             result = evaluate_spec(spec, extensions, graph)
             out.append((index, result, perf_counter() - started, pid))
-        return out
+        return out, ShipStats()
     max_workers = min(max_workers, len(tasks))
     if executor == "thread":
         pid = os.getpid()
@@ -152,14 +181,18 @@ def run_specs(
                 result = evaluate_spec(spec, extensions, graph)
                 return index, result, perf_counter() - started, pid
 
-            return list(pool.map(run, tasks))
-    # Process pool: ship only the extensions the batch actually needs.
+            return list(pool.map(run, tasks)), ShipStats()
+    # Process pool: ship only the extensions the batch actually needs,
+    # serialized exactly once regardless of worker count.
     needed = {name for _, spec in tasks for name in spec.needed}
     payload = {name: extensions[name] for name in needed}
     ship_graph = graph if any(spec.kind == "direct" for _, spec in tasks) else None
+    started = perf_counter()
+    blob = pickle.dumps((payload, ship_graph), pickle.HIGHEST_PROTOCOL)
+    ship = ShipStats(bytes=len(blob), seconds=perf_counter() - started)
     with ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=_worker_init,
-        initargs=(payload, ship_graph),
+        initargs=(blob,),
     ) as pool:
-        return list(pool.map(_worker_run, tasks))
+        return list(pool.map(_worker_run, tasks)), ship

@@ -154,6 +154,11 @@ class ExecutionStats:
     ``elapsed`` is the evaluation wall time in seconds (zero for answer
     -cache hits); ``executor`` names how the query ran (``"serial"``,
     ``"thread"`` or ``"process"``); ``pid`` is the worker process id.
+    ``ship_bytes`` / ``ship_seconds`` are the serialized size of the
+    shared payload and the wall time spent serializing it when this
+    query's batch went to a process pool (zero in-process: nothing
+    ships).  Shipping happens once per batch, so every evaluated result
+    of one batch reports the same figures.
     """
 
     strategy: str
@@ -164,3 +169,5 @@ class ExecutionStats:
     containment_cached: bool
     executor: str
     pid: Optional[int] = None
+    ship_bytes: int = 0
+    ship_seconds: float = 0.0

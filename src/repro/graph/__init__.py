@@ -31,6 +31,7 @@ from repro.graph.conditions import (
 )
 from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
+from repro.graph.flatbuf import FlatStore, SharedCompactGraph, live_segment_names
 from repro.graph.pattern import ANY, BoundedPattern, Pattern
 
 __all__ = [
@@ -40,9 +41,12 @@ __all__ = [
     "CompactGraph",
     "Condition",
     "DataGraph",
+    "FlatStore",
     "Label",
     "P",
     "Pattern",
+    "SharedCompactGraph",
     "TrueCondition",
     "implies",
+    "live_segment_names",
 ]

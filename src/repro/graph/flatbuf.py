@@ -1,0 +1,852 @@
+"""Flat-buffer storage core: zero-copy shared-memory snapshots.
+
+The paper's complexity bounds (Theorems 1-3 and the MatchJoin algorithm
+of Section V) assume an indexed, array-addressable graph.
+:class:`~repro.graph.compact.CompactGraph` approximates that with
+per-node Python tuples, which evaluate fast in-process but make process
+fan-out expensive: every pool dispatch pays a full pickle of the object
+graph (tuples, dicts, label sets) on the parent and a full unpickle on
+every worker.
+
+This module moves the snapshot's columns into *flat buffers*:
+
+* CSR out/in adjacency as ``(indptr, indices)`` pairs of 64-bit ints;
+* per-node label rows and per-label **sorted id buckets** as CSR pairs
+  over an interned label table;
+* node keys / attribute dicts as pickled blobs decoded lazily, once per
+  process;
+
+all packed into **one byte segment** -- a
+:class:`multiprocessing.shared_memory.SharedMemory` block when the
+platform provides one, a plain in-process ``bytes`` fallback otherwise
+-- addressed through a small header (``{table: (kind, offset,
+nbytes)}``).  A :class:`SharedCompactGraph` built over such a
+:class:`FlatStore` pickles as *segment name + header + meta*: workers
+**attach** to the segment instead of unpickling the object graph, and
+materialize only the rows their traversals actually touch
+(:class:`_LazyRows`).  Ship cost becomes O(header), not O(|G|).
+
+Segment lifecycle is deterministic and refcounted in-process:
+
+* the *creator* process owns the segment; a ``weakref.finalize`` on the
+  owning :class:`Segment` unlinks it when the last snapshot referencing
+  it is garbage collected (refresh chains share one segment -- see
+  :meth:`SharedCompactGraph.refreshed` -- so the unlink happens when the
+  last generation drops);
+* *attachers* (pool workers) close their mapping but never unlink, and
+  are unregistered from the ``resource_tracker`` immediately -- without
+  that, every worker's tracker would try to unlink the segment at exit
+  (the well-known "leaked shared_memory" spam) and could destroy it
+  under the creator;
+* an in-process **attach cache** keyed by segment name makes repeated
+  attaches (a payload of many extensions sharing one snapshot segment)
+  resolve to one mapping and one lazily-decoded blob cache.
+
+``live_segment_names()`` exposes the creator-side registry so tests can
+assert clean teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+import threading
+import weakref
+from array import array
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.graph.compact import CompactGraph, Node
+
+try:  # pragma: no cover - platform probe
+    from multiprocessing import resource_tracker, shared_memory
+
+    _HAVE_SHM = True
+except ImportError:  # pragma: no cover - exotic platforms
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    _HAVE_SHM = False
+
+#: Prefix of every segment this module creates -- lets tests (and
+#: operators) recognise our segments in ``/dev/shm``.
+SEGMENT_PREFIX = "repro_flat_"
+
+#: Environment switch forcing the plain-bytes backend (used by tests to
+#: cover the fallback on shm-capable hosts).
+BACKEND_ENV = "REPRO_FLAT_BACKEND"
+
+_ITEMSIZE = 8  # all integer tables are 64-bit ('q')
+
+
+def _shm_enabled() -> bool:
+    return _HAVE_SHM and os.environ.get(BACKEND_ENV, "shm") != "bytes"
+
+
+# ----------------------------------------------------------------------
+# Segment: one refcounted byte region (shared memory or plain bytes)
+# ----------------------------------------------------------------------
+_lock = threading.Lock()
+#: Creator-side registry: name -> weakref to the owning Segment.  An
+#: entry disappears when the segment is unlinked (finalizer or close).
+_owned: Dict[str, "weakref.ref[Segment]"] = {}
+#: Attach cache: name -> weakref to the attached Segment, so a payload
+#: of many objects sharing one segment maps it exactly once per process.
+_attached: Dict[str, "weakref.ref[Segment]"] = {}
+
+
+def live_segment_names() -> List[str]:
+    """Names of segments created by this process and not yet unlinked
+    (test hook for the no-leak guarantee)."""
+    with _lock:
+        return [name for name, ref in _owned.items() if ref() is not None]
+
+
+class Segment:
+    """One byte region with deterministic, refcounted teardown.
+
+    Created regions own their backing store: when the last Python
+    reference drops (or :meth:`close` is called), shared memory is
+    unlinked.  Attached regions only unmap.  The plain-``bytes``
+    fallback needs no lifecycle at all but keeps the same interface, so
+    every consumer is backend-agnostic.
+    """
+
+    __slots__ = ("name", "nbytes", "_shm", "_bytes", "_finalizer", "__weakref__")
+
+    def __init__(self) -> None:  # use the factories below
+        self.name: str = ""
+        self.nbytes: int = 0
+        self._shm = None
+        self._bytes: Optional[bytearray] = None
+        self._finalizer = None
+
+    # -- factories -----------------------------------------------------
+    @classmethod
+    def create(cls, nbytes: int) -> "Segment":
+        """A fresh writable segment of ``nbytes`` bytes (owned)."""
+        segment = cls()
+        segment.nbytes = nbytes
+        segment.name = SEGMENT_PREFIX + secrets.token_hex(8)
+        if _shm_enabled():
+            shm = shared_memory.SharedMemory(
+                name=segment.name, create=True, size=max(1, nbytes)
+            )
+            segment._shm = shm
+            segment._finalizer = weakref.finalize(
+                segment, _destroy_shm, shm, segment.name
+            )
+            with _lock:
+                _owned[segment.name] = weakref.ref(segment)
+        else:
+            segment._bytes = bytearray(nbytes)
+        return segment
+
+    @classmethod
+    def attach(cls, name: str, nbytes: int) -> "Segment":
+        """Map an existing named segment (worker side, never unlinks)."""
+        with _lock:
+            cached = _attached.get(name)
+            segment = cached() if cached is not None else None
+            if segment is not None:
+                return segment
+            owned = _owned.get(name)
+            segment = owned() if owned is not None else None
+            if segment is not None:
+                # Same process as the creator: share the mapping.
+                return segment
+        if not _HAVE_SHM:  # pragma: no cover - guarded by handle kind
+            raise RuntimeError("shared memory is unavailable on this platform")
+        shm = shared_memory.SharedMemory(name=name)
+        # Python's resource tracker registers *attachers* too (< 3.13)
+        # and would unlink the segment when this worker exits; the
+        # creator owns the unlink, so take this mapping off the books.
+        try:  # pragma: no cover - tracker internals vary by version
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        segment = cls()
+        segment.name = name
+        segment.nbytes = nbytes
+        segment._shm = shm
+        segment._finalizer = weakref.finalize(segment, _close_shm, shm)
+        with _lock:
+            _attached[name] = weakref.ref(segment)
+        return segment
+
+    @classmethod
+    def wrap(cls, payload: bytes) -> "Segment":
+        """Adopt a plain byte string (the unpickled fallback handle)."""
+        segment = cls()
+        segment.nbytes = len(payload)
+        segment._bytes = bytearray(payload)
+        return segment
+
+    # -- access --------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return "shm" if self._shm is not None else "bytes"
+
+    @property
+    def buf(self) -> memoryview:
+        if self._shm is not None:
+            return self._shm.buf[: self.nbytes]
+        return memoryview(self._bytes)
+
+    def handle(self) -> Tuple[str, object]:
+        """The picklable identity of this segment: ``("shm", name)`` for
+        shared memory, ``("bytes", payload)`` for the fallback."""
+        if self._shm is not None:
+            return ("shm", self.name)
+        return ("bytes", bytes(self._bytes))
+
+    @classmethod
+    def from_handle(cls, kind: str, value, nbytes: int) -> "Segment":
+        if kind == "shm":
+            return cls.attach(value, nbytes)
+        return cls.wrap(value)
+
+    def close(self) -> None:
+        """Tear down eagerly (idempotent): unlink if owned, unmap."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._shm = None
+        self._bytes = None
+
+    def __repr__(self) -> str:
+        return f"Segment({self.name or '<bytes>'}, {self.nbytes}B, {self.backend})"
+
+
+def _destroy_shm(shm, name: str) -> None:
+    """Creator-side finalizer: unlink *then* unmap.
+
+    Unlink first so the name disappears even if exported memoryviews
+    (rows handed to long-lived results) keep the mapping alive; POSIX
+    keeps the memory valid for existing maps after unlink.
+    """
+    with _lock:
+        _owned.pop(name, None)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - double close
+        pass
+    _close_shm(shm)
+
+
+def _close_shm(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # Exported row views are still alive, so the mapping must
+        # outlive this handle.  Detach it (fd closed, mmap reference
+        # dropped) so SharedMemory.__del__ does not retry the close and
+        # raise unraisably; the map itself is reclaimed when the last
+        # view dies or the process exits.
+        fd = getattr(shm, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            shm._fd = -1
+        shm._mmap = None
+        shm._buf = None
+
+
+def _release_views(arrays: Dict[str, memoryview]) -> None:
+    for view in arrays.values():
+        try:
+            view.release()
+        except (ValueError, BufferError):  # pragma: no cover
+            pass
+    arrays.clear()
+
+
+# ----------------------------------------------------------------------
+# FlatStore: named tables + blobs in one segment behind a small header
+# ----------------------------------------------------------------------
+class FlatStore:
+    """Named flat tables packed into one :class:`Segment`.
+
+    Two table kinds: ``"q"`` -- an ``array('q')`` of 64-bit ints,
+    8-byte aligned, exposed as a zero-copy memoryview -- and ``"blob"``
+    -- an opaque byte string (usually a pickle) decoded at most once
+    per process via :meth:`obj`.
+
+    The header (``{name: (kind, offset, nbytes)}``) is deliberately
+    *not* written into the segment: it travels inside the pickle of
+    whatever object owns the store, which is exactly the "ships segment
+    names + header" contract -- a worker needs nothing but the pickle
+    bytes to address every table.
+    """
+
+    __slots__ = ("segment", "header", "_arrays", "_objs", "__weakref__")
+
+    def __init__(self, segment: Segment, header: Dict[str, Tuple[str, int, int]]):
+        self.segment = segment
+        self.header = header
+        self._arrays: Dict[str, memoryview] = {}
+        self._objs: Dict[str, object] = {}
+        # Cached table views keep the mapping "exported"; release them
+        # before the segment finalizer closes the mapping (finalizers
+        # run LIFO, and this one is created after the segment's).
+        weakref.finalize(self, _release_views, self._arrays)
+
+    @classmethod
+    def pack(
+        cls,
+        arrays: Dict[str, array],
+        blobs: Dict[str, bytes],
+    ) -> "FlatStore":
+        """Lay the tables out in one fresh segment."""
+        header: Dict[str, Tuple[str, int, int]] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            nbytes = len(arr) * _ITEMSIZE
+            header[name] = ("q", offset, nbytes)
+            offset += nbytes  # arrays first: offsets stay 8-aligned
+        for name, blob in blobs.items():
+            header[name] = ("blob", offset, len(blob))
+            offset += len(blob)
+        segment = Segment.create(offset)
+        buf = segment.buf
+        for name, arr in arrays.items():
+            _, start, nbytes = header[name]
+            if nbytes:
+                buf[start : start + nbytes] = memoryview(arr).cast("B")
+        for name, blob in blobs.items():
+            _, start, nbytes = header[name]
+            if nbytes:
+                buf[start : start + nbytes] = blob
+        del buf
+        return cls(segment, header)
+
+    # -- pickling: segment handle + header, never the payload ----------
+    def __reduce__(self):
+        kind, value = self.segment.handle()
+        return (_attach_store, (kind, value, self.segment.nbytes, self.header))
+
+    # -- table access --------------------------------------------------
+    def ints(self, name: str) -> memoryview:
+        """Zero-copy 64-bit view of an integer table."""
+        view = self._arrays.get(name)
+        if view is None:
+            _, start, nbytes = self.header[name]
+            view = self.segment.buf[start : start + nbytes].cast("q")
+            self._arrays[name] = view
+        return view
+
+    def blob(self, name: str) -> memoryview:
+        _, start, nbytes = self.header[name]
+        return self.segment.buf[start : start + nbytes]
+
+    def obj(self, name: str):
+        """Unpickle a blob table (memoized per process)."""
+        value = self._objs.get(name)
+        if value is None:
+            value = pickle.loads(self.blob(name))
+            self._objs[name] = value
+        return value
+
+    def table_bytes(self) -> Dict[str, int]:
+        """Per-table byte footprint (the ``repro stats`` memory section)."""
+        return {name: nbytes for name, (_, _, nbytes) in self.header.items()}
+
+    @property
+    def total_bytes(self) -> int:
+        return self.segment.nbytes
+
+    @property
+    def backend(self) -> str:
+        return self.segment.backend
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatStore({len(self.header)} tables, {self.total_bytes}B, "
+            f"{self.backend})"
+        )
+
+
+#: Attach cache for stores: one FlatStore (and thus one decoded-blob
+#: cache) per segment per process, however many payload objects
+#: reference it.
+_stores: Dict[str, "weakref.ref[FlatStore]"] = {}
+
+
+def _attach_store(kind, value, nbytes, header) -> FlatStore:
+    if kind == "shm":
+        with _lock:
+            cached = _stores.get(value)
+            store = cached() if cached is not None else None
+        if store is not None:
+            return store
+    segment = Segment.from_handle(kind, value, nbytes)
+    store = FlatStore(segment, header)
+    if kind == "shm":
+        with _lock:
+            _stores[value] = weakref.ref(store)
+    return store
+
+
+# ----------------------------------------------------------------------
+# CSR packing helpers
+# ----------------------------------------------------------------------
+def _pack_csr(rows) -> Tuple[array, array]:
+    """``rows`` (iterable of int iterables) -> (indptr, indices)."""
+    indptr = array("q", [0])
+    indices = array("q")
+    total = 0
+    for row in rows:
+        indices.extend(row)
+        total += len(row)
+        indptr.append(total)
+    return indptr, indices
+
+
+# ----------------------------------------------------------------------
+# Lazy decoders over a store (worker-side structures)
+# ----------------------------------------------------------------------
+class _LazyRows:
+    """Adjacency rows decoded on first touch.
+
+    Python-list protocol over the CSR pair: ``rows[i]`` materializes
+    ``tuple(indices[indptr[i]:indptr[i+1]])`` exactly once (a C-level
+    slice copy, no pickle machinery) and caches it, so the per-process
+    cost is proportional to the rows a traversal actually visits, and
+    hot loops see plain tuples after first touch.  ``overrides`` (the
+    refresh patch) substitutes rebuilt rows; ids at or past the base
+    snapshot's node count default to empty rows (appended nodes).
+    """
+
+    __slots__ = ("_indptr", "_indices", "_cache", "_overrides", "_base")
+
+    def __init__(
+        self,
+        store: FlatStore,
+        kind: str,
+        total: int,
+        overrides: Optional[Dict[int, tuple]] = None,
+    ) -> None:
+        self._indptr = store.ints(kind + "_indptr")
+        self._indices = store.ints(kind + "_indices")
+        self._base = len(self._indptr) - 1
+        self._cache: List[Optional[tuple]] = [None] * total
+        self._overrides = overrides or {}
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, i: int) -> tuple:
+        row = self._cache[i]
+        if row is None:
+            row = self._overrides.get(i)
+            if row is None:
+                if i < self._base:
+                    row = tuple(self._indices[self._indptr[i] : self._indptr[i + 1]])
+                else:
+                    row = ()
+            self._cache[i] = row
+        return row
+
+    def __iter__(self) -> Iterator[tuple]:
+        for i in range(len(self._cache)):
+            yield self[i]
+
+
+class _LazyNodeTable:
+    """The id -> node key decode table, unpickled on first use."""
+
+    __slots__ = ("_store", "_appended", "_table")
+
+    def __init__(self, store: FlatStore, appended: Optional[List[Node]] = None):
+        self._store = store
+        self._appended = appended
+        self._table: Optional[List[Node]] = None
+
+    def _load(self) -> List[Node]:
+        table = self._table
+        if table is None:
+            table = self._store.obj("nodes")
+            if self._appended:
+                table = list(table) + list(self._appended)
+            self._table = table
+        return table
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __getitem__(self, i):
+        return self._load()[i]
+
+    def __iter__(self):
+        return iter(self._load())
+
+    def __add__(self, other):
+        return list(self._load()) + list(other)
+
+
+class _LazyIds(dict):
+    """node key -> id, built in one pass on first miss.
+
+    A real ``dict`` subclass so every read path (`[]`, ``get``, ``in``)
+    works; population happens at most once per process.
+    """
+
+    __slots__ = ("_nodes", "_ready")
+
+    def __init__(self, nodes) -> None:
+        super().__init__()
+        self._nodes = nodes
+        self._ready = False
+
+    def _ensure(self) -> None:
+        if not self._ready:
+            self.update({node: i for i, node in enumerate(self._nodes)})
+            self._ready = True
+
+    def __missing__(self, key):
+        if self._ready:
+            raise KeyError(key)
+        self._ensure()
+        return dict.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        self._ensure()
+        return dict.get(self, key, default)
+
+    def __contains__(self, key) -> bool:
+        self._ensure()
+        return dict.__contains__(self, key)
+
+    def __len__(self) -> int:
+        self._ensure()
+        return dict.__len__(self)
+
+    def __iter__(self):
+        self._ensure()
+        return dict.__iter__(self)
+
+
+class _LazyLabelTable:
+    """Per-node label frozensets decoded from the interned label CSR."""
+
+    __slots__ = ("_store", "_cache", "_appended_start", "_appended")
+
+    def __init__(
+        self,
+        store: FlatStore,
+        total: int,
+        appended: Optional[List[FrozenSet[str]]] = None,
+    ) -> None:
+        self._store = store
+        self._cache: List[Optional[FrozenSet[str]]] = [None] * total
+        self._appended_start = len(store.ints("label_row_indptr")) - 1
+        self._appended = appended or []
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, i: int) -> FrozenSet[str]:
+        labels = self._cache[i]
+        if labels is None:
+            if i >= self._appended_start:
+                labels = self._appended[i - self._appended_start]
+            else:
+                store = self._store
+                names = store.obj("labels")
+                indptr = store.ints("label_row_indptr")
+                row = store.ints("label_row_indices")[indptr[i] : indptr[i + 1]]
+                labels = frozenset(names[j] for j in row)
+            self._cache[i] = labels
+        return labels
+
+    def __iter__(self):
+        for i in range(len(self._cache)):
+            yield self[i]
+
+
+class _LazyAttrTable:
+    """Per-node attribute dicts, unpickled as one blob on first use."""
+
+    __slots__ = ("_store", "_appended", "_table", "_total")
+
+    def __init__(
+        self, store: FlatStore, total: int, appended: Optional[List[dict]] = None
+    ) -> None:
+        self._store = store
+        self._appended = appended
+        self._table: Optional[List[dict]] = None
+        self._total = total
+
+    def _load(self) -> List[dict]:
+        table = self._table
+        if table is None:
+            blob = self._store.blob("attrs")
+            if len(blob) == 0:
+                table = [{} for _ in range(self._total)]
+            else:
+                table = list(self._store.obj("attrs"))
+                if self._appended:
+                    table.extend(self._appended)
+            self._table = table
+        return table
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, i: int) -> dict:
+        return self._load()[i]
+
+    def __iter__(self):
+        return iter(self._load())
+
+
+class _LazyBuckets(dict):
+    """label -> sorted id tuple, decoded per label on first lookup.
+
+    The flat form stores every bucket as a **sorted id slice** of one
+    indices array; a lookup materializes just that label's slice.
+    ``extra`` carries the refresh patch: ids of appended nodes per
+    label, concatenated after the base slice (appended ids exceed every
+    base id, so the bucket stays sorted).
+    """
+
+    __slots__ = ("_store", "_extra", "_ready")
+
+    def __init__(self, store: FlatStore, extra: Optional[Dict[str, tuple]] = None):
+        super().__init__()
+        self._store = store
+        self._extra = extra or {}
+        self._ready = False
+
+    def _decode(self, label: str) -> Optional[tuple]:
+        store = self._store
+        slot = store.obj("label_slots").get(label)
+        extra = self._extra.get(label, ())
+        if slot is None:
+            return tuple(extra) if extra else None
+        indptr = store.ints("bucket_indptr")
+        bucket = tuple(store.ints("bucket_indices")[indptr[slot] : indptr[slot + 1]])
+        return bucket + tuple(extra) if extra else bucket
+
+    def _ensure_all(self) -> None:
+        if not self._ready:
+            for label in self._store.obj("label_slots"):
+                self.get(label)
+            for label in self._extra:
+                self.get(label)
+            self._ready = True
+
+    def __missing__(self, key):
+        bucket = self._decode(key)
+        if bucket is None:
+            raise KeyError(key)
+        dict.__setitem__(self, key, bucket)
+        return bucket
+
+    def get(self, key, default=None):
+        if dict.__contains__(self, key):
+            return dict.__getitem__(self, key)
+        bucket = self._decode(key)
+        if bucket is None:
+            return default
+        dict.__setitem__(self, key, bucket)
+        return bucket
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def items(self):
+        self._ensure_all()
+        return dict.items(self)
+
+    def keys(self):
+        self._ensure_all()
+        return dict.keys(self)
+
+    def values(self):
+        self._ensure_all()
+        return dict.values(self)
+
+    def __iter__(self):
+        self._ensure_all()
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:
+        self._ensure_all()
+        return dict.__len__(self)
+
+
+# ----------------------------------------------------------------------
+# Snapshot encoding
+# ----------------------------------------------------------------------
+def encode_snapshot(graph: CompactGraph) -> FlatStore:
+    """Pack a snapshot's columns into one flat segment."""
+    labels = sorted({label for labels in graph._labels for label in labels})
+    slot_of = {label: i for i, label in enumerate(labels)}
+    succ_indptr, succ_indices = _pack_csr(graph._succ)
+    pred_indptr, pred_indices = _pack_csr(graph._pred)
+    label_row_indptr, label_row_indices = _pack_csr(
+        sorted(slot_of[l] for l in row) for row in graph._labels
+    )
+    bucket_indptr, bucket_indices = _pack_csr(
+        graph._label_ids.get(label, ()) for label in labels
+    )
+    attrs_blob = (
+        b""
+        if not any(graph._attrs)
+        else pickle.dumps(list(graph._attrs), protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    return FlatStore.pack(
+        arrays={
+            "succ_indptr": succ_indptr,
+            "succ_indices": succ_indices,
+            "pred_indptr": pred_indptr,
+            "pred_indices": pred_indices,
+            "label_row_indptr": label_row_indptr,
+            "label_row_indices": label_row_indices,
+            "bucket_indptr": bucket_indptr,
+            "bucket_indices": bucket_indices,
+        },
+        blobs={
+            "labels": pickle.dumps(tuple(labels), protocol=pickle.HIGHEST_PROTOCOL),
+            "label_slots": pickle.dumps(slot_of, protocol=pickle.HIGHEST_PROTOCOL),
+            "nodes": pickle.dumps(list(graph._nodes), protocol=pickle.HIGHEST_PROTOCOL),
+            "attrs": attrs_blob,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# SharedCompactGraph
+# ----------------------------------------------------------------------
+class SharedCompactGraph(CompactGraph):
+    """A :class:`CompactGraph` whose columns live in a flat segment.
+
+    In the *creator* process the instance shares the source snapshot's
+    materialized lists (same read performance as a plain snapshot) and
+    additionally owns a :class:`FlatStore` mirror of them.  Pickling
+    ships only the store handle, a small meta tuple and -- after
+    refreshes -- the patch overlay, so a process-pool worker *attaches*
+    and decodes lazily rather than unpickling ``O(|G|)`` objects.
+
+    The snapshot token is part of the meta, so extensions shipped
+    alongside the snapshot keep recognising its id space, and the
+    MatchJoin fast paths engage in workers exactly as in the parent.
+    """
+
+    __slots__ = ("_flat", "_patch")
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def share(cls, graph: CompactGraph) -> "SharedCompactGraph":
+        """The shared form of ``graph`` (idempotent for shared inputs)."""
+        if isinstance(graph, SharedCompactGraph):
+            return graph
+        store = encode_snapshot(graph)
+        shared = cls.__new__(cls)
+        for slot in CompactGraph.__slots__:
+            setattr(shared, slot, getattr(graph, slot))
+        shared._flat = store
+        shared._patch = None
+        return shared
+
+    @property
+    def flat_store(self) -> FlatStore:
+        """The backing store (segment + header)."""
+        return self._flat
+
+    def flat_table_bytes(self) -> Dict[str, int]:
+        """Per-table byte footprint of the flat layout."""
+        return self._flat.table_bytes()
+
+    # -- zero-copy pickling --------------------------------------------
+    def __reduce__(self):
+        meta = (
+            self.num_nodes,
+            self._num_edges,
+            self.snapshot_version,
+            self.snapshot_token,
+            self.extends_token,
+        )
+        return (_attach_snapshot, (self._flat, self._patch, meta))
+
+    # -- refresh: keep the base segment, ship a patch overlay ----------
+    @classmethod
+    def refreshed(
+        cls, old: "SharedCompactGraph", graph, version: int, ops
+    ) -> CompactGraph:
+        """Refresh a shared snapshot without re-encoding the segment.
+
+        The plain refresh runs first (unchanged row objects stay
+        shared, ids stay stable); the delta against the *base segment*
+        -- rebuilt adjacency rows, appended node columns, per-label
+        bucket growth -- is folded into the patch overlay that rides in
+        the pickle.  One segment therefore serves the whole refresh
+        chain, and it is unlinked only when the last generation
+        referencing it is dropped.  When the accumulated patch stops
+        being small relative to the base, the chain re-encodes into a
+        fresh segment instead (the patch would otherwise grow past the
+        ship-cost win the segment exists for).
+        """
+        plain = CompactGraph.refreshed(old, graph, version, ops)
+        base_n = len(old._flat.ints("succ_indptr")) - 1
+        previous = old._patch or _EMPTY_PATCH
+        ids = plain._ids
+        succ_over = dict(previous["succ"])
+        pred_over = dict(previous["pred"])
+        for node in {s for _, s, _ in ops}:
+            i = ids[node]
+            succ_over[i] = plain._succ[i]
+        for node in {t for _, _, t in ops}:
+            i = ids[node]
+            pred_over[i] = plain._pred[i]
+        appended_nodes = list(plain._nodes[base_n:])
+        patch = {
+            "succ": succ_over,
+            "pred": pred_over,
+            "nodes": appended_nodes,
+            "labels": [plain._labels[i] for i in range(base_n, plain.num_nodes)],
+            "attrs": [plain._attrs[i] for i in range(base_n, plain.num_nodes)],
+            "buckets": {
+                label: tuple(i for i in bucket if i >= base_n)
+                for label, bucket in plain._label_ids.items()
+                if bucket and bucket[-1] >= base_n
+            },
+        }
+        patch_rows = len(succ_over) + len(pred_over) + len(appended_nodes)
+        if patch_rows > max(64, base_n // 4):
+            return cls.share(plain)  # re-encode: patch outgrew the base
+        shared = cls.__new__(cls)
+        for slot in CompactGraph.__slots__:
+            setattr(shared, slot, getattr(plain, slot))
+        shared._flat = old._flat
+        shared._patch = patch
+        return shared
+
+
+_EMPTY_PATCH = {"succ": {}, "pred": {}, "nodes": [], "labels": [], "attrs": [], "buckets": {}}
+
+
+def _attach_snapshot(store: FlatStore, patch, meta) -> SharedCompactGraph:
+    """Worker-side reconstruction: attach and decode lazily."""
+    num_nodes, num_edges, version, token, extends = meta
+    patch = patch or _EMPTY_PATCH
+    shared = SharedCompactGraph.__new__(SharedCompactGraph)
+    nodes = _LazyNodeTable(store, patch["nodes"] or None)
+    shared._nodes = nodes
+    shared._ids = _LazyIds(nodes)
+    shared._succ = _LazyRows(store, "succ", num_nodes, patch["succ"])
+    shared._pred = _LazyRows(store, "pred", num_nodes, patch["pred"])
+    shared._labels = _LazyLabelTable(store, num_nodes, patch["labels"] or None)
+    shared._attrs = _LazyAttrTable(store, num_nodes, patch["attrs"] or None)
+    shared._label_ids = _LazyBuckets(store, patch["buckets"] or None)
+    shared._succ_sets = [None] * num_nodes
+    shared._pred_sets = [None] * num_nodes
+    shared._num_edges = num_edges
+    shared.snapshot_version = version
+    shared.snapshot_token = token
+    shared.extends_token = extends
+    shared._flat = store
+    shared._patch = patch if patch is not _EMPTY_PATCH else None
+    return shared

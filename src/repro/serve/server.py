@@ -367,7 +367,8 @@ class QueryServer:
     # ------------------------------------------------------------------
     def stats(self) -> Dict:
         """A JSON-ready report: epoch lifecycle, request/admission
-        counters, cache counters, and per-view ``ViewStats``."""
+        counters, cache counters, payload-shipping totals, and
+        per-view ``ViewStats``."""
         current = self._registry.current
         tracker = self._engine.maintenance
         return {
@@ -386,6 +387,7 @@ class QueryServer:
                 self._engine.cache_stats(),
                 served_answers=self._answers.stats.snapshot(),
             ),
+            "shipping": self._engine.ship_stats(),
             "views": (
                 {
                     name: stats.snapshot()

@@ -40,16 +40,19 @@ composite global id space for the materialization path
 from __future__ import annotations
 
 import os
+import pickle
 from bisect import bisect_left
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import repeat
+from time import perf_counter
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.engine.executor import ShipStats
 from repro.graph.compact import CompactGraph
 from repro.graph.conditions import AttributeCondition, Label
 from repro.shard.sharded import ShardedGraph
-from repro.simulation.compact_engine import IdEdgeMatches
+from repro.simulation.compact_engine import IdEdgeMatches, refine_batch
 from repro.simulation.result import MatchResult
 
 PNode = Hashable
@@ -239,17 +242,13 @@ def _local_fixpoint(
                 intersect_targets = (full[u1] | queued_for_u1).intersection
             else:
                 intersect_targets = full[u1].intersection
-            edge_counter = counters[(u, u1)]
-            newly: Set[int] = set()
-            for v in affected:
-                count = edge_counter.get(v)
-                if count is None:
-                    count = len(intersect_targets(succ[v]))
-                else:
-                    count -= len(intersect_removed(succ[v]))
-                edge_counter[v] = count
-                if count == 0:
-                    newly.add(v)
+            newly = refine_batch(
+                affected,
+                succ,
+                counters[(u, u1)],
+                intersect_targets,
+                intersect_removed,
+            )
             if newly:
                 candidates -= newly
                 full[u] -= newly
@@ -396,13 +395,16 @@ def _execute(
 
 # Module level so the process pool pickles them by reference; the
 # sharded snapshot ships once per worker through the initializer,
-# mirroring repro.engine.executor.  Each worker owns the states of the
-# shards pinned to it.
+# mirroring repro.engine.executor.  The parent serializes it exactly
+# once (ShardRunner.ship records size and wall time) and every pool
+# receives the same bytes, so a worker's startup cost is a single
+# ``pickle.loads`` -- shared-memory shards attach rather than copy.
+# Each worker owns the states of the shards pinned to it.
 _WORKER_PAYLOAD: Dict[str, object] = {}
 
 
-def _worker_init(sharded: ShardedGraph) -> None:
-    _WORKER_PAYLOAD["sharded"] = sharded
+def _worker_init(blob: bytes) -> None:
+    _WORKER_PAYLOAD["sharded"] = pickle.loads(blob)
     _WORKER_PAYLOAD["store"] = {}
 
 
@@ -448,12 +450,23 @@ class ShardRunner:
         self._store: _StateStore = {}
         self._pools: List[ProcessPoolExecutor] = []
         self._thread_pool: Optional[ThreadPoolExecutor] = None
+        #: ShipStats of the one-time snapshot serialization (zeros for
+        #: in-process runners: nothing ships).
+        self.ship = ShipStats()
         if executor == "process" and self.workers > 1:
+            # Shared-memory shards pay off exactly here: workers attach
+            # segments instead of unpickling per-shard adjacency.
+            sharded.share()
+            started = perf_counter()
+            blob = pickle.dumps(sharded, pickle.HIGHEST_PROTOCOL)
+            self.ship = ShipStats(
+                bytes=len(blob), seconds=perf_counter() - started
+            )
             self._pools = [
                 ProcessPoolExecutor(
                     max_workers=1,
                     initializer=_worker_init,
-                    initargs=(sharded,),
+                    initargs=(blob,),
                 )
                 for _ in range(min(self.workers, sharded.num_shards))
             ]

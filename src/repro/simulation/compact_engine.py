@@ -63,6 +63,40 @@ def compact_candidates(
     return sim
 
 
+def refine_batch(
+    affected: Set[int],
+    succ,
+    edge_counter: Dict[int, int],
+    intersect_targets,
+    intersect_removed,
+) -> Set[int]:
+    """One witness-counter refinement step over a removal batch.
+
+    The shared inner kernel of every counter-based fixpoint in the
+    repository (:func:`compact_maximum_simulation` here, the shard
+    -local fixpoint in :mod:`repro.shard.psim`): for each affected
+    candidate, either materialize its counter lazily (one C-level
+    intersection of its adjacency row against the current target set)
+    or decrement it by the batch overlap, and collect the candidates
+    whose last witness just left.  ``intersect_targets`` /
+    ``intersect_removed`` are bound ``set.intersection`` methods, so
+    the caller controls exactly which target universe counts (the
+    single-machine engine passes ``sim(u1)`` ∪ still-queued ids, the
+    sharded engine its ``full`` internal-plus-ghost sets).
+    """
+    newly: Set[int] = set()
+    for v in affected:
+        count = edge_counter.get(v)
+        if count is None:
+            count = len(intersect_targets(succ[v]))
+        else:
+            count -= len(intersect_removed(succ[v]))
+        edge_counter[v] = count
+        if count == 0:
+            newly.add(v)
+    return newly
+
+
 def compact_maximum_simulation(
     pattern, graph: CompactGraph
 ) -> Optional[Dict[PNode, Set[int]]]:
@@ -135,17 +169,13 @@ def compact_maximum_simulation(
                 intersect_targets = (sim[u1] | queued_for_u1).intersection
             else:
                 intersect_targets = sim[u1].intersection
-            edge_counter = counters[(u, u1)]
-            newly: Set[int] = set()
-            for v in affected:
-                count = edge_counter.get(v)
-                if count is None:
-                    count = len(intersect_targets(succ[v]))
-                else:
-                    count -= len(intersect_removed(succ[v]))
-                edge_counter[v] = count
-                if count == 0:
-                    newly.add(v)
+            newly = refine_batch(
+                affected,
+                succ,
+                counters[(u, u1)],
+                intersect_targets,
+                intersect_removed,
+            )
             if newly:
                 candidates -= newly
                 if not candidates:

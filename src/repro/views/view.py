@@ -269,7 +269,9 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
 
             return materialize_bounded_view(definition, graph)
         if isinstance(graph, CompactGraph):
-            return _materialize_bounded_compact(definition, graph)
+            return _flatten_if_shared(
+                _materialize_bounded_compact(definition, graph), graph
+            )
         result, per_edge_distances = bounded_match_with_distances(pattern, graph)
         if not result:
             return MaterializedView(
@@ -294,18 +296,36 @@ def materialize(definition: ViewDefinition, graph: DataGraph) -> MaterializedVie
             id_matches = {edge: {} for edge in pattern.edges()}
         compact = CompactExtension(graph, id_matches)
         if not result:
-            return MaterializedView(
-                definition,
-                {edge: set() for edge in pattern.edges()},
-                compact=compact,
+            return _flatten_if_shared(
+                MaterializedView(
+                    definition,
+                    {edge: set() for edge in pattern.edges()},
+                    compact=compact,
+                ),
+                graph,
             )
-        return MaterializedView(definition, result.edge_matches, compact=compact)
+        return _flatten_if_shared(
+            MaterializedView(definition, result.edge_matches, compact=compact),
+            graph,
+        )
     result = _match(pattern, graph)
     if not result:
         return MaterializedView(
             definition, {edge: set() for edge in pattern.edges()}
         )
     return MaterializedView(definition, result.edge_matches)
+
+
+def _flatten_if_shared(view: MaterializedView, graph: CompactGraph):
+    """Upgrade to a flat-buffer extension when the snapshot is shared
+    (pickles as a segment handle; see :mod:`repro.views.flatpack`)."""
+    from repro.graph.flatbuf import SharedCompactGraph
+
+    if not isinstance(graph, SharedCompactGraph):
+        return view
+    from repro.views.flatpack import flatten_view
+
+    return flatten_view(view, graph)
 
 
 def decode_distance_index(
@@ -380,9 +400,12 @@ def bind_extension(extension: MaterializedView, snapshot) -> MaterializedView:
         for v, w in pairs:
             grouped.setdefault(id_of(v), set()).add(id_of(w))
         id_matches[edge] = grouped
-    return MaterializedView(
-        extension.definition,
-        extension.edge_matches,
-        distances=extension.distances,
-        compact=CompactExtension(snapshot, id_matches),
+    return _flatten_if_shared(
+        MaterializedView(
+            extension.definition,
+            extension.edge_matches,
+            distances=extension.distances,
+            compact=CompactExtension(snapshot, id_matches),
+        ),
+        snapshot,
     )

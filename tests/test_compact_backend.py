@@ -20,17 +20,23 @@ import random
 import pytest
 
 from helpers import (
+    build_bounded,
     build_graph,
     build_pattern,
     random_labeled_graph,
     random_pattern,
 )
 from repro.core.containment import contains
-from repro.core.matchjoin import _compact_match_join, match_join
+from repro.core.matchjoin import (
+    _compact_match_join,
+    _flat_match_join,
+    match_join,
+)
 from repro.datasets import generate_views, query_from_views, random_graph
 from repro.engine import QueryEngine
 from repro.graph import CompactGraph, DataGraph, P
-from repro.simulation import dual_match, match, strong_match
+from repro.graph.flatbuf import SharedCompactGraph
+from repro.simulation import bounded_match, dual_match, match, strong_match
 from repro.views.maintenance import IncrementalViewSet
 from repro.views.storage import ViewSet
 from repro.views.view import ViewDefinition
@@ -441,3 +447,118 @@ class TestEngineSnapshot:
         _, views, _ = workload
         engine = QueryEngine(views)
         assert engine.snapshot() is None
+
+
+# ----------------------------------------------------------------------
+# The equivalence suite over the flat shared-memory backend
+# ----------------------------------------------------------------------
+def _freeze(graph, backend):
+    """``backend``: "compact" (plain snapshot) or "flat" (shared)."""
+    if backend == "flat":
+        frozen = graph.freeze(shared=True)
+        assert isinstance(frozen, SharedCompactGraph)
+        return frozen
+    return graph.freeze()
+
+
+FROZEN_BACKENDS = pytest.mark.parametrize("backend", ["compact", "flat"])
+
+
+class TestFlatBackendEquivalence:
+    """The backend-equivalence suite re-run with ``freeze(shared=True)``.
+
+    A :class:`SharedCompactGraph` reuses the plain snapshot's row
+    objects, so in-process evaluation must be bit-identical to the
+    compact backend -- and view suites materialized against it carry
+    :class:`~repro.views.flatpack.FlatExtension` payloads, engaging the
+    flat MatchJoin fixpoint instead of the per-candidate one.
+    """
+
+    @FROZEN_BACKENDS
+    def test_match_and_dual_match_randomized(self, backend):
+        rng = random.Random(51)
+        for _ in range(25):
+            g = random_labeled_graph(rng, rng.randint(2, 30), rng.randint(1, 70))
+            q = random_pattern(rng, rng.randint(2, 5), rng.randint(1, 8))
+            frozen = _freeze(g, backend)
+            assert match(q, g) == match(q, frozen)
+            assert dual_match(q, g) == dual_match(q, frozen)
+
+    @FROZEN_BACKENDS
+    def test_bounded_match_randomized(self, backend):
+        rng = random.Random(53)
+        for _ in range(15):
+            g = random_labeled_graph(rng, rng.randint(3, 25), rng.randint(2, 60))
+            base = random_pattern(rng, rng.randint(2, 4), rng.randint(1, 5))
+            q = build_bounded(
+                {u: base.condition(u) for u in base.nodes()},
+                [(u, w, rng.randint(1, 3)) for u, w in base.edges()],
+            )
+            assert bounded_match(q, g) == bounded_match(q, _freeze(g, backend))
+
+    @FROZEN_BACKENDS
+    def test_matchjoin_equivalence_and_theorem1(self, backend):
+        labels = tuple(f"l{i}" for i in range(6))
+        for seed in range(6):
+            graph = random_graph(180, 450, labels=labels, seed=seed)
+            definitions = list(generate_views(labels, 9, seed=seed))
+            dict_views = ViewSet(definitions)
+            dict_views.materialize(graph)
+            frozen = _freeze(graph, backend)
+            backed_views = ViewSet(definitions)
+            backed_views.materialize(frozen)
+            for qseed in range(2):
+                query = query_from_views(
+                    dict_views, 4, 6, seed=100 * seed + qseed
+                )
+                containment = contains(query, dict_views)
+                via_dict = match_join(query, containment, dict_views)
+                via_backed = match_join(query, containment, backed_views)
+                assert via_dict == via_backed
+                # Theorem 1 on the flat backend too.
+                assert (
+                    via_backed.edge_matches
+                    == match(query, frozen).edge_matches
+                )
+
+    def test_flat_fast_path_engages_on_flat_extensions(self):
+        labels = tuple(f"l{i}" for i in range(6))
+        graph = random_graph(150, 400, labels=labels, seed=31)
+        definitions = list(generate_views(labels, 8, seed=31))
+        shared = graph.freeze(shared=True)
+        flat_views = ViewSet(definitions)
+        flat_views.materialize(shared)
+        query = query_from_views(flat_views, 4, 6, seed=31)
+        containment = contains(query, flat_views)
+        fast = _flat_match_join(query, containment, flat_views.extensions())
+        assert fast is not None
+        assert fast == match_join(query, containment, flat_views)
+        # Plain compact extensions decline the flat path (no row tables)
+        # but keep the per-candidate fast path.
+        compact_views = ViewSet(definitions)
+        compact_views.materialize(graph.copy().freeze())
+        assert (
+            _flat_match_join(query, containment, compact_views.extensions())
+            is None
+        )
+
+    def test_flat_extensions_survive_refresh_chain(self):
+        labels = tuple(f"l{i}" for i in range(5))
+        graph = random_graph(120, 300, labels=labels, seed=33)
+        shared = graph.freeze(shared=True)
+        views = ViewSet(generate_views(labels, 6, seed=33))
+        views.materialize(shared)
+        token = views.snapshot_token
+        # Edge churn refreshes the snapshot in place of a rebuild: ids
+        # stay stable and the flat base segment is retained.
+        nodes = sorted(graph.nodes(), key=repr)
+        source = next(
+            v for v in nodes if not graph.has_edge(v, nodes[-1])
+        )
+        graph.add_edge(source, nodes[-1])
+        refreshed = graph.freeze()
+        assert isinstance(refreshed, SharedCompactGraph)
+        assert refreshed.extends_token == token
+        assert refreshed.flat_store is shared.flat_store
+        for v in nodes:
+            assert refreshed.id_of(v) == shared.id_of(v)

@@ -1,0 +1,392 @@
+"""Flat-buffer shared-memory snapshots: lifecycle, attach, equivalence.
+
+Covers the zero-copy storage core of :mod:`repro.graph.flatbuf` and its
+view-payload counterpart :mod:`repro.views.flatpack`:
+
+* segment lifecycle -- refcounted unlink on the last reference drop,
+  survival across ``refreshed`` chains (one base segment per chain), no
+  leaked ``/dev/shm`` entries after process-pool round trips;
+* the plain-``bytes`` fallback behind ``REPRO_FLAT_BACKEND=bytes``;
+* attach-not-unpickle shipping: a :class:`SharedCompactGraph` or a
+  :class:`FlatExtension` pickles to a segment handle and reconstructs
+  with identical read results, in-process and across a process pool;
+* engine/server integration: ``shared_snapshots`` freezing, ship
+  telemetry in ``ExecutionStats`` and ``QueryEngine.ship_stats()``.
+"""
+
+import gc
+import glob
+import pickle
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from helpers import build_graph, random_labeled_graph
+from repro.core.containment import contains
+from repro.core.matchjoin import match_join
+from repro.datasets import generate_views, query_from_views, random_graph
+from repro.engine import QueryEngine
+from repro.graph import DataGraph
+from repro.graph.flatbuf import (
+    BACKEND_ENV,
+    SEGMENT_PREFIX,
+    FlatStore,
+    SharedCompactGraph,
+    live_segment_names,
+)
+from repro.simulation import match
+from repro.views.flatpack import FlatExtension, FlatMaterializedView
+from repro.views.storage import ViewSet
+
+
+def _shm_entries():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+def _sample_graph(seed=7, nodes=40, edges=120):
+    return random_labeled_graph(random.Random(seed), nodes, edges)
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_unlink_on_last_reference_drop(self):
+        g = _sample_graph()
+        shared = g.freeze(shared=True)
+        assert isinstance(shared, SharedCompactGraph)
+        name = shared.flat_store.segment.name
+        assert name in live_segment_names()
+        del shared
+        g._frozen = None  # drop the freeze cache's reference too
+        gc.collect()
+        assert name not in live_segment_names()
+
+    def test_refresh_chain_shares_base_segment(self):
+        g = _sample_graph(seed=9)
+        first = g.freeze(shared=True)
+        nodes = list(g.nodes())
+        added = []
+        for v in nodes[:3]:
+            w = nodes[-1] if v != nodes[-1] else nodes[0]
+            if not g.has_edge(v, w):
+                g.add_edge(v, w)
+                added.append((v, w))
+        assert added
+        second = g.freeze()
+        assert isinstance(second, SharedCompactGraph)
+        assert second is not first
+        assert second.extends_token == first.snapshot_token
+        # The refresh rides the same segment as a patch overlay.
+        assert second.flat_store is first.flat_store
+        for v, w in added:
+            assert second.has_edge(v, w)
+        # One live segment for the whole chain; dropping every
+        # generation unlinks it.
+        name = first.flat_store.segment.name
+        del first, second
+        g._frozen = None
+        gc.collect()
+        assert name not in live_segment_names()
+
+    def test_share_is_idempotent(self):
+        g = _sample_graph(seed=3)
+        shared = g.freeze(shared=True)
+        assert SharedCompactGraph.share(shared) is shared
+        assert g.freeze(shared=True) is shared
+
+    def test_no_dev_shm_leak_after_suite_of_drops(self):
+        before = set(_shm_entries())
+        for seed in range(3):
+            g = _sample_graph(seed=seed)
+            shared = g.freeze(shared=True)
+            pickle.loads(pickle.dumps(shared))
+            del shared
+            g._frozen = None
+        gc.collect()
+        assert set(_shm_entries()) <= before
+
+
+# ----------------------------------------------------------------------
+# Bytes fallback
+# ----------------------------------------------------------------------
+class TestBytesFallback:
+    def test_bytes_backend_round_trip(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "bytes")
+        g = _sample_graph(seed=5)
+        shared = g.freeze(shared=True)
+        assert shared.flat_store.backend == "bytes"
+        # No named segments exist, so nothing can leak.
+        assert shared.flat_store.segment.name not in live_segment_names()
+        revived = pickle.loads(pickle.dumps(shared))
+        assert set(revived.nodes()) == set(g.nodes())
+        assert set(revived.edges()) == set(g.edges())
+        for v in g.nodes():
+            assert revived.labels(v) == g.labels(v)
+
+    def test_flat_store_tables_identical_across_backends(self, monkeypatch):
+        g = _sample_graph(seed=6)
+        shm_tables = g.freeze(shared=True).flat_table_bytes()
+        g2 = _sample_graph(seed=6)
+        monkeypatch.setenv(BACKEND_ENV, "bytes")
+        bytes_tables = g2.freeze(shared=True).flat_table_bytes()
+        assert shm_tables == bytes_tables
+
+
+# ----------------------------------------------------------------------
+# Attach semantics
+# ----------------------------------------------------------------------
+class TestAttach:
+    def test_snapshot_pickle_is_a_handle(self):
+        g = _sample_graph(seed=8, nodes=300, edges=900)
+        plain = pickle.dumps(g.freeze())
+        shared = pickle.dumps(g.freeze(shared=True))
+        assert len(shared) < len(plain) / 5
+
+    def test_in_process_attach_reuses_store(self):
+        g = _sample_graph(seed=4)
+        shared = g.freeze(shared=True)
+        revived = pickle.loads(pickle.dumps(shared))
+        # Same process: the pickle resolves to the same mapped segment,
+        # not a copy of the buffers.
+        assert revived.flat_store.segment is shared.flat_store.segment
+        assert set(revived.nodes()) == set(shared.nodes())
+        for v in g.nodes():
+            assert revived.successors(v) == shared.successors(v)
+            assert revived.attrs(v) == shared.attrs(v)
+
+    def test_flat_extension_pair_rows_match_edge_matches(self):
+        labels = tuple(f"l{i}" for i in range(4))
+        graph = random_graph(80, 200, labels=labels, seed=1)
+        shared = graph.freeze(shared=True)
+        views = ViewSet(generate_views(labels, 5, seed=1))
+        views.materialize(shared)
+        checked = 0
+        for name in views.names():
+            if not views.is_materialized(name):
+                continue
+            view = views.extension(name)
+            assert isinstance(view, FlatMaterializedView)
+            payload = view.compact
+            assert isinstance(payload, FlatExtension)
+            decode = payload.nodes.__getitem__
+            for edge in payload.edge_order:
+                src_row, tgt_row = payload.pair_rows(edge)
+                pairs = {
+                    (decode(v), decode(w)) for v, w in zip(src_row, tgt_row)
+                }
+                assert pairs == view.edge_matches[edge]
+                checked += 1
+        assert checked
+
+    def test_flat_extension_pickle_round_trip(self):
+        labels = tuple(f"l{i}" for i in range(4))
+        graph = random_graph(60, 150, labels=labels, seed=2)
+        shared = graph.freeze(shared=True)
+        views = ViewSet(generate_views(labels, 5, seed=2))
+        views.materialize(shared)
+        revived = pickle.loads(pickle.dumps(views.extensions()))
+        for name, view in views.extensions().items():
+            twin = revived[name]
+            assert twin.edge_matches == view.edge_matches
+            assert isinstance(twin.compact, FlatExtension)
+            assert twin.compact.token == view.compact.token
+
+
+# ----------------------------------------------------------------------
+# Cross-process round trips (the actual zero-copy path)
+# ----------------------------------------------------------------------
+def _remote_probe(shared):
+    return (
+        sorted(shared.nodes(), key=repr)[:5],
+        shared.num_edges,
+        type(shared).__name__,
+    )
+
+
+def _remote_match(args):
+    query, views_blob = args
+    views = pickle.loads(views_blob)
+    containment = contains(query, views)
+    return match_join(query, containment, views)
+
+
+class TestCrossProcess:
+    def test_worker_attaches_snapshot(self):
+        g = _sample_graph(seed=12, nodes=120, edges=360)
+        shared = g.freeze(shared=True)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            nodes, num_edges, typename = pool.submit(
+                _remote_probe, shared
+            ).result()
+        assert typename == "SharedCompactGraph"
+        assert num_edges == shared.num_edges
+        assert nodes == sorted(shared.nodes(), key=repr)[:5]
+
+    def test_matchjoin_equal_across_process_boundary(self):
+        labels = tuple(f"l{i}" for i in range(5))
+        graph = random_graph(120, 320, labels=labels, seed=13)
+        shared = graph.freeze(shared=True)
+        views = ViewSet(generate_views(labels, 6, seed=13))
+        views.materialize(shared)
+        query = query_from_views(views, 4, 6, seed=13)
+        containment = contains(query, views)
+        local = match_join(query, containment, views)
+        views_blob = pickle.dumps(views)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_remote_match, (query, views_blob)).result()
+        assert remote == local
+        assert remote.edge_matches == match(query, graph).edge_matches
+
+    def test_no_segment_leak_after_pool(self):
+        before = set(_shm_entries())
+        g = _sample_graph(seed=14, nodes=80, edges=240)
+        shared = g.freeze(shared=True)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for future in [
+                pool.submit(_remote_probe, shared) for _ in range(4)
+            ]:
+                future.result()
+        name = shared.flat_store.segment.name
+        del shared
+        g._frozen = None
+        gc.collect()
+        assert name not in live_segment_names()
+        assert set(_shm_entries()) <= before
+
+
+# ----------------------------------------------------------------------
+# Engine + ship telemetry
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    @pytest.fixture
+    def workload(self):
+        labels = tuple(f"l{i}" for i in range(5))
+        graph = random_graph(100, 260, labels=labels, seed=21)
+        views = ViewSet(generate_views(labels, 6, seed=21))
+        queries = [query_from_views(views, 4, 6, seed=s) for s in range(3)]
+        return graph, views, queries
+
+    def test_process_engine_ships_flat_snapshots(self, workload):
+        graph, views, queries = workload
+        engine = QueryEngine(
+            views, graph=graph, executor="process", workers=2
+        )
+        assert isinstance(engine.snapshot(), SharedCompactGraph)
+        results = engine.answer_batch(queries)
+        serial = QueryEngine(
+            ViewSet(list(views)), graph=graph
+        ).answer_batch(queries)
+        assert results == serial
+        shipped = [r.stats for r in results if r.stats.ship_bytes]
+        assert shipped, "at least one result must carry ship telemetry"
+        assert all(s.ship_seconds >= 0.0 for s in shipped)
+        totals = engine.ship_stats()
+        assert totals["batches"] >= 1
+        assert totals["bytes"] >= max(s.ship_bytes for s in shipped)
+
+    def test_serial_engine_ships_nothing(self, workload):
+        graph, views, queries = workload
+        engine = QueryEngine(views, graph=graph)
+        results = engine.answer_batch(queries)
+        assert all(r.stats.ship_bytes == 0 for r in results)
+        assert engine.ship_stats() == {
+            "batches": 0,
+            "bytes": 0,
+            "seconds": 0.0,
+        }
+
+    def test_maintenance_rebind_keeps_views_flat(self, workload):
+        from repro.views.maintenance import IncrementalViewSet
+
+        graph, views, queries = workload
+        definitions = list(views)
+        tracker = IncrementalViewSet(definitions, graph)
+        engine = QueryEngine(
+            ViewSet(definitions),
+            graph=graph,
+            executor="process",
+            workers=2,
+        )
+        engine.attach_maintenance(tracker)
+        before = engine.answer_batch(queries)
+        catalog = engine._views
+        flat_names = [
+            name
+            for name in catalog.names()
+            if catalog.is_materialized(name)
+            and isinstance(catalog.extension(name), FlatMaterializedView)
+        ]
+        assert flat_names
+        nodes = list(tracker.graph.nodes())
+        source = next(
+            v for v in nodes if not tracker.graph.has_edge(v, nodes[0])
+        )
+        tracker.insert_edge(source, nodes[0])
+        # The refresh is lazy: the next read rebinds the catalog.
+        after = engine.answer_batch(queries)
+        for query, result in zip(queries, after):
+            assert (
+                result.edge_matches
+                == match(query, tracker.graph).edge_matches
+            )
+        snapshot = engine.snapshot()
+        assert isinstance(snapshot, SharedCompactGraph)
+        # Extensions were re-stamped/bound without losing flatness.
+        restamped = 0
+        for name in flat_names:
+            if not catalog.is_materialized(name):
+                continue
+            view = catalog.extension(name)
+            if view.compact.token == snapshot.snapshot_token:
+                assert isinstance(view, FlatMaterializedView)
+                restamped += 1
+        assert restamped
+
+    def test_shared_snapshots_opt_out(self, workload):
+        graph, views, queries = workload
+        engine = QueryEngine(
+            views,
+            graph=graph,
+            executor="process",
+            workers=2,
+            shared_snapshots=False,
+        )
+        assert not isinstance(engine.snapshot(), SharedCompactGraph)
+        results = engine.answer_batch(queries)
+        serial = QueryEngine(
+            ViewSet(list(views)), graph=graph
+        ).answer_batch(queries)
+        assert results == serial
+
+
+# ----------------------------------------------------------------------
+# FlatStore unit coverage
+# ----------------------------------------------------------------------
+class TestFlatStore:
+    def test_pack_and_read_back(self):
+        from array import array
+
+        arrays = {"a": array("q", [1, 2, 3]), "b": array("q", [])}
+        blobs = {"meta": pickle.dumps({"k": "v"})}
+        store = FlatStore.pack(arrays=arrays, blobs=blobs)
+        assert list(store.ints("a")) == [1, 2, 3]
+        assert list(store.ints("b")) == []
+        assert store.obj("meta") == {"k": "v"}
+        assert store.obj("meta") is store.obj("meta")  # memoized
+        sizes = store.table_bytes()
+        assert sizes["a"] == 3 * 8
+        assert sizes["b"] == 0
+        assert store.total_bytes >= sum(sizes.values())
+
+    def test_store_survives_pickle(self):
+        from array import array
+
+        store = FlatStore.pack(
+            arrays={"xs": array("q", range(10))},
+            blobs={"tag": pickle.dumps("hello")},
+        )
+        revived = pickle.loads(pickle.dumps(store))
+        assert list(revived.ints("xs")) == list(range(10))
+        assert revived.obj("tag") == "hello"
