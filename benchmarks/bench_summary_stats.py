@@ -4,8 +4,17 @@ containment-analysis costs on the real-dataset stand-ins (the paper's
 "less than 0.5 second" containment checking).
 
 These run as assertions plus benchmarks so the narrative claims stay
-pinned to measured behaviour.
+pinned to measured behaviour.  On module teardown the measured numbers
+are written to ``BENCH_summary.json`` (next to this file, or
+``$REPRO_BENCH_SUMMARY_OUT``) -- one machine-readable artifact per run
+for dashboards and cross-run comparison.
 """
+
+import json
+import os
+import time
+from pathlib import Path
+from time import perf_counter
 
 import pytest
 
@@ -14,6 +23,13 @@ from repro.core.containment import contains
 from repro.core.minimum import minimum_views
 
 DATASETS = ["amazon", "citation", "youtube"]
+
+SUMMARY_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_SUMMARY_OUT",
+        Path(__file__).parent / "BENCH_summary.json",
+    )
+)
 
 
 @pytest.fixture(scope="module")
@@ -30,25 +46,45 @@ def prepared(scale):
     return out
 
 
+@pytest.fixture(scope="module")
+def summary(scale):
+    """Accumulates measured values; written out after the module runs."""
+    data = {
+        "version": 1,
+        "scale": scale,
+        "datasets": {name: {} for name in DATASETS},
+    }
+    yield data
+    data["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    SUMMARY_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.mark.parametrize("name", DATASETS)
-def test_summary_containment_cost(benchmark, prepared, name):
+def test_summary_containment_cost(benchmark, prepared, summary, name):
     """Containment analysis stays far below the paper's 0.5s budget."""
     graph, views, query = prepared[name]
+    started = perf_counter()
+    contains(query, views)
+    summary["datasets"][name]["containment_seconds"] = (
+        perf_counter() - started
+    )
     result = benchmark(contains, query, views)
     assert result.holds
 
 
 @pytest.mark.parametrize("name", DATASETS)
-def test_summary_views_used(benchmark, prepared, name):
+def test_summary_views_used(benchmark, prepared, summary, name):
     """Minimum selection uses a handful of views (paper: 3-6)."""
     graph, views, query = prepared[name]
     result = benchmark(minimum_views, query, views)
+    used = len(result.views_used())
+    summary["datasets"][name]["views_used"] = used
     assert result.holds
-    assert 1 <= len(result.views_used()) <= 8
+    assert 1 <= used <= 8
 
 
 @pytest.mark.parametrize("name", DATASETS)
-def test_summary_extension_fraction(benchmark, prepared, name):
+def test_summary_extension_fraction(benchmark, prepared, summary, name):
     """Materialized extensions are a small fraction of |G|."""
     graph, views, query = prepared[name]
 
@@ -56,4 +92,10 @@ def test_summary_extension_fraction(benchmark, prepared, name):
         return views.extension_fraction(graph)
 
     value = benchmark(fraction)
+    summary["datasets"][name].update(
+        extension_fraction=value,
+        graph_nodes=graph.num_nodes,
+        graph_edges=graph.num_edges,
+        views=views.cardinality,
+    )
     assert 0 < value < 0.6

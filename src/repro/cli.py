@@ -19,7 +19,10 @@ Subcommands::
     python -m repro serve     --graph graph.json --views views.json \
                               [--host 127.0.0.1] [--port 7677] \
                               [--strategy minimal] [--budget N] \
-                              [--max-inflight 8] [--max-queue 64]
+                              [--max-inflight 8] [--max-queue 64] \
+                              [--metrics-port 9090] [--log-level info]
+    python -m repro trace     --query query.json --views views.json \
+                              --graph graph.json [--format json]
     python -m repro stats     --graph graph.json [--views views.json] \
                               [--shards 4] [--partitioner hash] \
                               [--format json]
@@ -43,8 +46,14 @@ checkpoint against a from-scratch rematerialization); ``serve`` runs
 the long-running asyncio service (:mod:`repro.serve`): concurrent
 readers over immutable epoch snapshots, epoch swap on maintenance,
 request coalescing and admission control, speaking newline-delimited
-JSON over TCP (``{"op": "query"|"update"|"stats"|"ping", ...}``, see
-:mod:`repro.serve.protocol`); ``stats`` prints
+JSON over TCP (``{"op": "query"|"update"|"stats"|"metrics"|"slowlog"|
+"traces"|"plans"|"ping", ...}``, see :mod:`repro.serve.protocol`),
+optionally exposing a Prometheus-style ``/metrics`` endpoint
+(``--metrics-port``) and structured stderr logging (``--log-level``);
+``trace`` answers one query through an in-process server and prints the
+request's span tree -- plan, cache lookup, evaluation, per-task kernel
+work -- plus the planner's plan-choice record (``--format json`` emits
+both machine-readably); ``stats`` prints
 size accounting -- with ``--format json`` it emits a machine-readable report
 including the label histogram and the snapshot / label-index statistics
 of the compact graph backend, plus a ``partition`` section when
@@ -383,9 +392,11 @@ def _cmd_maintain(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.serve import QueryServer, serve_tcp
+    from repro.obs.logsetup import install as install_logging
+    from repro.serve import MetricsServer, QueryServer, serve_tcp
     from repro.views.maintenance import IncrementalViewSet
 
+    install_logging(args.log_level)
     try:
         graph = read_graph(args.graph)
         views = read_viewset(args.views)
@@ -408,6 +419,19 @@ def _cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
     )
+    metrics = None
+    if args.metrics_port is not None:
+        metrics = MetricsServer(
+            engine.registry.render_prometheus,
+            stats=server.stats,
+            host=args.host,
+            port=args.metrics_port,
+        ).start()
+        print(
+            f"metrics on http://{metrics.address[0]}:{metrics.address[1]}"
+            "/metrics",
+            flush=True,
+        )
 
     async def main() -> None:
         async with server:
@@ -416,7 +440,8 @@ def _cmd_serve(args) -> int:
             print(
                 f"serving {graph.num_nodes} nodes / {graph.num_edges} edges, "
                 f"{views.cardinality} views on {host}:{port} "
-                f"(JSON lines; ops: query, update, stats, ping)",
+                f"(JSON lines; ops: query, update, stats, metrics, "
+                f"slowlog, traces, plans, ping)",
                 flush=True,
             )
             async with tcp:
@@ -426,6 +451,68 @@ def _cmd_serve(args) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        if metrics is not None:
+            metrics.stop()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Answer one query through a local :class:`QueryServer` and print
+    the request's span tree plus its plan-choice record."""
+    import asyncio
+
+    from repro.obs.trace import format_span_tree
+    from repro.serve import QueryServer
+
+    try:
+        query = read_pattern(args.query)
+        views = read_viewset(args.views)
+        graph = read_graph(args.graph)
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    engine = QueryEngine(views, graph=graph, selection=args.strategy)
+    server = QueryServer(engine)
+
+    async def run():
+        async with server:
+            return await server.query(query)
+
+    try:
+        answer = asyncio.run(run())
+    except NotContainedError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    traces = server.traces.recent(1)
+    plans = engine.plan_log(1)
+    if args.format == "json":
+        payload = {
+            "result_pairs": answer.result.result_size,
+            "epoch": answer.epoch,
+            "trace": traces[0] if traces else None,
+            "plan": plans[0].to_dict() if plans else None,
+        }
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+    record = plans[0] if plans else None
+    if record is not None:
+        print(
+            f"plan: {record.strategy} (selection={record.selection}, "
+            f"snapshot={record.snapshot_kind}"
+            + (f", fallback={record.reason}" if record.reason else "")
+            + ")"
+        )
+        if record.views_used:
+            sizes = ", ".join(
+                f"{name}({record.view_sizes.get(name, '?')})"
+                for name in record.views_used
+            )
+            print(f"views: {sizes}")
+    print(f"result: {answer.result.result_size} pairs on epoch {answer.epoch}")
+    if traces:
+        print(format_span_tree(traces[0]))
     return 0
 
 
@@ -644,7 +731,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admitted requests allowed to wait; beyond "
                         "max-inflight + max-queue, requests are shed "
                         "with a retriable error")
+    p.add_argument("--metrics-port", type=int,
+                   help="also expose a Prometheus-style /metrics "
+                        "endpoint on this port (0 picks one)")
+    p.add_argument("--log-level",
+                   choices=("debug", "info", "warning", "error"),
+                   default="info",
+                   help="structured stderr logging level")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="answer one query through the server and print its span tree",
+    )
+    p.add_argument("--query", required=True)
+    p.add_argument("--views", required=True)
+    p.add_argument("--graph", required=True)
+    p.add_argument("--strategy", choices=("all", "minimal", "minimum"),
+                   default="minimal")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("stats", help="graph / view-cache statistics")
     p.add_argument("--graph", required=True)

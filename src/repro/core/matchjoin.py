@@ -29,6 +29,7 @@ Total cost of the optimized engine is ``O(|Qs||V(G)| + |V(G)|^2)``
 from __future__ import annotations
 
 import heapq
+import logging
 from collections import deque
 from itertools import repeat
 from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple, Union
@@ -37,10 +38,14 @@ from repro.core.containment import Containment
 from repro.errors import NotContainedError, NotMaterializedError, UnsupportedPatternError
 from repro.graph.pattern import Pattern
 from repro.graph.scc import node_ranks
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.simulation.result import MatchResult
 from repro.views.flatpack import FlatExtension
 from repro.views.storage import ViewSet
 from repro.views.view import MaterializedView
+
+log = logging.getLogger(__name__)
 
 PNode = Hashable
 PEdge = Tuple[PNode, PNode]
@@ -300,11 +305,15 @@ def _flat_match_join(
     # set-op (subset test, comprehension over a flat slice, C-level
     # intersection) -- there are no per-candidate unions or counter
     # probes, which is what makes large extensions cheap on this path.
+    # Sweep counts aggregate in a local int and hit the registry once
+    # per call (the overhead-budget discipline for hot kernels).
+    sweeps = 0
     dirty = deque(edges)
     queued: Set[PEdge] = set(edges)
     while dirty:
         edge = dirty.popleft()
         queued.discard(edge)
+        sweeps += 1
         u, u_prime = edge
         live_targets = valid[u_prime]
         if live_targets >= tgt_keys[edge]:
@@ -326,12 +335,18 @@ def _flat_match_join(
         if len(survivors) == len(candidates):
             continue
         if not survivors:
+            get_registry().counter(
+                "repro_matchjoin_sweeps_total", path="flat"
+            ).inc(sweeps)
             return MatchResult.empty()
         valid[u] = survivors
         for affected in in_edges[u]:
             if affected not in queued:
                 dirty.append(affected)
                 queued.add(affected)
+    get_registry().counter(
+        "repro_matchjoin_sweeps_total", path="flat"
+    ).inc(sweeps)
 
     # --- package: batch unions for untouched edges ---------------------
     decode = nodes.__getitem__
@@ -516,6 +531,17 @@ def merge_edge_indexes(refs, extensions: Extensions):
     return source_index, target_index, nodes, None
 
 
+def _meter_fixpoint(path: str, batches: int, removed: int) -> None:
+    """One registry write per fixpoint run (see the overhead budget in
+    :mod:`repro.obs.metrics`)."""
+    reg = get_registry()
+    reg.counter("repro_matchjoin_batches_total", path=path).inc(batches)
+    reg.counter("repro_matchjoin_removals_total", path=path).inc(removed)
+    current = trace.current_span()
+    if current is not None:
+        current.set(fixpoint_batches=batches, fixpoint_removals=removed)
+
+
 def compact_candidate_fixpoint(
     query: Pattern,
     by_source: Dict[PEdge, Dict[int, Set[int]]],
@@ -573,9 +599,15 @@ def compact_candidate_fixpoint(
             pending[u] = doomed
 
     # --- batched propagation (same scheme as the compact simulation) --
+    # Batch/removal counts aggregate locally; _meter_fixpoint records
+    # them once on every exit path.
+    batches = 0
+    removed_total = 0
     dead: Dict[PNode, Set[int]] = {u: set() for u in query.nodes()}
     while pending:
         u1, removed = pending.popitem()
+        batches += 1
+        removed_total += len(removed)
         dead[u1] |= removed
         for edge in in_edges[u1]:
             u0 = edge[0]
@@ -617,12 +649,14 @@ def compact_candidate_fixpoint(
             if newly:
                 candidates -= newly
                 if not candidates:
+                    _meter_fixpoint("compact", batches, removed_total)
                     return MatchResult.empty()
                 queued = pending.get(u0)
                 if queued is None:
                     pending[u0] = newly
                 else:
                     queued |= newly
+    _meter_fixpoint("compact", batches, removed_total)
 
     # --- package: restrict the initial sets to the valid candidates ----
     decode = nodes.__getitem__
@@ -669,9 +703,11 @@ def _fixpoint_naive(
     current: Dict[PEdge, Set[NodePair]] = {e: set(sets[e]) for e in edges}
     if any(not current[e] for e in edges):
         return None
+    passes = 0
     changed = True
     while changed:
         changed = False
+        passes += 1
         # Rebuild the source index from scratch every pass: no worklist,
         # no rank order -- each Se is revisited until a quiet pass.
         sources: Dict[PEdge, Set[Node]] = {
@@ -691,8 +727,14 @@ def _fixpoint_naive(
             if doomed:
                 current[edge] -= set(doomed)
                 if not current[edge]:
+                    get_registry().counter(
+                        "repro_matchjoin_sweeps_total", path="naive"
+                    ).inc(passes)
                     return None
                 changed = True
+    get_registry().counter(
+        "repro_matchjoin_sweeps_total", path="naive"
+    ).inc(passes)
     by_source: Dict[PEdge, Dict[Node, Set[Node]]] = {}
     for edge in edges:
         index: Dict[Node, Set[Node]] = {}
@@ -764,12 +806,26 @@ def match_join(
     """
     resolved = _extensions_of(extensions)
     _check_inputs(query, containment, resolved)
+    reg = get_registry()
     if optimized:
-        fast = _flat_match_join(query, containment, resolved)
-        if fast is None:
-            fast = _compact_match_join(query, containment, resolved)
-        if fast is not None:
-            return fast
+        with trace.span("matchjoin", edges=len(query.edges())) as mj_span:
+            fast = _flat_match_join(query, containment, resolved)
+            path = "flat"
+            if fast is None:
+                fast = _compact_match_join(query, containment, resolved)
+                path = "compact"
+            if fast is not None:
+                reg.counter("repro_matchjoin_total", path=path).inc()
+                if mj_span is not None:
+                    mj_span.set(path=path)
+                return fast
+            if mj_span is not None:
+                mj_span.set(path="dict")
+            reg.counter("repro_matchjoin_total", path="dict").inc()
+            initial = merge_initial_sets(query, containment, resolved)
+            result = run_fixpoint(query, initial, optimized=True)
+            return result if result is not None else MatchResult.empty()
+    reg.counter("repro_matchjoin_total", path="naive").inc()
     initial = merge_initial_sets(query, containment, resolved)
-    result = run_fixpoint(query, initial, optimized=optimized)
+    result = run_fixpoint(query, initial, optimized=False)
     return result if result is not None else MatchResult.empty()

@@ -67,10 +67,12 @@ machinery on exactly this contract via :meth:`checkpoint`.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.answer import _STRATEGIES
 from repro.engine.cache import LRUCache
@@ -85,16 +87,31 @@ from repro.engine.plan import (
     REASON_ISOLATED_NODES,
     REASON_NOT_CONTAINED,
     ExecutionStats,
+    PlanChoiceRecord,
     QueryPlan,
+    fingerprint_digest,
     pattern_key,
 )
 from repro.errors import NotContainedError, NotMaterializedError
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
+from repro.obs import trace
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
 from repro.simulation.result import MatchResult
 from repro.views.maintenance import Delta, DeltaReport, IncrementalViewSet
 from repro.views.storage import ViewSet
 from repro.views.view import MaterializedView, bind_extension
+
+log = logging.getLogger(__name__)
+
+#: Plan-choice records retained per engine (newest win; ROADMAP item 3
+#: consumes these, and the serving protocol exposes them).
+PLAN_LOG_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -183,6 +200,7 @@ class QueryEngine:
         shards: Optional[int] = None,
         partitioner: str = "hash",
         shared_snapshots: Optional[bool] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if selection not in _STRATEGIES:
             raise ValueError(
@@ -218,6 +236,30 @@ class QueryEngine:
         )
         # Cumulative process-pool shipping cost (see ship_stats()).
         self._ship_totals = {"batches": 0, "bytes": 0, "seconds": 0.0}
+        # Observability: injectable per-engine registry (defaults to the
+        # process-global one) and a bounded plan-choice log.  Instrument
+        # handles touched per delivered answer are bound once here --
+        # the registry lookup (label normalization + dict + lock) is
+        # what the per-query overhead budget cannot afford.
+        self._registry = registry if registry is not None else get_registry()
+        reg = self._registry
+        self._m_queries = {
+            MATCHJOIN: reg.counter(
+                "repro_engine_queries_total", strategy=MATCHJOIN
+            ),
+            DIRECT: reg.counter(
+                "repro_engine_queries_total", strategy=DIRECT
+            ),
+        }
+        self._m_fallbacks: Dict[str, object] = {}
+        self._m_cache_hits = reg.counter("repro_engine_answer_cache_hits_total")
+        self._m_cache_misses = reg.counter(
+            "repro_engine_answer_cache_misses_total"
+        )
+        self._m_query_seconds = reg.histogram(
+            "repro_engine_query_seconds", DURATION_BUCKETS
+        )
+        self._plan_log: Deque[PlanChoiceRecord] = deque(maxlen=PLAN_LOG_CAPACITY)
         self._containment_cache = LRUCache(containment_cache_size)
         self._answer_cache = LRUCache(answer_cache_size)
         self._maintenance: Optional[IncrementalViewSet] = None
@@ -253,6 +295,39 @@ class QueryEngine:
     def maintenance(self) -> Optional[IncrementalViewSet]:
         """The attached maintenance tracker (``None`` when detached)."""
         return self._maintenance
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this engine reports into."""
+        return self._registry
+
+    def plan_log(self, limit: Optional[int] = None) -> List[PlanChoiceRecord]:
+        """The most recent plan-choice records, newest first.
+
+        One record per delivered answer (cache hits included), capped at
+        :data:`PLAN_LOG_CAPACITY`.  This is the telemetry stream ROADMAP
+        item 3's cost-based planner trains on.
+        """
+        with self._lock:
+            records = list(self._plan_log)
+        records.reverse()
+        return records[:limit] if limit is not None else records
+
+    def _snapshot_kind_locked(self) -> str:
+        """Which snapshot backend evaluation runs against right now.
+
+        Matched by type name to avoid importing the shard/flat-buffer
+        modules (and their segment machinery) just to label telemetry.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            return "dict" if self._graph is not None else "none"
+        kind = type(snapshot).__name__
+        return {
+            "ShardedGraph": "sharded",
+            "SharedCompactGraph": "shared",
+            "CompactGraph": "compact",
+        }.get(kind, kind.lower())
 
     def snapshot(self):
         """The engine's frozen view of ``G`` (``None`` without a graph).
@@ -547,8 +622,17 @@ class QueryEngine:
         is memoized per (query fingerprint, selection, catalog
         version); repeated shapes skip straight to strategy choice.
         """
-        with self._lock:
-            return self._plan_locked(query, selection)
+        with trace.span("plan") as plan_span:
+            with self._lock:
+                plan = self._plan_locked(query, selection)
+            if plan_span is not None:
+                plan_span.set(
+                    strategy=plan.strategy,
+                    selection=plan.selection,
+                    containment_cached=plan.containment_cached,
+                    **({"reason": plan.reason} if plan.reason else {}),
+                )
+            return plan
 
     def _plan_locked(
         self, query: Pattern, selection: Optional[str] = None
@@ -617,7 +701,10 @@ class QueryEngine:
             self._refresh_if_dirty()
             if plan.cache_key[2] != self._views.definitions_version:
                 plan = self._plan_locked(plan.query, plan.selection)
-            hit = self._answer_cache.get(self._current_key(plan))
+            with trace.span("cache.lookup") as cache_span:
+                hit = self._answer_cache.get(self._current_key(plan))
+                if cache_span is not None:
+                    cache_span.set(hit=hit is not None)
             if hit is not None:
                 return self._deliver(hit, plan, elapsed=0.0, cache_hit=True)
             spec = self._spec_for(plan)
@@ -631,9 +718,10 @@ class QueryEngine:
             # only a direct-evaluation spec is worth the freeze cost.
             graph = self._snapshot_locked() if spec.kind == DIRECT else None
             extensions = self._views.extensions()
-        [(_, result, elapsed, _)], _ = run_specs(
-            [(0, spec)], extensions, graph, executor="serial"
-        )
+        with trace.span("evaluate", strategy=plan.strategy, executor="serial"):
+            [(_, result, elapsed, _, _)], _ = run_specs(
+                [(0, spec)], extensions, graph, executor="serial"
+            )
         with self._lock:
             self._answer_cache.put(key, result)
         return self._deliver(result, plan, elapsed=elapsed, cache_hit=False)
@@ -684,21 +772,27 @@ class QueryEngine:
             extensions = self._views.extensions()
 
         if specs:
-            completed, ship = run_specs(
-                specs,
-                extensions,
-                graph,
-                executor=executor,
-                workers=workers,
-            )
+            with trace.span(
+                "evaluate.batch", tasks=len(specs), executor=executor
+            ):
+                completed, ship = run_specs(
+                    specs,
+                    extensions,
+                    graph,
+                    executor=executor,
+                    workers=workers,
+                )
             with self._lock:
-                for index, result, _, _ in completed:
+                for index, result, _, _, _ in completed:
                     self._answer_cache.put(keys[index], result)
                 if ship.bytes:
                     self._ship_totals["batches"] += 1
                     self._ship_totals["bytes"] += ship.bytes
                     self._ship_totals["seconds"] += ship.seconds
-            for index, result, elapsed, pid in completed:
+                    self._registry.histogram(
+                        "repro_engine_ship_bytes", SIZE_BUCKETS
+                    ).observe(ship.bytes)
+            for index, result, elapsed, pid, _ in completed:
                 plan = plans[index]
                 for twin in pending[plan.cache_key]:
                     results[twin] = self._deliver(
@@ -752,6 +846,7 @@ class QueryEngine:
                 needed=(),
                 bounded=plan.bounded,
                 optimized=self._optimized,
+                trace_id=trace.current_span_id(),
             )
         missing = [
             name for name in plan.views_used
@@ -789,6 +884,7 @@ class QueryEngine:
             needed=plan.views_used,
             bounded=plan.bounded,
             optimized=self._optimized,
+            trace_id=trace.current_span_id(),
         )
 
     def _deliver(
@@ -801,7 +897,8 @@ class QueryEngine:
         pid: Optional[int] = None,
         ship=None,
     ) -> MatchResult:
-        """Wrap a (possibly shared, cached) result with fresh stats."""
+        """Wrap a (possibly shared, cached) result with fresh stats,
+        appending the plan-choice record and metering the registry."""
         stats = ExecutionStats(
             strategy=plan.strategy,
             selection=plan.selection,
@@ -814,7 +911,72 @@ class QueryEngine:
             ship_bytes=ship.bytes if ship is not None else 0,
             ship_seconds=ship.seconds if ship is not None else 0.0,
         )
+        self.record_plan_choice(
+            plan, elapsed=elapsed, cache_hit=cache_hit, executor=executor
+        )
         return MatchResult(result.node_matches, result.edge_matches, stats=stats)
+
+    def record_plan_choice(
+        self,
+        plan: QueryPlan,
+        *,
+        elapsed: float,
+        cache_hit: bool,
+        executor: str = "serial",
+    ) -> PlanChoiceRecord:
+        """Append a plan-choice record for ``plan`` and meter the
+        registry.  ``_deliver`` calls this for every engine-path
+        answer; the serving layer calls it directly because it
+        evaluates specs itself (against pinned epochs) rather than
+        through :meth:`execute`."""
+        with self._lock:
+            record = PlanChoiceRecord(
+                fingerprint=fingerprint_digest(plan.cache_key[0]),
+                strategy=plan.strategy,
+                selection=plan.selection,
+                reason=plan.reason,
+                views_used=plan.views_used,
+                view_sizes={
+                    name: self._views.extension(name).size
+                    for name in plan.views_used
+                    if self._views.is_materialized(name)
+                },
+                bounded=plan.bounded,
+                containment_cached=plan.containment_cached,
+                cache_hit=cache_hit,
+                snapshot_kind=self._snapshot_kind_locked(),
+                executor=executor,
+                elapsed=elapsed,
+            )
+            self._plan_log.append(record)
+        counter = self._m_queries.get(plan.strategy)
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_engine_queries_total", strategy=plan.strategy
+            )
+            self._m_queries[plan.strategy] = counter
+        counter.inc()
+        if plan.reason is not None:
+            fallback = self._m_fallbacks.get(plan.reason)
+            if fallback is None:
+                fallback = self._registry.counter(
+                    "repro_engine_fallbacks_total", reason=plan.reason
+                )
+                self._m_fallbacks[plan.reason] = fallback
+            fallback.inc()
+        if cache_hit:
+            self._m_cache_hits.inc()
+        else:
+            self._m_cache_misses.inc()
+            self._m_query_seconds.observe(elapsed)
+        current = trace.current_span()
+        if current is not None:
+            current.set(
+                strategy=plan.strategy,
+                cache_hit=cache_hit,
+                snapshot_kind=record.snapshot_kind,
+            )
+        return record
 
     def __repr__(self) -> str:
         sharding = (

@@ -18,6 +18,7 @@ construction and only wall time differs.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -30,9 +31,13 @@ from repro.core.containment import Containment
 from repro.core.matchjoin import match_join
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
+from repro.obs import trace
+from repro.obs.trace import SpanRecord
 from repro.simulation import bounded_match, match
 from repro.simulation.result import MatchResult
 from repro.views.view import MaterializedView
+
+log = logging.getLogger(__name__)
 
 Extensions = Mapping[str, MaterializedView]
 
@@ -57,6 +62,9 @@ class EvaluationSpec:
     needed: Tuple[str, ...]
     bounded: bool
     optimized: bool = True
+    #: Coordinator span id to report worker-side spans under (traced
+    #: requests only; ``None`` keeps untraced evaluation span-free).
+    trace_id: Optional[str] = None
 
 
 def evaluate_spec(
@@ -129,16 +137,58 @@ def _worker_init(blob: bytes) -> None:
     _WORKER_PAYLOAD["graph"] = graph
 
 
-def _worker_run(task: Tuple[int, EvaluationSpec]) -> Tuple[int, MatchResult, float, int]:
-    """Evaluate one (index, spec) task; returns timing and worker pid."""
+TaskResult = Tuple[int, MatchResult, float, int, Optional[SpanRecord]]
+
+
+def _worker_run(task: Tuple[int, EvaluationSpec]) -> TaskResult:
+    """Evaluate one (index, spec) task; returns timing, worker pid and
+    -- for traced requests -- the worker-side span record to re-attach
+    under the coordinator span named by ``spec.trace_id``."""
     index, spec = task
+    if spec.trace_id is None:
+        started = perf_counter()
+        result = evaluate_spec(
+            spec,
+            _WORKER_PAYLOAD.get("extensions", {}),  # type: ignore[arg-type]
+            _WORKER_PAYLOAD.get("graph"),  # type: ignore[arg-type]
+        )
+        return index, result, perf_counter() - started, os.getpid(), None
     started = perf_counter()
-    result = evaluate_spec(
-        spec,
-        _WORKER_PAYLOAD.get("extensions", {}),  # type: ignore[arg-type]
-        _WORKER_PAYLOAD.get("graph"),  # type: ignore[arg-type]
-    )
-    return index, result, perf_counter() - started, os.getpid()
+    with trace.remote_span(
+        "evaluate.task", spec.trace_id, index=index, kind=spec.kind, pid=os.getpid()
+    ) as worker_span:
+        result = evaluate_spec(
+            spec,
+            _WORKER_PAYLOAD.get("extensions", {}),  # type: ignore[arg-type]
+            _WORKER_PAYLOAD.get("graph"),  # type: ignore[arg-type]
+        )
+    record = worker_span.to_record(spec.trace_id)
+    return index, result, perf_counter() - started, os.getpid(), record
+
+
+def _adopt_records(results: Sequence[TaskResult]) -> None:
+    """Re-attach worker-shipped span records under their coordinator
+    parents (matched by the id threaded through the spec; a record whose
+    parent is no longer on the active span chain is dropped rather than
+    mis-attributed)."""
+    records = [record for *_, record in results if record is not None]
+    if not records:
+        return
+    by_id: Dict[str, trace.Span] = {}
+    node = trace.current_span()
+    while node is not None:
+        by_id[node.span_id] = node
+        node = node.parent
+    for record in records:
+        target = by_id.get(record.parent_id or "")
+        if target is not None:
+            target.adopt(record)
+        else:
+            log.debug(
+                "dropping span record %r: parent %s not on active chain",
+                record.name,
+                record.parent_id,
+            )
 
 
 def run_specs(
@@ -147,13 +197,16 @@ def run_specs(
     graph: Optional[DataGraph],
     executor: str = "serial",
     workers: Optional[int] = None,
-) -> Tuple[List[Tuple[int, MatchResult, float, int]], ShipStats]:
+) -> Tuple[List[TaskResult], ShipStats]:
     """Evaluate ``(index, spec)`` tasks.
 
     Returns ``(results, ship)`` where results are
-    ``(index, result, elapsed seconds, pid)`` tuples (in completion
-    order for pools, submission order when serial) and ``ship`` is the
-    batch's :class:`ShipStats` (zeros unless a process pool ran).
+    ``(index, result, elapsed seconds, pid, span record)`` tuples (in
+    completion order for pools, submission order when serial; the span
+    record is ``None`` except for traced process-pool tasks, whose
+    worker-side records are also adopted under the live coordinator
+    span before returning) and ``ship`` is the batch's
+    :class:`ShipStats` (zeros unless a process pool ran).
 
     ``executor`` is one of :data:`EXECUTORS`; pools degrade gracefully
     to serial execution when there is at most one task or one worker.
@@ -165,21 +218,27 @@ def run_specs(
     max_workers = workers if workers is not None else (os.cpu_count() or 1)
     if executor == "serial" or max_workers <= 1 or len(tasks) <= 1:
         pid = os.getpid()
-        out: List[Tuple[int, MatchResult, float, int]] = []
+        out: List[TaskResult] = []
         for index, spec in tasks:
             started = perf_counter()
-            result = evaluate_spec(spec, extensions, graph)
-            out.append((index, result, perf_counter() - started, pid))
+            with trace.span("evaluate.task", index=index, kind=spec.kind):
+                result = evaluate_spec(spec, extensions, graph)
+            out.append((index, result, perf_counter() - started, pid, None))
         return out, ShipStats()
     max_workers = min(max_workers, len(tasks))
     if executor == "thread":
         pid = os.getpid()
+        # Thread pools do not inherit contextvars: capture the caller's
+        # span here and re-enter it inside each worker thread.
+        parent = trace.current_span()
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            def run(task: Tuple[int, EvaluationSpec]):
+            def run(task: Tuple[int, EvaluationSpec]) -> TaskResult:
                 index, spec = task
                 started = perf_counter()
-                result = evaluate_spec(spec, extensions, graph)
-                return index, result, perf_counter() - started, pid
+                with trace.attach(parent):
+                    with trace.span("evaluate.task", index=index, kind=spec.kind):
+                        result = evaluate_spec(spec, extensions, graph)
+                return index, result, perf_counter() - started, pid, None
 
             return list(pool.map(run, tasks)), ShipStats()
     # Process pool: ship only the extensions the batch actually needs,
@@ -195,4 +254,6 @@ def run_specs(
         initializer=_worker_init,
         initargs=(blob,),
     ) as pool:
-        return list(pool.map(_worker_run, tasks)), ship
+        results = list(pool.map(_worker_run, tasks))
+    _adopt_records(results)
+    return results, ship

@@ -22,8 +22,10 @@ on every graph and view cache.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Hashable, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.containment import Containment
 from repro.graph.pattern import BoundedPattern, Pattern
@@ -145,6 +147,74 @@ class QueryPlan:
     def __repr__(self) -> str:
         views = f", views={list(self.views_used)}" if self.uses_views else ""
         return f"QueryPlan({self.strategy!r}, selection={self.selection!r}{views})"
+
+
+@lru_cache(maxsize=1024)
+def fingerprint_digest(key: PatternKey) -> str:
+    """A short stable digest of a pattern fingerprint.
+
+    ``hash()`` is salted per process, so correlation across runs (and
+    across the plan log, traces, and the serving protocol) uses a
+    content digest instead.  Memoized: the digest is recomputed per
+    answered query (the plan-choice record carries it), and a serving
+    workload answers the same fingerprints over and over.
+    """
+    return hashlib.sha1(repr(key).encode()).hexdigest()[:12]
+
+
+#: Version of the plan-choice record schema (ROADMAP item 3 trains on
+#: these records; breaking layout changes bump this).
+PLAN_RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanChoiceRecord:
+    """One planner decision plus the measured inputs it was made with.
+
+    This is the structured telemetry ROADMAP item 3 ("cost-based
+    adaptive planner ... recording plan-choice telemetry") consumes:
+    what the planner chose (``strategy``/``selection``/``views_used``,
+    the fallback ``reason``), what it could observe (``view_sizes`` --
+    the per-view extension sizes a cost model weighs, ``snapshot_kind``
+    -- which backend evaluated), and what it cost (``elapsed``,
+    ``cache_hit``/``containment_cached``).  Emitted once per delivered
+    answer by :class:`~repro.engine.engine.QueryEngine` into its
+    bounded plan log, mirrored as registry counters.
+
+    The record agrees with :meth:`QueryPlan.explain` by construction:
+    both read the same plan fields.
+    """
+
+    fingerprint: str
+    strategy: str
+    selection: str
+    reason: Optional[str]
+    views_used: Tuple[str, ...]
+    view_sizes: Dict[str, int]
+    bounded: bool
+    containment_cached: bool
+    cache_hit: bool
+    snapshot_kind: str
+    executor: str
+    elapsed: float
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (the plan log and protocol surface this)."""
+        return {
+            "version": PLAN_RECORD_VERSION,
+            "fingerprint": self.fingerprint,
+            "strategy": self.strategy,
+            "selection": self.selection,
+            "reason": self.reason,
+            "views_used": list(self.views_used),
+            "view_sizes": dict(self.view_sizes),
+            "bounded": self.bounded,
+            "containment_cached": self.containment_cached,
+            "cache_hit": self.cache_hit,
+            "snapshot_kind": self.snapshot_kind,
+            "executor": self.executor,
+            "elapsed_ms": self.elapsed * 1e3,
+        }
 
 
 @dataclass

@@ -48,6 +48,7 @@ assert clean teardown.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import secrets
@@ -57,6 +58,8 @@ from array import array
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.graph.compact import CompactGraph, Node
+
+log = logging.getLogger(__name__)
 
 try:  # pragma: no cover - platform probe
     from multiprocessing import resource_tracker, shared_memory
@@ -139,6 +142,10 @@ class Segment:
                 _owned[segment.name] = weakref.ref(segment)
         else:
             segment._bytes = bytearray(nbytes)
+            log.debug(
+                "shared memory unavailable/disabled: %d-byte segment "
+                "falls back to in-process bytes", nbytes,
+            )
         return segment
 
     @classmethod

@@ -1,0 +1,67 @@
+"""Unified observability: metrics registry, trace spans, logging setup.
+
+Three cooperating pieces (each importable on its own):
+
+* :mod:`repro.obs.metrics` -- counters / gauges / log-scale-bucket
+  histograms in a :class:`MetricsRegistry`; a process-global default
+  for free-function kernels plus injectable per-engine registries, and
+  a no-op mode for zero-cost disablement;
+* :mod:`repro.obs.trace` -- ``span()`` context managers with
+  contextvars nesting, explicit propagation across thread pools
+  (:func:`attach`) and process pools (:func:`remote_span` +
+  :class:`SpanRecord`), a :class:`TraceCollector` ring buffer and
+  slow-query log;
+* :mod:`repro.obs.logsetup` -- stdlib-logging policy: ``repro.*``
+  module loggers everywhere, structured formatter installed only by
+  applications (``repro serve --log-level``).
+
+The engine's plan-choice records (:class:`repro.engine.plan.
+PlanChoiceRecord`) round out the layer: per-query strategy decisions
+with the measured inputs ROADMAP item 3's cost-based planner trains on.
+"""
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    log_buckets,
+    set_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanRecord,
+    TraceCollector,
+    attach,
+    current_span,
+    current_span_id,
+    format_span_tree,
+    remote_span,
+    root_span,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "Span",
+    "SpanRecord",
+    "TraceCollector",
+    "attach",
+    "current_span",
+    "current_span_id",
+    "format_span_tree",
+    "get_registry",
+    "log_buckets",
+    "remote_span",
+    "root_span",
+    "set_registry",
+    "span",
+]

@@ -10,15 +10,20 @@ Public surface:
   :class:`~repro.serve.epoch.SnapshotRegistry` -- the refcounted epoch
   lifecycle (pin -> evaluate -> release; swap -> retire -> drain);
 * :func:`~repro.serve.protocol.serve_tcp` -- the JSON-lines TCP front
-  end the ``repro serve`` CLI subcommand exposes.
+  end the ``repro serve`` CLI subcommand exposes;
+* :class:`~repro.serve.metrics_http.MetricsServer` -- the optional
+  Prometheus-style ``/metrics`` endpoint (``repro serve
+  --metrics-port``).
 """
 
 from repro.serve.epoch import Epoch, SnapshotRegistry
+from repro.serve.metrics_http import MetricsServer
 from repro.serve.protocol import handle_connection, serve_tcp
 from repro.serve.server import QueryServer, ServedAnswer, UpdateOutcome
 
 __all__ = [
     "Epoch",
+    "MetricsServer",
     "QueryServer",
     "ServedAnswer",
     "SnapshotRegistry",

@@ -24,10 +24,13 @@ executor threads alike.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import List, Optional
 
 from repro.engine.engine import EngineCheckpoint
+
+log = logging.getLogger(__name__)
 
 
 class Epoch:
@@ -162,6 +165,10 @@ class SnapshotRegistry:
             # Outside the registry lock: retire() takes the epoch lock,
             # and drained bookkeeping should not block pinners.
             previous.retire()
+            log.debug(
+                "epoch %d published; epoch %d retired with %d readers",
+                epoch.epoch_id, previous.epoch_id, previous.readers,
+            )
         return epoch
 
     def _prune_locked(self) -> None:

@@ -1,0 +1,98 @@
+"""A minimal Prometheus-style text endpoint for the metrics registry.
+
+``repro serve --metrics-port N`` exposes the engine's
+:class:`~repro.obs.metrics.MetricsRegistry` as ``GET /metrics`` in the
+Prometheus text exposition format (plus ``GET /stats`` as JSON for
+humans without a scraper).  Stdlib-only: a :class:`ThreadingHTTPServer`
+on its own daemon thread, reading the registry through the same locks
+every other consumer uses -- no event-loop involvement, so a slow
+scraper never stalls query serving.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Tuple
+
+log = logging.getLogger(__name__)
+
+
+class MetricsServer:
+    """Serve ``/metrics`` (Prometheus text) and ``/stats`` (JSON).
+
+    Parameters
+    ----------
+    render:
+        Zero-argument callable returning the exposition text (usually
+        ``registry.render_prometheus``).
+    stats:
+        Optional zero-argument callable returning a JSON-ready dict
+        (usually ``QueryServer.stats``); 404 when absent.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        off :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        stats: Optional[Callable[[], dict]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = outer._render().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/stats" and outer._stats is not None:
+                    body = json.dumps(outer._stats(), default=str).encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "unknown path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args) -> None:
+                log.debug("metrics http: " + fmt, *args)
+
+        self._render = render
+        self._stats = stats
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+            log.info("metrics endpoint on %s:%d", *self.address)
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join its thread."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()

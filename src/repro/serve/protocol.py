@@ -9,6 +9,10 @@ Request (one JSON object per line)::
     {"op": "query",  "pattern": {<pattern JSON>}, "selection": "minimal"?}
     {"op": "update", "ops": [["insert", u, v], ["delete", u, v], ...]}
     {"op": "stats"}
+    {"op": "metrics"}                  # registry snapshot (counters/histograms)
+    {"op": "slowlog", "limit": N?}     # slowest request span trees
+    {"op": "traces",  "limit": N?}     # most recent request span trees
+    {"op": "plans",   "limit": N?}     # recent plan-choice records
     {"op": "ping"}
 
 Response (one JSON object per line)::
@@ -26,9 +30,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
+
+log = logging.getLogger(__name__)
 from repro.graph.io import node_from_json, node_to_json, pattern_from_json
 from repro.serve.server import QueryServer, ServedAnswer
 from repro.simulation.result import MatchResult
@@ -101,6 +108,33 @@ async def _dispatch(server: QueryServer, request: Dict[str, Any]) -> Dict[str, A
         }
     if op == "stats":
         return {"ok": True, "epoch": server.current_epoch, "stats": server.stats()}
+    if op == "metrics":
+        return {
+            "ok": True,
+            "epoch": server.current_epoch,
+            "metrics": server.engine.registry.snapshot(),
+        }
+    if op == "slowlog":
+        limit = int(request.get("limit", 10))
+        return {
+            "ok": True,
+            "epoch": server.current_epoch,
+            "slowlog": server.traces.slowest(limit),
+        }
+    if op == "traces":
+        limit = int(request.get("limit", 10))
+        return {
+            "ok": True,
+            "epoch": server.current_epoch,
+            "traces": server.traces.recent(limit),
+        }
+    if op == "plans":
+        limit = int(request.get("limit", 10))
+        return {
+            "ok": True,
+            "epoch": server.current_epoch,
+            "plans": [r.to_dict() for r in server.engine.plan_log(limit)],
+        }
     if op == "ping":
         return {"ok": True, "epoch": server.current_epoch, "pong": True}
     raise ValueError(f"unknown op {op!r}")
@@ -112,6 +146,8 @@ async def handle_connection(
     writer: asyncio.StreamWriter,
 ) -> None:
     """Serve one client: read JSON lines until EOF, answer each."""
+    peer = writer.get_extra_info("peername")
+    log.debug("connection from %s", peer)
     try:
         while True:
             line = await reader.readline()
@@ -130,6 +166,7 @@ async def handle_connection(
                     "retriable": bool(getattr(err, "retriable", False)),
                 }
             except (KeyError, TypeError, ValueError) as err:
+                log.warning("bad request from %s: %s", peer, err)
                 response = {
                     "ok": False,
                     "error": f"bad request: {err}",

@@ -34,6 +34,8 @@ are shared with executor threads, and both are locked.
 from __future__ import annotations
 
 import asyncio
+import logging
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Dict, NamedTuple, Optional, Tuple
@@ -44,9 +46,19 @@ from repro.engine.executor import EvaluationSpec, evaluate_spec
 from repro.engine.plan import DIRECT, MATCHJOIN, QueryPlan
 from repro.errors import ServerClosedError, ServerOverloadedError
 from repro.graph.pattern import Pattern
+from repro.obs import trace
+from repro.obs.metrics import DURATION_BUCKETS
+from repro.obs.trace import TraceCollector
 from repro.serve.epoch import Epoch, SnapshotRegistry
 from repro.simulation.result import MatchResult
 from repro.views.maintenance import Delta, DeltaReport
+
+log = logging.getLogger(__name__)
+
+#: Completed request traces retained for ``repro trace`` / the
+#: ``slowlog`` protocol op (ring buffer; slowest kept separately).
+TRACE_CAPACITY = 256
+SLOW_CAPACITY = 32
 
 
 class ServedAnswer(NamedTuple):
@@ -114,13 +126,23 @@ class QueryServer:
             "completed": 0,
             "failed": 0,
             "shed": 0,
+            "shed_inflight_full": 0,
+            "shed_queue_full": 0,
             "coalesced": 0,
+            "coalesce_owners": 0,
             "evaluated": 0,
             "cache_hits": 0,
             "deltas": 0,
             "ops_applied": 0,
             "ops_skipped": 0,
         }
+        # stats() may be called from any thread (the metrics endpoint
+        # runs outside the event loop); counter *mutation* stays on the
+        # loop, but snapshots take this lock for a consistent read.
+        self._counters_lock = threading.Lock()
+        self._traces = TraceCollector(
+            capacity=TRACE_CAPACITY, slow_capacity=SLOW_CAPACITY
+        )
         self._active = 0
         self._started = False
         self._closing = False
@@ -197,6 +219,15 @@ class QueryServer:
                 + (" (shutting down)" if self._closing else " (not started)")
             )
 
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += n
+
+    @property
+    def traces(self) -> TraceCollector:
+        """Completed request span trees (ring buffer + slow log)."""
+        return self._traces
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -215,57 +246,117 @@ class QueryServer:
         """
         self._require_open()
         if self._active >= self._max_inflight + self._max_queue:
-            self._counters["shed"] += 1
+            # Which limit actually turned the request away: with no
+            # queue configured the inflight cap itself is the wall;
+            # otherwise admission got past it and the queue was full.
+            reason = "queue-full" if self._max_queue > 0 else "inflight-full"
+            self._count("shed")
+            self._count(
+                "shed_queue_full"
+                if reason == "queue-full"
+                else "shed_inflight_full"
+            )
+            self._engine.registry.counter(
+                "repro_server_shed_total", reason=reason
+            ).inc()
+            log.debug(
+                "shed request (%s): %d in flight", reason, self._active
+            )
             raise ServerOverloadedError(
                 f"admission full: {self._active} requests in flight "
                 f"(max_inflight={self._max_inflight}, "
                 f"max_queue={self._max_queue}); retry after backoff"
             )
-        self._counters["admitted"] += 1
+        self._count("admitted")
         self._active += 1
         self._idle.clear()
-        try:
-            async with self._slots:
-                epoch = self._registry.pin()
-                try:
-                    answer = await self._answer_pinned(pattern, selection, epoch)
-                finally:
-                    epoch.release()
-            self._counters["completed"] += 1
-            return answer
-        except BaseException:
-            self._counters["failed"] += 1
-            raise
-        finally:
-            self._active -= 1
-            if self._active == 0:
-                self._idle.set()
+        admitted_at = perf_counter()
+        with trace.root_span(
+            "server.query", collector=self._traces
+        ) as root:
+            try:
+                async with self._slots:
+                    queue_wait = perf_counter() - admitted_at
+                    epoch = self._registry.pin()
+                    root.set(
+                        epoch=epoch.epoch_id,
+                        queue_wait_ms=round(queue_wait * 1e3, 3),
+                    )
+                    self._engine.registry.histogram(
+                        "repro_server_queue_wait_seconds", DURATION_BUCKETS
+                    ).observe(queue_wait)
+                    try:
+                        answer = await self._answer_pinned(
+                            pattern, selection, epoch
+                        )
+                    finally:
+                        epoch.release()
+                self._count("completed")
+                self._engine.registry.counter(
+                    "repro_server_requests_total", outcome="completed"
+                ).inc()
+                return answer
+            except BaseException as err:
+                root.set(error=type(err).__name__)
+                self._count("failed")
+                self._engine.registry.counter(
+                    "repro_server_requests_total", outcome="failed"
+                ).inc()
+                raise
+            finally:
+                self._active -= 1
+                if self._active == 0:
+                    self._idle.set()
 
     async def _answer_pinned(
         self, pattern: Pattern, selection: Optional[str], epoch: Epoch
     ) -> ServedAnswer:
         # Planning takes the engine lock (it may wait out a maintenance
-        # batch), so it must not run on the event loop.
+        # batch), so it must not run on the event loop.  The request's
+        # root span lives in this task's context; executor threads do
+        # not inherit it, so it is carried over explicitly.
+        parent = trace.current_span()
         plan = await self._loop.run_in_executor(
-            self._pool, self._engine.plan, pattern, selection
+            self._pool, self._attached, parent, self._engine.plan,
+            pattern, selection,
         )
         key = self._answer_key(plan, epoch)
         if key is not None:
             hit = self._answers.get(key)
             if hit is not None:
-                self._counters["cache_hits"] += 1
+                self._count("cache_hits")
+                if parent is not None:
+                    parent.set(outcome="cache-hit")
+                self._engine.registry.counter(
+                    "repro_server_answers_total", outcome="cache-hit"
+                ).inc()
+                self._engine.record_plan_choice(
+                    plan, elapsed=0.0, cache_hit=True
+                )
                 return ServedAnswer(hit, epoch.epoch_id, True, False, 0.0)
             pending = self._coalescing.get(key)
             if pending is not None:
-                self._counters["coalesced"] += 1
+                self._count("coalesced")
+                if parent is not None:
+                    parent.set(outcome="coalesced-follower")
+                self._engine.registry.counter(
+                    "repro_server_answers_total", outcome="coalesced"
+                ).inc()
                 result = await asyncio.shield(pending)
+                self._engine.record_plan_choice(
+                    plan, elapsed=0.0, cache_hit=True
+                )
                 return ServedAnswer(result, epoch.epoch_id, False, True, 0.0)
+            self._count("coalesce_owners")
             future: asyncio.Future = self._loop.create_future()
             self._coalescing[key] = future
+        if parent is not None:
+            parent.set(outcome="evaluated")
         spec = self._spec_from(plan)
         try:
             result, elapsed = await self._loop.run_in_executor(
-                self._pool, self._evaluate, spec, epoch
+                self._pool, self._attached, parent, self._evaluate,
+                spec, epoch,
             )
         except BaseException as err:
             if key is not None:
@@ -274,13 +365,25 @@ class QueryServer:
                     future.set_exception(err)
                     future.exception()  # mark retrieved: followers rethrow
             raise
-        self._counters["evaluated"] += 1
+        self._count("evaluated")
+        self._engine.registry.counter(
+            "repro_server_answers_total", outcome="evaluated"
+        ).inc()
+        self._engine.record_plan_choice(
+            plan, elapsed=elapsed, cache_hit=False
+        )
         if key is not None:
             self._answers.put(key, result)
             self._coalescing.pop(key, None)
             if not future.done():
                 future.set_result(result)
         return ServedAnswer(result, epoch.epoch_id, False, False, elapsed)
+
+    @staticmethod
+    def _attached(parent, fn, *args):
+        """Run ``fn`` in a pool thread under the request's span."""
+        with trace.attach(parent):
+            return fn(*args)
 
     def _answer_key(self, plan: QueryPlan, epoch: Epoch) -> Optional[Tuple]:
         """The answer/coalescing key of ``plan`` *on this epoch* --
@@ -313,6 +416,7 @@ class QueryServer:
                 needed=(),
                 bounded=plan.bounded,
                 optimized=self._engine.optimized,
+                trace_id=trace.current_span_id(),
             )
         return EvaluationSpec(
             kind=MATCHJOIN,
@@ -321,6 +425,7 @@ class QueryServer:
             needed=plan.views_used,
             bounded=plan.bounded,
             optimized=self._engine.optimized,
+            trace_id=trace.current_span_id(),
         )
 
     def _evaluate(self, spec: EvaluationSpec, epoch: Epoch):
@@ -328,11 +433,14 @@ class QueryServer:
         reader pool; tests wrap this to control interleavings)."""
         checkpoint = epoch.checkpoint
         started = perf_counter()
-        result = evaluate_spec(
-            spec,
-            checkpoint.extensions,
-            checkpoint.snapshot if spec.kind == DIRECT else None,
-        )
+        with trace.span("evaluate", kind=spec.kind) as current:
+            result = evaluate_spec(
+                spec,
+                checkpoint.extensions,
+                checkpoint.snapshot if spec.kind == DIRECT else None,
+            )
+            if current is not None:
+                current.set(pairs=result.result_size)
         return result, perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -349,13 +457,28 @@ class QueryServer:
         """
         self._require_open()
         async with self._update_lock:
-            report, checkpoint = await self._loop.run_in_executor(
-                self._maint_pool, self._apply_sync, delta
+            with trace.root_span(
+                "server.update", collector=self._traces, ops=len(delta.ops)
+            ) as root:
+                parent = trace.current_span()
+                report, checkpoint = await self._loop.run_in_executor(
+                    self._maint_pool, self._attached, parent,
+                    self._apply_sync, delta,
+                )
+                epoch = self._registry.swap(checkpoint)
+                root.set(
+                    epoch=epoch.epoch_id,
+                    applied=report.applied,
+                    skipped=report.skipped,
+                )
+            self._count("deltas")
+            self._count("ops_applied", report.applied)
+            self._count("ops_skipped", report.skipped)
+            self._engine.registry.counter("repro_server_epoch_swaps_total").inc()
+            log.info(
+                "epoch %d published: %d ops applied, %d skipped",
+                epoch.epoch_id, report.applied, report.skipped,
             )
-            epoch = self._registry.swap(checkpoint)
-            self._counters["deltas"] += 1
-            self._counters["ops_applied"] += report.applied
-            self._counters["ops_skipped"] += report.skipped
             return UpdateOutcome(report, epoch.epoch_id)
 
     def _apply_sync(self, delta: Delta):
@@ -367,10 +490,13 @@ class QueryServer:
     # ------------------------------------------------------------------
     def stats(self) -> Dict:
         """A JSON-ready report: epoch lifecycle, request/admission
-        counters, cache counters, payload-shipping totals, and
-        per-view ``ViewStats``."""
+        counters (shed and coalescing outcomes broken down), cache
+        counters, payload-shipping totals, per-view ``ViewStats``, and
+        the engine registry's versioned metrics snapshot."""
         current = self._registry.current
         tracker = self._engine.maintenance
+        with self._counters_lock:
+            counters = dict(self._counters)
         return {
             "epoch": dict(
                 self._registry.drain_stats(),
@@ -378,11 +504,12 @@ class QueryServer:
                 active_readers=current.readers if current is not None else 0,
             ),
             "requests": dict(
-                self._counters,
+                counters,
                 inflight=self._active,
                 max_inflight=self._max_inflight,
                 max_queue=self._max_queue,
             ),
+            "metrics": self._engine.registry.snapshot(),
             "caches": dict(
                 self._engine.cache_stats(),
                 served_answers=self._answers.stats.snapshot(),

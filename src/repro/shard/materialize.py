@@ -35,6 +35,7 @@ path intact.
 
 from __future__ import annotations
 
+import logging
 from typing import Iterable, Optional
 
 from repro.graph.pattern import BoundedPattern
@@ -53,6 +54,8 @@ from repro.views.view import (
     ViewDefinition,
     decode_distance_index,
 )
+
+log = logging.getLogger(__name__)
 
 
 def _package(
@@ -179,6 +182,10 @@ def parallel_materialize(
     owned = runner is None
     if owned:
         runner = ShardRunner(sharded, executor=executor, workers=workers)
+    log.debug(
+        "shard-parallel materialize: %d view(s) over %d shards (%s)",
+        len(chosen), sharded.num_shards, executor,
+    )
     try:
         # All simulation views advance through shared waves: one pool
         # round-trip per wave for the whole batch, and every worker

@@ -28,9 +28,12 @@ else (cut edges, ghosts, balance accounting) is derived uniformly by
 
 from __future__ import annotations
 
+import logging
 import zlib
 from collections import deque
 from typing import Callable, Dict, FrozenSet, Hashable, List, Tuple
+
+log = logging.getLogger(__name__)
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -275,4 +278,10 @@ def make_partition(graph, num_shards: int, strategy: str = "hash") -> Partition:
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
     assignment = PARTITIONERS[strategy](graph, num_shards)
-    return Partition(graph, assignment, num_shards, strategy)
+    partition = Partition(graph, assignment, num_shards, strategy)
+    log.debug(
+        "%s partition: %d shards, %d/%d edges cut (%.1f%%)",
+        strategy, num_shards, partition.edge_cut, graph.num_edges,
+        partition.edge_cut_fraction * 100,
+    )
+    return partition

@@ -39,6 +39,7 @@ composite global id space for the materialization path
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from bisect import bisect_left
@@ -51,9 +52,14 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 from repro.engine.executor import ShipStats
 from repro.graph.compact import CompactGraph
 from repro.graph.conditions import AttributeCondition, Label
+from repro.obs import trace
+from repro.obs.metrics import get_registry
+from repro.obs.trace import SpanRecord
 from repro.shard.sharded import ShardedGraph
 from repro.simulation.compact_engine import IdEdgeMatches, refine_batch
 from repro.simulation.result import MatchResult
+
+log = logging.getLogger(__name__)
 
 PNode = Hashable
 Node = Hashable
@@ -416,6 +422,23 @@ def _worker_run(task: Tuple) -> Tuple[int, object]:
     )
 
 
+def _worker_run_traced(
+    packed: Tuple[Tuple, str]
+) -> Tuple[int, object, SpanRecord]:
+    """Traced variant: record the task as a worker-side span and ship it
+    home (the coordinator adopts it under the span whose id rode in)."""
+    task, trace_id = packed
+    with trace.remote_span(
+        "psim.task", trace_id, kind=task[0], shard=task[1], pid=os.getpid()
+    ) as worker_span:
+        index, payload = _execute(
+            _WORKER_PAYLOAD["sharded"],  # type: ignore[arg-type]
+            _WORKER_PAYLOAD["store"],  # type: ignore[arg-type]
+            task,
+        )
+    return index, payload, worker_span.to_record(trace_id)
+
+
 class ShardRunner:
     """Executes batches of shard-local tasks for one sharded graph.
 
@@ -482,8 +505,28 @@ class ShardRunner:
         return self._session
 
     def map(self, tasks: Sequence[Tuple]) -> List[Tuple[int, object]]:
-        """Run local tasks, returning ``(shard index, result)`` pairs."""
+        """Run local tasks, returning ``(shard index, result)`` pairs.
+
+        When the calling context is traced, per-task spans land under
+        the caller's span: in-process executors nest directly (the
+        thread pool re-enters the captured span), while process pools
+        thread the span id out with each task and adopt the returned
+        worker-side records."""
+        parent = trace.current_span()
         if self._pools:
+            if parent is not None:
+                futures = [
+                    self._pools[task[1] % len(self._pools)].submit(
+                        _worker_run_traced, (task, parent.span_id)
+                    )
+                    for task in tasks
+                ]
+                out: List[Tuple[int, object]] = []
+                for future in futures:
+                    index, payload, record = future.result()
+                    parent.adopt(record)
+                    out.append((index, payload))
+                return out
             futures = [
                 self._pools[task[1] % len(self._pools)].submit(_worker_run, task)
                 for task in tasks
@@ -492,12 +535,19 @@ class ShardRunner:
         sharded = self.sharded
         store = self._store
         if self._thread_pool is not None and len(tasks) > 1:
-            return list(
-                self._thread_pool.map(
-                    lambda task: _execute(sharded, store, task), tasks
-                )
-            )
-        return [_execute(sharded, store, task) for task in tasks]
+            def run(task: Tuple) -> Tuple[int, object]:
+                # Thread pools do not inherit contextvars: re-enter the
+                # captured span so the task span nests correctly.
+                with trace.attach(parent):
+                    with trace.span("psim.task", kind=task[0], shard=task[1]):
+                        return _execute(sharded, store, task)
+
+            return list(self._thread_pool.map(run, tasks))
+        out = []
+        for task in tasks:
+            with trace.span("psim.task", kind=task[0], shard=task[1]):
+                out.append(_execute(sharded, store, task))
+        return out
 
     def close(self) -> None:
         for pool in self._pools:
@@ -751,6 +801,14 @@ class _Evaluation:
         self.node_matches = node_matches
 
 
+def _meter_psim(stats: PSimStats) -> None:
+    """One registry write per finished evaluation."""
+    reg = get_registry()
+    reg.counter("repro_psim_rounds_total").inc(stats.rounds)
+    reg.counter("repro_psim_local_runs_total").inc(stats.local_runs)
+    reg.counter("repro_psim_invalidated_total").inc(stats.invalidated)
+
+
 def _drive(evaluations: List[_Evaluation], runner: ShardRunner) -> None:
     """Run evaluations to completion in shared waves.
 
@@ -760,6 +818,8 @@ def _drive(evaluations: List[_Evaluation], runner: ShardRunner) -> None:
     with other patterns' work instead of idling the pool.
     """
     remaining = [e for e in evaluations if not e.done]
+    waves = 0
+    total_tasks = 0
     while remaining:
         tasks: List[Tuple] = []
         owners: List[_Evaluation] = []
@@ -767,12 +827,19 @@ def _drive(evaluations: List[_Evaluation], runner: ShardRunner) -> None:
             for task in evaluation.tasks():
                 tasks.append(task)
                 owners.append(evaluation)
-        results = runner.map(tasks)
+        waves += 1
+        total_tasks += len(tasks)
+        with trace.span("psim.wave", wave=waves, tasks=len(tasks)):
+            results = runner.map(tasks)
         for owner, (index, payload) in zip(owners, results):
             owner.absorb(index, payload)
         for evaluation in remaining:
             evaluation.end_wave()
         remaining = [e for e in remaining if not e.done]
+    # One registry write per drive, never per task (overhead budget).
+    reg = get_registry()
+    reg.counter("repro_psim_waves_total").inc(waves)
+    reg.counter("repro_psim_tasks_total").inc(total_tasks)
 
 
 def partial_max_simulation(
@@ -795,7 +862,14 @@ def partial_max_simulation(
         evaluation = _Evaluation(
             pattern, sharded, runner.new_session(), mode="collect"
         )
-        _drive([evaluation], runner)
+        with trace.span("psim", shards=sharded.num_shards) as psim_span:
+            _drive([evaluation], runner)
+            if psim_span is not None:
+                psim_span.set(
+                    rounds=evaluation.stats.rounds,
+                    invalidated=evaluation.stats.invalidated,
+                )
+        _meter_psim(evaluation.stats)
     finally:
         if owned:
             runner.close()
@@ -822,7 +896,14 @@ def _sharded_evaluate(
     runner, owned = _resolve_runner(sharded, runner, executor, workers)
     try:
         evaluation = _Evaluation(pattern, sharded, runner.new_session())
-        _drive([evaluation], runner)
+        with trace.span("psim", shards=sharded.num_shards) as psim_span:
+            _drive([evaluation], runner)
+            if psim_span is not None:
+                psim_span.set(
+                    rounds=evaluation.stats.rounds,
+                    invalidated=evaluation.stats.invalidated,
+                )
+        _meter_psim(evaluation.stats)
     finally:
         if owned:
             runner.close()

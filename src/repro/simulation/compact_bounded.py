@@ -26,11 +26,15 @@ materialization stores for the BMatchJoin fast path.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graph.compact import CompactGraph
 from repro.graph.pattern import ANY
+from repro.obs.metrics import get_registry
+
+log = logging.getLogger(__name__)
 from repro.simulation.compact_engine import (
     IdEdgeMatches,
     compact_candidates,
@@ -82,6 +86,13 @@ class CompactBoundedDistanceCache:
         return self._full[source]
 
 
+def _meter_bounded(evaluations: int, shrinks: int) -> None:
+    """One registry write per bounded fixpoint run."""
+    reg = get_registry()
+    reg.counter("repro_bounded_edge_evals_total").inc(evaluations)
+    reg.counter("repro_bounded_shrinks_total").inc(shrinks)
+
+
 def compact_maximum_bounded_simulation(
     pattern, graph: CompactGraph
 ) -> Optional[Dict[PNode, Set[int]]]:
@@ -110,9 +121,13 @@ def compact_maximum_bounded_simulation(
     # the same pattern node with equal bounds share one BFS.
     versions: Dict[PNode, int] = {u: 0 for u in sim}
     cones: Dict[Tuple[PNode, object], Tuple[int, Set[int]]] = {}
+    # Edge evaluations aggregate locally; one registry write per run.
+    evaluations = 0
+    shrinks = 0
     while queue:
         edge = queue.popleft()
         queued.discard(edge)
+        evaluations += 1
         u, u1 = edge
         bound = pattern.bound(edge)
         key = (u1, bound)
@@ -127,7 +142,9 @@ def compact_maximum_bounded_simulation(
             cones[key] = (versions[u1], allowed)
         if not sim[u] <= allowed:
             sim[u] &= allowed
+            shrinks += 1
             if not sim[u]:
+                _meter_bounded(evaluations, shrinks)
                 return None
             versions[u] += 1
             # sim(u) shrank: every edge *targeting* u sees a smaller
@@ -136,6 +153,7 @@ def compact_maximum_bounded_simulation(
                 if stale not in queued:
                     queued.add(stale)
                     queue.append(stale)
+    _meter_bounded(evaluations, shrinks)
     return sim
 
 

@@ -22,12 +22,24 @@ on the mutable dict backend.
 
 from __future__ import annotations
 
+import logging
 from itertools import repeat
 from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graph.compact import CompactGraph
 from repro.graph.conditions import AttributeCondition, Label
+from repro.obs.metrics import get_registry
 from repro.simulation.result import MatchResult
+
+log = logging.getLogger(__name__)
+
+
+def _meter_refinement(batches: int, removed: int) -> None:
+    """One registry write per fixpoint run (hot-kernel discipline: the
+    loop aggregates in local ints, never per-removal)."""
+    reg = get_registry()
+    reg.counter("repro_sim_batches_total").inc(batches)
+    reg.counter("repro_sim_removals_total").inc(removed)
 
 PNode = Hashable
 PEdge = Tuple[PNode, PNode]
@@ -144,8 +156,12 @@ def compact_maximum_simulation(
                 return None
             pending[u] = doomed
 
+    batches = 0
+    removed_total = 0
     while pending:
         u1, removed = pending.popitem()
+        batches += 1
+        removed_total += len(removed)
         # Candidates that might have lost a witness: predecessors of any
         # removed id.
         touched = set().union(*map(pred.__getitem__, removed))
@@ -179,12 +195,14 @@ def compact_maximum_simulation(
             if newly:
                 candidates -= newly
                 if not candidates:
+                    _meter_refinement(batches, removed_total)
                     return None
                 queued = pending.get(u)
                 if queued is None:
                     pending[u] = newly
                 else:
                     queued |= newly
+    _meter_refinement(batches, removed_total)
     return sim
 
 

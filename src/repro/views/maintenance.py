@@ -33,6 +33,7 @@ that callers cannot desynchronize it; inside an
 from __future__ import annotations
 
 import json
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -50,8 +51,12 @@ from typing import (
 
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern
+from repro.obs import trace
+from repro.obs.metrics import SIZE_BUCKETS, get_registry
 from repro.simulation.simulation import maximum_simulation
 from repro.views.view import MaterializedView, ViewDefinition
+
+log = logging.getLogger(__name__)
 
 PNode = Hashable
 Node = Hashable
@@ -238,6 +243,27 @@ class DeltaReport(NamedTuple):
     changed_views: Tuple[str, ...]
     per_view: Dict[str, Dict[str, int]]
     stale_bounded: Tuple[str, ...] = ()
+
+
+def _meter_delta(report: "DeltaReport") -> None:
+    """Record one maintenance round into the process-global registry:
+    batch size, revival-vs-recompute outcomes, pair churn."""
+    reg = get_registry()
+    reg.counter("repro_maintenance_ops_applied_total").inc(report.applied)
+    reg.counter("repro_maintenance_ops_skipped_total").inc(report.skipped)
+    reg.histogram("repro_maintenance_delta_ops", SIZE_BUCKETS).observe(
+        report.applied + report.skipped
+    )
+    revivals = recomputes = revived = removed = 0
+    for stats in report.per_view.values():
+        revivals += stats.get("incremental_inserts", 0)
+        recomputes += stats.get("recomputes", 0)
+        revived += stats.get("revived_pairs", 0)
+        removed += stats.get("removed_pairs", 0)
+    reg.counter("repro_maintenance_revivals_total").inc(revivals)
+    reg.counter("repro_maintenance_recomputes_total").inc(recomputes)
+    reg.counter("repro_maintenance_revived_pairs_total").inc(revived)
+    reg.counter("repro_maintenance_removed_pairs_total").inc(removed)
 
 
 class IncrementalView:
@@ -776,28 +802,33 @@ class IncrementalViewSet:
         }
         start_seq = self._seq
         applied = skipped = 0
-        for op, source, target in delta:
-            present = self._graph.has_edge(source, target)
-            if (op == INSERT) == present:
-                skipped += 1
-                continue
-            if op == INSERT:
-                self.insert_edge(source, target)
-            else:
-                self.delete_edge(source, target)
-            applied += 1
+        with trace.span("maintenance.delta") as delta_span:
+            for op, source, target in delta:
+                present = self._graph.has_edge(source, target)
+                if (op == INSERT) == present:
+                    skipped += 1
+                    continue
+                if op == INSERT:
+                    self.insert_edge(source, target)
+                else:
+                    self.delete_edge(source, target)
+                applied += 1
+            if delta_span is not None:
+                delta_span.set(applied=applied, skipped=skipped)
         per_view = {}
         for name, tracker in self._trackers.items():
             after = tracker.stats.snapshot()
             per_view[name] = {
                 key: after[key] - before[name][key] for key in after
             }
-        return DeltaReport(
+        report = DeltaReport(
             applied=applied,
             skipped=skipped,
             changed_views=tuple(self.changed_since(start_seq)),
             per_view=per_view,
         )
+        _meter_delta(report)
+        return report
 
     def extension(self, name: str) -> MaterializedView:
         """The current, always-consistent extension of view ``name``."""

@@ -9,11 +9,15 @@ size of the Youtube graph").
 
 from __future__ import annotations
 
+import logging
 import warnings
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.views.view import MaterializedView, ViewDefinition, materialize
+
+log = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.views.maintenance import Delta, DeltaReport, IncrementalViewSet
@@ -193,9 +197,16 @@ class ViewSet:
         installs the same extensions through :meth:`set_extension`.
         """
         for name in names if names is not None else list(self._definitions):
+            started = perf_counter()
             self._extensions[name] = materialize(self._definitions[name], graph)
             self._stale.discard(name)
             self._stamp(name)
+            log.debug(
+                "materialized view %s: %d items in %.1f ms",
+                name,
+                self._extensions[name].size,
+                (perf_counter() - started) * 1e3,
+            )
 
     @property
     def snapshot_token(self) -> Optional[int]:
@@ -400,6 +411,15 @@ class ViewSet:
             )
             if stale:
                 report = report._replace(stale_bounded=stale)
+                from repro.obs.metrics import get_registry
+
+                get_registry().counter(
+                    "repro_maintenance_stale_bounded_total"
+                ).inc(len(stale))
+                log.info(
+                    "delta left %d bounded view(s) stale: %s",
+                    len(stale), ", ".join(sorted(map(str, stale))),
+                )
         return report
 
     def import_maintenance(self) -> List[str]:
