@@ -36,3 +36,17 @@ def test_fig8f_matchjoin_nopt(benchmark, prepared, alpha):
 def test_fig8f_matchjoin_min(benchmark, prepared, alpha):
     graph, views, query, minimum = prepared[alpha]
     once(benchmark, match_join, query, minimum, views, optimized=True)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS, ids=str)
+def test_fig8f_adaptive_planner(benchmark, prepared, alpha):
+    """The same workload through the cost-based adaptive engine: the
+    planner's pick should track the faster kernel as density grows."""
+    from repro.engine import QueryEngine
+
+    graph, views, query, minimum = prepared[alpha]
+    engine = QueryEngine(
+        views, graph=graph, planner="adaptive", answer_cache_size=0
+    )
+    engine.answer(query)  # warm: calibrate rates, cache containment
+    once(benchmark, engine.answer, query)

@@ -56,7 +56,18 @@ def summary(scale):
     }
     yield data
     data["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-    SUMMARY_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    # Merge, don't overwrite: other bench modules (e.g. bench_planner)
+    # contribute their own sections to the same artifact.
+    existing = {}
+    if SUMMARY_PATH.exists():
+        try:
+            existing = json.loads(SUMMARY_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(data)
+    SUMMARY_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.mark.parametrize("name", DATASETS)

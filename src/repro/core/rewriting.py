@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, Hashable, Mapping, Set, Tuple, Union
 from repro.core.containment import Containment, Views, contains, _normalize
 from repro.core.matchjoin import merge_initial_sets, run_fixpoint, _extensions_of
 from repro.errors import UnsupportedPatternError
+from repro.graph.conditions import AttributeCondition, Label
 from repro.graph.digraph import DataGraph
 from repro.graph.pattern import BoundedPattern, Pattern
 from repro.simulation.result import MatchResult
@@ -121,26 +122,52 @@ def hybrid_answer(
     match sets, so the shared MatchJoin fixpoint converges to exactly
     ``Q(G)`` (the Theorem 1 invariant).  Bounded queries are supported:
     uncovered edges enumerate bounded-BFS pairs.
+
+    Convenience wrapper: runs the containment check and materializes
+    missing extensions, then delegates to :func:`hybrid_join` -- the
+    engine calls :func:`hybrid_join` directly with a pre-computed
+    containment and a point-in-time extensions mapping.
+    """
+    bounded = isinstance(query, BoundedPattern)
+    if bounded:
+        from repro.core.bounded.bcontainment import bounded_contains
+
+        containment = bounded_contains(query, views)
+    else:
+        containment = contains(query, views)
+    needed = {ref[0] for refs in containment.mapping.values() for ref in refs}
+    missing = [n for n in needed if not views.is_materialized(n)]
+    if missing:
+        views.materialize(graph, names=missing)
+    extensions = {name: views.extension(name) for name in needed}
+    return hybrid_join(query, containment, extensions, graph)
+
+
+def hybrid_join(
+    query: Pattern,
+    containment: Containment,
+    extensions: Extensions,
+    graph: DataGraph,
+    optimized: bool = True,
+) -> MatchResult:
+    """The hybrid evaluation kernel: covered edges from ``extensions``,
+    uncovered edges from ``graph``, one shared fixpoint.
+
+    ``containment`` carries the λ mapping of the covered edges (it need
+    not hold -- partial coverage is the point); ``extensions`` must
+    contain every view the mapping references; ``graph`` may be the
+    mutable :class:`DataGraph` or a frozen
+    :class:`~repro.graph.compact.CompactGraph` snapshot (the engine
+    ships its snapshot, same as direct evaluation).  This is the code
+    path :class:`~repro.engine.executor.EvaluationSpec` kind
+    ``"hybrid"`` runs, in-process and in pool workers alike.
     """
     if query.isolated_nodes():
         raise UnsupportedPatternError(
             "pattern has isolated nodes; evaluate directly with match()"
         )
     bounded = isinstance(query, BoundedPattern)
-    if bounded:
-        from repro.core.bounded.bcontainment import bounded_contains
-        from repro.core.bounded.bmatchjoin import merge_initial_sets_bounded
-
-        containment = bounded_contains(query, views)
-    else:
-        containment = contains(query, views)
-
-    covered = frozenset(containment.mapping)
-    needed = {ref[0] for refs in containment.mapping.values() for ref in refs}
-    missing = [n for n in needed if not views.is_materialized(n)]
-    if missing:
-        views.materialize(graph, names=missing)
-    extensions = {name: views.extension(name) for name in needed}
+    covered = frozenset(containment.mapping) & frozenset(query.edge_set())
 
     # Covered part: exactly MatchJoin's merge, on the covered subpattern.
     initial: Dict[PEdge, Set] = {}
@@ -153,6 +180,8 @@ def hybrid_answer(
             view_names=containment.view_names,
         )
         if bounded:
+            from repro.core.bounded.bmatchjoin import merge_initial_sets_bounded
+
             initial.update(
                 merge_initial_sets_bounded(subpattern, sub_containment, extensions)
             )
@@ -161,15 +190,52 @@ def hybrid_answer(
                 merge_initial_sets(subpattern, sub_containment, extensions)
             )
 
-    # Uncovered part: scan G with the pattern's own conditions.
+    # Uncovered part: seed candidates from the label index when the
+    # node condition pins a label (mirroring
+    # :mod:`repro.simulation.seeding`), then *narrow them through the
+    # covered part*: any final match of node ``u`` must have a
+    # successor matching every outgoing pattern edge of ``u``, so it
+    # must appear among the *sources* of each covered edge ``(u, x)``'s
+    # initial pairs (which over-approximate per Theorem 1).  Only the
+    # source side anchors -- simulation imposes no predecessor
+    # requirement, so the targets of a covered incoming edge are NOT a
+    # superset of the node's match set (that would be dual-simulation
+    # semantics).  Both refinements keep each candidate set a superset
+    # of the true match set, so the shared fixpoint still converges to
+    # exactly ``Q(G)`` -- but the uncovered scan now fans out from the
+    # covered anchors instead of a whole label bucket, which is what
+    # makes hybrid rewriting cheap when coverage is high.
+    covered_endpoints: Dict[Hashable, Set] = {}
+    for (u, _u1), pairs in initial.items():
+        sources = {v for v, _ in pairs}
+        if u in covered_endpoints:
+            covered_endpoints[u] &= sources
+        else:
+            covered_endpoints[u] = sources
+
     candidates: Dict = {}
+    by_label = getattr(graph, "nodes_with_label", None)
 
     def matches_of(u):
         if u not in candidates:
             condition = query.condition(u)
+            anchored = covered_endpoints.get(u)
+            if anchored is not None:
+                pool = anchored
+            elif by_label is not None and isinstance(condition, Label):
+                candidates[u] = set(by_label(condition.name))
+                return candidates[u]
+            elif (
+                by_label is not None
+                and isinstance(condition, AttributeCondition)
+                and condition.label
+            ):
+                pool = by_label(condition.label)
+            else:
+                pool = graph.nodes()
             candidates[u] = {
                 v
-                for v in graph.nodes()
+                for v in pool
                 if condition.matches(graph.labels(v), graph.attrs(v))
             }
         return candidates[u]
@@ -203,5 +269,5 @@ def hybrid_answer(
                 pairs.update((v, w) for w in graph.successors(v) if w in targets)
         initial[edge] = pairs
 
-    result = run_fixpoint(query, initial, optimized=True)
+    result = run_fixpoint(query, initial, optimized=optimized)
     return result if result is not None else MatchResult.empty()

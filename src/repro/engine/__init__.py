@@ -7,12 +7,18 @@ MatchJoin) into a deployable subsystem:
   queries, batches work across processes, follows maintenance updates;
 * :class:`QueryPlan` / :class:`ExecutionStats` -- inspectable planner
   output and per-query telemetry;
+* :class:`CostModel` / :class:`CandidateCost` -- the calibrated cost
+  model the adaptive planner prices candidates with;
+* :class:`WorkloadAdvisor` -- workload-driven auto-materialization
+  under a byte budget;
 * :class:`LRUCache` / :class:`CacheStats` -- the caching primitives;
 * :func:`pattern_key` -- the structural query fingerprint the caches
   key on.
 """
 
+from repro.engine.advisor import AdvisorReport, ViewScore, WorkloadAdvisor
 from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.cost import CandidateCost, CostModel
 from repro.engine.engine import QueryEngine
 from repro.engine.executor import (
     EXECUTORS,
@@ -21,17 +27,34 @@ from repro.engine.executor import (
     evaluate_spec,
     run_specs,
 )
-from repro.engine.plan import ExecutionStats, QueryPlan, pattern_key
+from repro.engine.plan import (
+    DIRECT,
+    HYBRID,
+    MATCHJOIN,
+    PLANNERS,
+    ExecutionStats,
+    QueryPlan,
+    pattern_key,
+)
 
 __all__ = [
+    "AdvisorReport",
     "CacheStats",
+    "CandidateCost",
+    "CostModel",
+    "DIRECT",
     "EXECUTORS",
     "EvaluationSpec",
     "ExecutionStats",
+    "HYBRID",
     "LRUCache",
+    "MATCHJOIN",
+    "PLANNERS",
     "QueryEngine",
     "QueryPlan",
     "ShipStats",
+    "ViewScore",
+    "WorkloadAdvisor",
     "evaluate_spec",
     "pattern_key",
     "run_specs",

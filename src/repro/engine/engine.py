@@ -71,11 +71,14 @@ import logging
 import os
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.answer import _STRATEGIES
+from repro.core.containment import Containment
+from repro.graph.conditions import AttributeCondition, Label
 from repro.engine.cache import LRUCache
+from repro.engine.cost import EST_MISSING_FRACTION, CandidateCost, CostModel
 from repro.engine.executor import (
     EXECUTORS,
     EvaluationSpec,
@@ -83,9 +86,21 @@ from repro.engine.executor import (
 )
 from repro.engine.plan import (
     DIRECT,
+    FALLBACK_REASONS,
+    HYBRID,
     MATCHJOIN,
+    PLANNER_ADAPTIVE,
+    PLANNER_DIRECT,
+    PLANNER_FIXED,
+    PLANNER_HYBRID,
+    PLANNERS,
+    REASON_COST_DIRECT,
+    REASON_COST_HYBRID,
+    REASON_COST_MATCHJOIN,
+    REASON_FORCED,
     REASON_ISOLATED_NODES,
     REASON_NOT_CONTAINED,
+    STRATEGY_PREFERENCE,
     ExecutionStats,
     PlanChoiceRecord,
     QueryPlan,
@@ -141,6 +156,12 @@ class EngineCheckpoint:
         (equal stamps always denote equal extension state)."""
         if strategy == MATCHJOIN:
             return ("V", tuple(self.view_versions[name] for name in views_used))
+        if strategy == HYBRID:
+            return (
+                "H",
+                tuple(self.view_versions[name] for name in views_used),
+                self.graph_version,
+            )
         return ("G", self.graph_version)
 
 
@@ -185,6 +206,23 @@ class QueryEngine:
         carry the composite snapshot token, direct evaluation runs the
         partial-evaluation matcher, and the sharded snapshot is
         invalidated exactly like the single snapshot.
+    planner:
+        ``"fixed"`` (default) keeps the binary containment decision;
+        ``"adaptive"`` prices MatchJoin over the minimal vs
+        greedy-minimum subsets, hybrid rewriting and direct evaluation
+        with the engine's :class:`~repro.engine.cost.CostModel` and
+        picks the cheapest; ``"direct"`` / ``"hybrid"`` force one
+        strategy (baselines).
+    cost_model:
+        Inject a (possibly shared) :class:`~repro.engine.cost.CostModel`;
+        by default each engine calibrates its own from its plan log.
+    auto_materialize:
+        Opt-in workload-driven materialization: ``True`` (15% byte
+        budget) or a float budget fraction of ``|G|``'s bytes.  Spawns
+        a :class:`~repro.engine.advisor.WorkloadAdvisor` that ticks
+        every ``advisor_interval`` delivered answers, materializing
+        hot views and evicting cold ones under the budget
+        (``advisor_budget_bytes`` pins an absolute budget instead).
     """
 
     def __init__(
@@ -201,6 +239,11 @@ class QueryEngine:
         partitioner: str = "hash",
         shared_snapshots: Optional[bool] = None,
         registry: Optional[MetricsRegistry] = None,
+        planner: str = PLANNER_FIXED,
+        cost_model: Optional[CostModel] = None,
+        auto_materialize=None,
+        advisor_budget_bytes: Optional[int] = None,
+        advisor_interval: int = 32,
     ) -> None:
         if selection not in _STRATEGIES:
             raise ValueError(
@@ -210,6 +253,14 @@ class QueryEngine:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; expected one of {PLANNERS}"
+            )
+        if planner in (PLANNER_DIRECT, PLANNER_HYBRID) and graph is None:
+            raise ValueError(
+                f"planner={planner!r} requires a data graph to evaluate on"
             )
         if shards is not None:
             if shards < 1:
@@ -229,6 +280,8 @@ class QueryEngine:
         self._executor = executor
         self._workers = workers
         self._optimized = optimized
+        self._planner = planner
+        self._cost_model = cost_model if cost_model is not None else CostModel()
         self._shared_snapshots = (
             shared_snapshots
             if shared_snapshots is not None
@@ -272,6 +325,30 @@ class QueryEngine:
         # consumption).  Reentrant: execute -> plan -> snapshot nest.
         # Evaluation itself runs outside the lock on immutable inputs.
         self._lock = threading.RLock()
+        # Opt-in workload-driven auto-materialization: a WorkloadAdvisor
+        # consuming this engine's plan log, ticking every
+        # ``advisor_interval`` delivered answers.  auto_materialize may
+        # be True (default 15% budget) or a fraction of |G| bytes.
+        self._advisor = None
+        if auto_materialize:
+            if graph is None:
+                raise ValueError(
+                    "auto_materialize requires a data graph to "
+                    "materialize views from"
+                )
+            from repro.engine.advisor import WorkloadAdvisor
+
+            fraction = (
+                auto_materialize
+                if isinstance(auto_materialize, float)
+                else None
+            )
+            self._advisor = WorkloadAdvisor(
+                self,
+                budget_fraction=fraction if fraction is not None else 0.15,
+                budget_bytes=advisor_budget_bytes,
+                interval=advisor_interval,
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -290,6 +367,68 @@ class QueryEngine:
     def optimized(self) -> bool:
         """Whether evaluation runs the Section V optimizations."""
         return self._optimized
+
+    @property
+    def planner(self) -> str:
+        """The engine's planner mode (see :data:`~repro.engine.plan.PLANNERS`)."""
+        return self._planner
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The calibrated cost model (fed by every delivered answer)."""
+        return self._cost_model
+
+    @property
+    def advisor(self):
+        """The :class:`~repro.engine.advisor.WorkloadAdvisor` when
+        ``auto_materialize=`` was requested, else ``None``."""
+        return self._advisor
+
+    def graph_units(self) -> float:
+        """``|G|`` as cost-model work units (nodes + edges; 0 without
+        a graph)."""
+        with self._lock:
+            return self._graph_units_locked()
+
+    def _graph_units_locked(self) -> float:
+        return float(self._graph.size) if self._graph is not None else 0.0
+
+    def _direct_units_locked(self, query: Optional[Pattern]) -> float:
+        """Label-selective work estimate for evaluating ``query``
+        directly on ``G``.
+
+        Candidate seeding reads the label-index bucket of every
+        labelled pattern node (:mod:`repro.simulation.seeding`) and the
+        fixpoint then walks the adjacency of those candidates, so the
+        touched volume scales with the bucket sizes -- not with
+        ``|G|``.  A query over rare labels is far cheaper to answer
+        directly than the flat ``|G|`` figure suggests, and pricing
+        that selectivity is what lets the adaptive planner prefer
+        direct evaluation for highly selective queries even when views
+        could answer them.  Wildcard / label-free nodes charge the full
+        node count; graphs without a label index degrade to ``|G|``.
+        """
+        graph = self._graph
+        if graph is None:
+            return 0.0
+        graph_units = self._graph_units_locked()
+        stats_fn = getattr(graph, "label_index_stats", None)
+        if query is None or stats_fn is None:
+            return graph_units
+        stats = stats_fn()
+        num_nodes = float(graph.num_nodes)
+        num_edges = float(graph.num_edges)
+        density = 1.0 + (num_edges / num_nodes if num_nodes else 0.0)
+        seeded = 0.0
+        for u in query.nodes():
+            condition = query.condition(u)
+            if isinstance(condition, Label):
+                seeded += stats.get(condition.name, 0)
+            elif isinstance(condition, AttributeCondition) and condition.label:
+                seeded += stats.get(condition.label, 0)
+            else:
+                seeded += num_nodes
+        return seeded * density
 
     @property
     def maintenance(self) -> Optional[IncrementalViewSet]:
@@ -404,6 +543,54 @@ class QueryEngine:
             self._containment_cache.clear()
             self._answer_cache.clear()
 
+    def materialize_views(self, names: Sequence[str]) -> List[str]:
+        """Materialize the named views against the frozen snapshot
+        (skipping any already fresh); returns what was materialized.
+        The advisor's "promote hot views" action routes through here so
+        it shares the engine's lock, snapshot and shard machinery."""
+        with self._lock:
+            if self._graph is None:
+                raise ValueError(
+                    "materialize_views() requires a data graph"
+                )
+            todo = [
+                name for name in names
+                if not self._views.is_materialized(name)
+                or self._views.is_stale(name)
+            ]
+            if not todo:
+                return []
+            snapshot = self._snapshot_locked()
+            if self._shards is not None:
+                from repro.shard.materialize import parallel_materialize
+
+                parallel_materialize(
+                    self._views,
+                    snapshot,
+                    names=todo,
+                    executor=self._executor,
+                    workers=self._workers,
+                )
+            else:
+                self._views.materialize(snapshot, names=todo)
+            return todo
+
+    def evict_extensions(self, names: Sequence[str]) -> List[str]:
+        """Drop the named views' cached extensions (definitions stay).
+
+        Safe mid-workload: ``drop_extension`` bumps the view's version
+        stamp, so answers cached over the old extension are stranded
+        (never served) and in-flight evaluations finish on the
+        point-in-time extensions copy they already hold.
+        """
+        with self._lock:
+            dropped = []
+            for name in names:
+                if name in self._views and self._views.is_materialized(name):
+                    self._views.drop_extension(name)
+                    dropped.append(name)
+            return dropped
+
     # ------------------------------------------------------------------
     # Maintenance integration
     # ------------------------------------------------------------------
@@ -495,11 +682,24 @@ class QueryEngine:
             self._refresh_if_dirty()
             snapshot = self._snapshot_locked()
             names = self._views.names()
-            missing = [
-                name for name in names
-                if not self._views.is_materialized(name)
-                or self._views.is_stale(name)
-            ]
+            # With an advisor managing the cache, honor its evictions:
+            # refresh only what is materialized-but-stale, instead of
+            # re-materializing every missing view each epoch (which
+            # would undo the advisor's byte budget).  The serving layer
+            # degrades plans needing absent extensions to direct
+            # evaluation.
+            if self._advisor is not None:
+                missing = [
+                    name for name in names
+                    if self._views.is_materialized(name)
+                    and self._views.is_stale(name)
+                ]
+            else:
+                missing = [
+                    name for name in names
+                    if not self._views.is_materialized(name)
+                    or self._views.is_stale(name)
+                ]
             if missing:
                 if self._shards is not None:
                     from repro.shard.materialize import parallel_materialize
@@ -638,6 +838,7 @@ class QueryEngine:
         self, query: Pattern, selection: Optional[str] = None
     ) -> QueryPlan:
         self._refresh_if_dirty()
+        explicit_selection = selection is not None
         selection = selection or self._selection
         if selection not in _STRATEGIES:
             raise ValueError(
@@ -648,8 +849,28 @@ class QueryEngine:
             d.is_bounded for d in self._views
         )
         fingerprint = pattern_key(query)
-        # Containment depends on view *definitions* only, so its cache
-        # survives extension refreshes (materialization, maintenance).
+        if self._planner == PLANNER_FIXED:
+            return self._fixed_plan_locked(query, fingerprint, selection, bounded)
+        if self._planner == PLANNER_DIRECT:
+            return self._forced_direct_plan_locked(
+                query, fingerprint, selection, bounded
+            )
+        if self._planner == PLANNER_HYBRID:
+            return self._forced_hybrid_plan_locked(
+                query, fingerprint, selection, bounded
+            )
+        return self._adaptive_plan_locked(
+            query, fingerprint, selection, bounded, explicit_selection
+        )
+
+    def _containment_locked(
+        self, query: Pattern, fingerprint, selection: str, bounded: bool
+    ):
+        """The (possibly cached) containment decision for one selection.
+
+        Containment depends on view *definitions* only, so its cache
+        survives extension refreshes (materialization, maintenance).
+        """
         decision_key = (fingerprint, selection, self._views.definitions_version)
         containment = self._containment_cache.get(decision_key)
         cached = containment is not None
@@ -657,6 +878,15 @@ class QueryEngine:
             select = _STRATEGIES[selection][1 if bounded else 0]
             containment = select(query, self._views)
             self._containment_cache.put(decision_key, containment)
+        return containment, cached
+
+    def _fixed_plan_locked(
+        self, query: Pattern, fingerprint, selection: str, bounded: bool
+    ) -> QueryPlan:
+        """The legacy binary decision: MatchJoin iff ``Q ⊑ V``."""
+        containment, cached = self._containment_locked(
+            query, fingerprint, selection, bounded
+        )
         if not containment.holds:
             strategy, reason = DIRECT, REASON_NOT_CONTAINED
         elif query.isolated_nodes():
@@ -664,10 +894,373 @@ class QueryEngine:
         else:
             strategy, reason = MATCHJOIN, None
         views_used = containment.views_used() if strategy == MATCHJOIN else ()
+        return self._finish_plan(
+            query, fingerprint, strategy, selection, containment,
+            views_used, bounded, cached, reason, PLANNER_FIXED,
+        )
+
+    def _forced_direct_plan_locked(
+        self, query: Pattern, fingerprint, selection: str, bounded: bool
+    ) -> QueryPlan:
+        """``planner="direct"``: always evaluate on ``G`` -- and skip
+        the containment check entirely, which is precisely what the
+        direct-only baseline should (not) pay for."""
+        containment = Containment(
+            holds=False,
+            mapping={},
+            uncovered=frozenset(query.edge_set()),
+            view_names=(),
+        )
+        candidate = self._direct_candidate(query, bounded)
+        return self._finish_plan(
+            query, fingerprint, DIRECT, selection, containment,
+            (), bounded, False, REASON_FORCED, PLANNER_DIRECT,
+            candidates=(candidate,),
+            cost_estimate=candidate.estimate,
+            cost_units=candidate.units,
+        )
+
+    def _forced_hybrid_plan_locked(
+        self, query: Pattern, fingerprint, selection: str, bounded: bool
+    ) -> QueryPlan:
+        """``planner="hybrid"``: partial rewriting wherever applicable
+        (maximal coverage via the ``"all"`` selection, full λ -- no
+        cost-based pruning; that is the adaptive planner's edge);
+        bounded and isolated-node patterns degrade to direct
+        evaluation."""
+        if bounded or query.isolated_nodes():
+            return self._forced_direct_plan_locked(
+                query, fingerprint, selection, bounded
+            )
+        containment, cached = self._containment_locked(
+            query, fingerprint, "all", bounded
+        )
+        views_used = containment.views_used()
+        candidate = self._hybrid_candidate(query, containment, bounded)
+        if not candidate.feasible or not views_used:
+            return self._forced_direct_plan_locked(
+                query, fingerprint, selection, bounded
+            )
+        return self._finish_plan(
+            query, fingerprint, HYBRID, "all", containment,
+            views_used, bounded, cached, REASON_FORCED, PLANNER_HYBRID,
+            candidates=(candidate,),
+            cost_estimate=candidate.estimate,
+            cost_units=candidate.units,
+        )
+
+    def _adaptive_plan_locked(
+        self,
+        query: Pattern,
+        fingerprint,
+        selection: str,
+        bounded: bool,
+        explicit_selection: bool,
+    ) -> QueryPlan:
+        """Price every applicable strategy and pick the cheapest.
+
+        Candidates: MatchJoin over each selection policy's view subset
+        (the caller-pinned one when a selection was passed explicitly,
+        otherwise the engine default plus ``"minimal"`` and
+        ``"minimum"`` -- Theorems 5/6 pick different subsets and
+        neither dominates), hybrid rewriting over the maximal
+        (``"all"``) coverage -- λ-pruned to the cheapest witness per
+        edge, see :meth:`_prune_coverage_locked` -- when the query is
+        partially covered (Section VIII), and direct evaluation when a
+        graph is present.
+        """
+        isolated = bool(query.isolated_nodes())
+        graph_units = self._graph_units_locked()
+        if explicit_selection:
+            selections = [selection]
+        else:
+            selections = list(
+                dict.fromkeys([self._selection, "minimal", "minimum"])
+            )
+        candidates: List[CandidateCost] = []
+        containments = {}
+        cached_flags = {}
+        for sel in selections:
+            containment, cached = self._containment_locked(
+                query, fingerprint, sel, bounded
+            )
+            containments[sel] = containment
+            cached_flags[sel] = cached
+            if containment.holds and not isolated:
+                candidates.append(
+                    self._matchjoin_candidate(sel, containment, bounded, graph_units)
+                )
+        if self._graph is not None:
+            candidates.append(self._direct_candidate(query, bounded))
+            if not bounded and not isolated:
+                coverage, cov_cached = self._containment_locked(
+                    query, fingerprint, "all", bounded
+                )
+                total = len(query.edge_set())
+                covered = len(frozenset(coverage.mapping))
+                if 0 < covered < total:
+                    pruned = self._prune_coverage_locked(coverage)
+                    containments["all"] = pruned
+                    cached_flags["all"] = cov_cached
+                    candidates.append(
+                        self._hybrid_candidate(query, pruned, bounded)
+                    )
+        feasible = [c for c in candidates if c.feasible]
+        if not feasible:
+            # Views cannot answer it and there is no graph: keep the
+            # legacy direct/fallback shape so _spec_for raises the
+            # same NotContainedError / ValueError it always has.
+            containment = containments[selection]
+            reason = (
+                REASON_ISOLATED_NODES
+                if containment.holds and isolated
+                else REASON_NOT_CONTAINED
+            )
+            return self._finish_plan(
+                query, fingerprint, DIRECT, selection, containment,
+                (), bounded, cached_flags[selection], reason,
+                PLANNER_ADAPTIVE, candidates=tuple(candidates),
+            )
+        winner = min(
+            feasible,
+            key=lambda c: (c.estimate, STRATEGY_PREFERENCE.index(c.strategy)),
+        )
+        explored = self._explore_candidate(feasible, winner, bounded)
+        if explored is not None:
+            marked = replace(
+                explored,
+                note=(explored.note + "; " if explored.note else "")
+                + "explore",
+            )
+            candidates = [
+                marked if c is explored else c for c in candidates
+            ]
+            winner = marked
+        if len(feasible) == 1 and winner.strategy == DIRECT:
+            # No real choice: views cannot answer this query at all.
+            # Keep the legacy fallback reasons (not-contained first,
+            # mirroring the fixed planner) for those consumers.
+            reason = (
+                REASON_NOT_CONTAINED
+                if not containments[selection].holds
+                else REASON_ISOLATED_NODES
+            )
+        elif len(feasible) == 1 and winner.strategy == MATCHJOIN:
+            reason = None  # contained, nothing else applicable: legacy shape
+        else:
+            reason = {
+                MATCHJOIN: REASON_COST_MATCHJOIN,
+                HYBRID: REASON_COST_HYBRID,
+                DIRECT: REASON_COST_DIRECT,
+            }[winner.strategy]
+        sel_used = winner.selection
+        containment = containments[sel_used]
+        views_used = winner.views
+        return self._finish_plan(
+            query, fingerprint, winner.strategy, sel_used, containment,
+            views_used, bounded, cached_flags[sel_used], reason,
+            PLANNER_ADAPTIVE,
+            candidates=tuple(candidates),
+            cost_estimate=winner.estimate,
+            cost_units=winner.units,
+        )
+
+    def _explore_candidate(
+        self,
+        feasible: List[CandidateCost],
+        winner: CandidateCost,
+        bounded: bool,
+    ) -> Optional[CandidateCost]:
+        """One-shot exploration: pick a feasible strategy the cost
+        model has never observed (at this bounded tier) over the
+        estimated winner, so its *real* rate replaces the cold default.
+
+        Without this the planner only ever observes the strategies it
+        picks, and a pessimistic cold default can never be corrected --
+        e.g. with non-selective views, MatchJoin's optimistic cold rate
+        would win forever even when direct evaluation is measurably
+        faster.  Exploration is bounded by the strategy count (each
+        strategy is explored at most once, then has samples) and never
+        picks a candidate that would materialize views as a side
+        effect -- whether a cold view is worth materializing is the
+        advisor's decision, not the planner's.
+        """
+        model = self._cost_model
+        if model.samples(winner.strategy, bounded) == 0:
+            return None  # executing the winner IS the exploration
+        rivals = [
+            c
+            for c in feasible
+            if c is not winner
+            and model.samples(c.strategy, bounded) == 0
+            and "unmaterialized" not in c.note
+        ]
+        if not rivals:
+            return None
+        return min(
+            rivals,
+            key=lambda c: (c.estimate, STRATEGY_PREFERENCE.index(c.strategy)),
+        )
+
+    def _matchjoin_candidate(
+        self, sel: str, containment, bounded: bool, graph_units: float
+    ) -> CandidateCost:
+        """Price MatchJoin over ``containment``'s view subset.
+
+        Materialized, fresh extensions contribute their measured sizes;
+        a missing (or stale) extension contributes an estimated size
+        *plus* a one-shot materialization penalty -- unless the engine
+        has no graph to materialize from, which makes the candidate
+        infeasible.
+        """
+        views = containment.views_used()
+        ext_units = 0.0
+        missing = 0
+        for name in views:
+            if self._views.is_materialized(name) and not self._views.is_stale(name):
+                ext_units += self._views.extension(name).size
+            else:
+                missing += 1
+                ext_units += EST_MISSING_FRACTION * graph_units
+        model = self._cost_model
+        warm = model.estimate(MATCHJOIN, bounded, ext_units)
+        feasible = missing == 0 or self._graph is not None
+        estimate = warm + missing * model.materialize_penalty(bounded, graph_units)
+        note = f"{missing} view(s) unmaterialized" if missing else ""
+        return CandidateCost(
+            strategy=MATCHJOIN,
+            label=f"matchjoin[{sel}]",
+            selection=sel,
+            views=views,
+            units=ext_units,
+            rate=model.rate(MATCHJOIN, bounded),
+            estimate=estimate,
+            warm_estimate=warm,
+            feasible=feasible,
+            note=note if feasible else "no graph to materialize from",
+        )
+
+    def _direct_candidate(self, query: Pattern, bounded: bool) -> CandidateCost:
+        model = self._cost_model
+        units = self._direct_units_locked(query)
+        estimate = model.estimate(DIRECT, bounded, units)
+        return CandidateCost(
+            strategy=DIRECT,
+            label=DIRECT,
+            selection=self._selection,
+            views=(),
+            units=units,
+            rate=model.rate(DIRECT, bounded),
+            estimate=estimate,
+            warm_estimate=estimate,
+            feasible=self._graph is not None,
+            note="" if self._graph is not None else "no data graph",
+        )
+
+    def _prune_coverage_locked(self, coverage) -> Containment:
+        """Cost-based λ pruning: keep one reference per covered edge.
+
+        Every reference in ``λ(e)`` is individually a superset of the
+        edge's true match set (Theorem 1's invariant holds per view
+        match), so the merge stays correct with any single one -- and
+        the merge volume is what hybrid evaluation pays for.  Keeping
+        the reference from the smallest fresh extension (unmaterialized
+        views price at their estimated size, so they lose to any
+        materialized one) turns "covered by everything, including the
+        big views" into "covered by the cheapest witness".  This is a
+        *cost-model* decision -- only the adaptive planner does it; the
+        forced ``planner="hybrid"`` baseline keeps the full λ, the
+        paper's literal maximal-coverage rewriting.
+        """
+        sizes: Dict[str, float] = {}
+
+        def size_of(name: str) -> float:
+            if name not in sizes:
+                if self._views.is_materialized(name) and not self._views.is_stale(
+                    name
+                ):
+                    sizes[name] = float(self._views.extension(name).size)
+                else:
+                    sizes[name] = (
+                        EST_MISSING_FRACTION * self._graph_units_locked()
+                    )
+            return sizes[name]
+
+        mapping = {}
+        names: List[str] = []
+        for edge, refs in coverage.mapping.items():
+            best = min(refs, key=lambda ref: (size_of(ref[0]), str(ref[0])))
+            mapping[edge] = (best,)
+            if best[0] not in names:
+                names.append(best[0])
+        return Containment(
+            holds=coverage.holds,
+            mapping=mapping,
+            uncovered=coverage.uncovered,
+            view_names=tuple(names),
+        )
+
+    def _hybrid_candidate(
+        self, query: Pattern, coverage, bounded: bool
+    ) -> CandidateCost:
+        """Price hybrid rewriting over the covered fragment: extension
+        units for the covered edges plus the uncovered fraction of
+        ``|G|`` for the edges evaluated directly."""
+        graph_units = self._graph_units_locked()
+        views = coverage.views_used()
+        total = len(query.edge_set())
+        covered = len(frozenset(coverage.mapping))
+        uncovered_fraction = (total - covered) / total if total else 0.0
+        ext_units = 0.0
+        missing = 0
+        for name in views:
+            if self._views.is_materialized(name) and not self._views.is_stale(name):
+                ext_units += self._views.extension(name).size
+            else:
+                missing += 1
+                ext_units += EST_MISSING_FRACTION * graph_units
+        units = ext_units + uncovered_fraction * self._direct_units_locked(query)
+        model = self._cost_model
+        warm = model.estimate(HYBRID, bounded, units)
+        estimate = warm + missing * model.materialize_penalty(bounded, graph_units)
+        feasible = self._graph is not None and bool(views)
+        note = f"coverage {covered}/{total}"
+        if missing:
+            note += f", {missing} view(s) unmaterialized"
+        return CandidateCost(
+            strategy=HYBRID,
+            label=HYBRID,
+            selection="all",
+            views=views,
+            units=units,
+            rate=model.rate(HYBRID, bounded),
+            estimate=estimate,
+            warm_estimate=warm,
+            feasible=feasible,
+            note=note,
+        )
+
+    def _finish_plan(
+        self,
+        query: Pattern,
+        fingerprint,
+        strategy: str,
+        selection: str,
+        containment,
+        views_used: Tuple[str, ...],
+        bounded: bool,
+        cached: bool,
+        reason: Optional[str],
+        planner: str,
+        candidates: Tuple[CandidateCost, ...] = (),
+        cost_estimate: Optional[float] = None,
+        cost_units: float = 0.0,
+    ) -> QueryPlan:
         # The answer key covers exactly what the plan reads: the
-        # version stamps of the views MatchJoin consumes, or the graph
-        # version for direct evaluation.  An update therefore strands
-        # only the answers whose inputs actually changed.
+        # version stamps of the views MatchJoin consumes, the graph
+        # version for direct evaluation, or both for hybrid plans.  An
+        # update therefore strands only the answers whose inputs
+        # actually changed.
         key = (
             fingerprint,
             selection,
@@ -684,6 +1277,10 @@ class QueryEngine:
             cache_key=key,
             containment_cached=cached,
             reason=reason,
+            planner=planner,
+            candidates=candidates,
+            cost_estimate=cost_estimate,
+            cost_units=cost_units,
         )
 
     # ------------------------------------------------------------------
@@ -715,8 +1312,12 @@ class QueryEngine:
             # stamps instead of storing it under the new ones.
             key = self._current_key(plan)
             # Freeze lazily: MatchJoin specs never read the graph, so
-            # only a direct-evaluation spec is worth the freeze cost.
-            graph = self._snapshot_locked() if spec.kind == DIRECT else None
+            # only direct / hybrid specs are worth the freeze cost.
+            graph = (
+                self._snapshot_locked()
+                if spec.kind in (DIRECT, HYBRID)
+                else None
+            )
             extensions = self._views.extensions()
         with trace.span("evaluate", strategy=plan.strategy, executor="serial"):
             [(_, result, elapsed, _, _)], _ = run_specs(
@@ -767,7 +1368,9 @@ class QueryEngine:
             # version stamps); key each answer on the state actually
             # evaluated before releasing the lock.
             keys = {index: self._current_key(plans[index]) for index, _ in specs}
-            needs_graph = any(spec.kind == DIRECT for _, spec in specs)
+            needs_graph = any(
+                spec.kind in (DIRECT, HYBRID) for _, spec in specs
+            )
             graph = self._snapshot_locked() if needs_graph else None
             extensions = self._views.extensions()
 
@@ -811,9 +1414,16 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _key_material(self, strategy: str, views_used) -> Tuple:
         """What an answer depends on: per-view version stamps for a
-        MatchJoin plan, the graph's mutation version for a direct one."""
+        MatchJoin plan, the graph's mutation version for a direct one,
+        and both for a hybrid plan (it reads both)."""
         if strategy == MATCHJOIN:
             return ("V", self._views.version_vector(views_used))
+        if strategy == HYBRID:
+            return (
+                "H",
+                self._views.version_vector(views_used),
+                self._graph.version if self._graph is not None else -1,
+            )
         return ("G", self._graph.version if self._graph is not None else -1)
 
     def _current_key(self, plan: QueryPlan) -> Tuple:
@@ -848,6 +1458,11 @@ class QueryEngine:
                 optimized=self._optimized,
                 trace_id=trace.current_span_id(),
             )
+        if plan.strategy == HYBRID and self._graph is None:
+            raise ValueError(
+                "plan requires hybrid evaluation but the engine has no "
+                "data graph"
+            )
         missing = [
             name for name in plan.views_used
             if not self._views.is_materialized(name)
@@ -878,7 +1493,7 @@ class QueryEngine:
             else:
                 self._views.materialize(snapshot, names=missing)
         return EvaluationSpec(
-            kind=MATCHJOIN,
+            kind=plan.strategy,
             query=plan.query,
             containment=plan.containment,
             needed=plan.views_used,
@@ -930,25 +1545,49 @@ class QueryEngine:
         evaluates specs itself (against pinned epochs) rather than
         through :meth:`execute`."""
         with self._lock:
+            view_sizes = {
+                name: self._views.extension(name).size
+                for name in plan.views_used
+                if self._views.is_materialized(name)
+            }
             record = PlanChoiceRecord(
                 fingerprint=fingerprint_digest(plan.cache_key[0]),
                 strategy=plan.strategy,
                 selection=plan.selection,
                 reason=plan.reason,
                 views_used=plan.views_used,
-                view_sizes={
-                    name: self._views.extension(name).size
-                    for name in plan.views_used
-                    if self._views.is_materialized(name)
-                },
+                view_sizes=view_sizes,
                 bounded=plan.bounded,
                 containment_cached=plan.containment_cached,
                 cache_hit=cache_hit,
                 snapshot_kind=self._snapshot_kind_locked(),
                 executor=executor,
                 elapsed=elapsed,
+                planner=plan.planner,
+                cost_estimate=plan.cost_estimate,
+                candidates=plan.candidates,
             )
             self._plan_log.append(record)
+            if not cache_hit and elapsed > 0.0:
+                # Calibrate the cost model with what actually happened.
+                # Fixed-planner answers train it too, so switching an
+                # engine (or a shared model) to adaptive starts warm.
+                units = plan.cost_units
+                if units <= 0.0:
+                    if plan.strategy == DIRECT:
+                        units = self._direct_units_locked(plan.query)
+                    else:
+                        units = float(sum(view_sizes.values()))
+                        if plan.strategy == HYBRID:
+                            total = len(plan.query.edge_set())
+                            uncovered = len(plan.containment.uncovered)
+                            if total:
+                                units += (
+                                    uncovered / total
+                                ) * self._direct_units_locked(plan.query)
+                self._cost_model.observe(
+                    plan.strategy, plan.bounded, units, elapsed
+                )
         counter = self._m_queries.get(plan.strategy)
         if counter is None:
             counter = self._registry.counter(
@@ -956,7 +1595,9 @@ class QueryEngine:
             )
             self._m_queries[plan.strategy] = counter
         counter.inc()
-        if plan.reason is not None:
+        # Only genuine view-insufficiency reasons count as fallbacks;
+        # cost-model reasons are choices, not failures to use views.
+        if plan.reason in FALLBACK_REASONS:
             fallback = self._m_fallbacks.get(plan.reason)
             if fallback is None:
                 fallback = self._registry.counter(
@@ -976,6 +1617,8 @@ class QueryEngine:
                 cache_hit=cache_hit,
                 snapshot_kind=record.snapshot_kind,
             )
+        if self._advisor is not None:
+            self._advisor.maybe_tick()
         return record
 
     def __repr__(self) -> str:

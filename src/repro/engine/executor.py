@@ -49,11 +49,12 @@ EXECUTORS = ("serial", "thread", "process")
 class EvaluationSpec:
     """A self-contained, picklable description of one evaluation.
 
-    ``kind`` is a plan strategy (``"matchjoin"`` or ``"direct"``);
-    ``needed`` names the extensions MatchJoin reads; ``bounded``
-    engages the Section VI machinery.  The heavyweight inputs (the
-    extensions and the graph) are *not* part of the spec -- they are
-    resolved against the worker's shared payload at evaluation time.
+    ``kind`` is a plan strategy (``"matchjoin"``, ``"direct"`` or
+    ``"hybrid"``); ``needed`` names the extensions MatchJoin / the
+    hybrid kernel read; ``bounded`` engages the Section VI machinery.
+    The heavyweight inputs (the extensions and the graph) are *not*
+    part of the spec -- they are resolved against the worker's shared
+    payload at evaluation time.
     """
 
     kind: str
@@ -85,6 +86,16 @@ def evaluate_spec(
         if isinstance(spec.query, BoundedPattern):
             return bounded_match(spec.query, graph)
         return match(spec.query, graph)
+    if spec.kind == "hybrid":
+        if graph is None:
+            raise ValueError("hybrid evaluation requires a data graph")
+        from repro.core.rewriting import hybrid_join
+
+        chosen = {name: extensions[name] for name in spec.needed}
+        return hybrid_join(
+            spec.query, spec.containment, chosen, graph,
+            optimized=spec.optimized,
+        )
     chosen = {name: extensions[name] for name in spec.needed}
     if spec.bounded:
         query = (
@@ -245,7 +256,11 @@ def run_specs(
     # serialized exactly once regardless of worker count.
     needed = {name for _, spec in tasks for name in spec.needed}
     payload = {name: extensions[name] for name in needed}
-    ship_graph = graph if any(spec.kind == "direct" for _, spec in tasks) else None
+    ship_graph = (
+        graph
+        if any(spec.kind in ("direct", "hybrid") for _, spec in tasks)
+        else None
+    )
     started = perf_counter()
     blob = pickle.dumps((payload, ship_graph), pickle.HIGHEST_PROTOCOL)
     ship = ShipStats(bytes=len(blob), seconds=perf_counter() - started)

@@ -7,13 +7,23 @@ planner factors the first two stages out into a :class:`QueryPlan` that
 is computed once per (query shape, selection, view-cache version) and
 can be inspected, cached, and shipped to worker processes.
 
-A plan chooses between two strategies:
+A plan chooses among three strategies:
 
 * ``"matchjoin"`` -- ``Q ⊑ V`` holds: evaluate from the materialized
   extensions only, never touching ``G`` (Theorem 1).
-* ``"direct"`` -- ``Q ⋢ V`` (or the pattern has isolated nodes, which
-  view extensions cannot cover): fall back to the simulation baseline
-  ``Match`` on the data graph.
+* ``"hybrid"`` -- partial rewriting (Section VIII): answer the covered
+  pattern fragment from the views and touch ``G`` only for the
+  uncovered edges; exact, and cheap when coverage is high.
+* ``"direct"`` -- fall back to the simulation baseline ``Match`` on
+  the data graph (always chosen for isolated-node patterns, which view
+  extensions cannot cover).
+
+The *fixed* planner keeps the legacy binary decision (MatchJoin iff
+contained); the *adaptive* planner prices every applicable strategy
+with the engine's :class:`~repro.engine.cost.CostModel` -- MatchJoin
+over the minimal vs greedy-minimum subset, hybrid rewriting, direct --
+and picks the cheapest, recording the full candidate table on the plan
+(``explain()``) and its :class:`PlanChoiceRecord`.
 
 :func:`pattern_key` provides the structural fingerprint used as the
 cache key; two queries with equal fingerprints have identical results
@@ -28,6 +38,7 @@ from functools import lru_cache
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.containment import Containment
+from repro.engine.cost import CandidateCost
 from repro.graph.pattern import BoundedPattern, Pattern
 
 PatternKey = Tuple[Hashable, ...]
@@ -35,10 +46,50 @@ PatternKey = Tuple[Hashable, ...]
 #: Plan strategies.
 MATCHJOIN = "matchjoin"
 DIRECT = "direct"
+HYBRID = "hybrid"
+
+#: Planner modes.  ``"fixed"`` is the legacy binary decision (MatchJoin
+#: iff ``Q ⊑ V``, else direct); ``"adaptive"`` prices every applicable
+#: strategy with the engine's :class:`~repro.engine.cost.CostModel` and
+#: picks the cheapest; ``"direct"`` / ``"hybrid"`` force one strategy
+#: (the fixed baselines ``bench_planner.py`` compares against).
+PLANNER_FIXED = "fixed"
+PLANNER_ADAPTIVE = "adaptive"
+PLANNER_DIRECT = "direct"
+PLANNER_HYBRID = "hybrid"
+PLANNERS = (PLANNER_FIXED, PLANNER_ADAPTIVE, PLANNER_DIRECT, PLANNER_HYBRID)
 
 #: Reasons the planner may fall back to the direct strategy.
 REASON_NOT_CONTAINED = "not-contained"
 REASON_ISOLATED_NODES = "isolated-nodes"
+
+#: Cost-model reasons: the adaptive planner chose the strategy because
+#: it priced cheapest among the feasible candidates.
+REASON_COST_DIRECT = "cost-direct"
+REASON_COST_MATCHJOIN = "cost-matchjoin"
+REASON_COST_HYBRID = "cost-hybrid"
+
+#: A forced planner mode (``planner="direct"`` / ``"hybrid"``) chose
+#: the strategy; no cost comparison happened.
+REASON_FORCED = "forced"
+
+#: The legacy reason strings, aliased to their cost-model successors.
+#: ``PlanChoiceRecord`` consumers written against the binary planner
+#: can treat an aliased pair as the same fallback class: both mean
+#: "the planner chose direct evaluation over answering from views".
+REASON_ALIASES = {
+    REASON_NOT_CONTAINED: REASON_COST_DIRECT,
+    REASON_ISOLATED_NODES: REASON_COST_DIRECT,
+}
+
+#: Reasons that count as *fallbacks* (views could not answer the
+#: query) in ``repro_engine_fallbacks_total`` -- cost-model reasons are
+#: choices, not fallbacks, and stay out of that counter.
+FALLBACK_REASONS = (REASON_NOT_CONTAINED, REASON_ISOLATED_NODES)
+
+#: Tie-break preference when candidate estimates are equal: prefer the
+#: strategy that touches less of ``G``.
+STRATEGY_PREFERENCE = (MATCHJOIN, HYBRID, DIRECT)
 
 
 def pattern_key(query: Pattern) -> PatternKey:
@@ -104,8 +155,21 @@ class QueryPlan:
         engine's decision cache rather than recomputed.
     reason:
         For ``"direct"`` plans, why MatchJoin was not applicable
-        (``"not-contained"`` or ``"isolated-nodes"``); ``None`` for
-        ``"matchjoin"`` plans.
+        (``"not-contained"`` or ``"isolated-nodes"``); for plans the
+        adaptive planner chose on price, the cost reason
+        (``"cost-matchjoin"`` / ``"cost-hybrid"`` / ``"cost-direct"``);
+        ``None`` for fixed-planner MatchJoin plans.
+    planner:
+        Which planner mode produced the plan (see :data:`PLANNERS`).
+    candidates:
+        The priced :class:`~repro.engine.cost.CandidateCost` entries
+        the adaptive planner compared (empty for the fixed planner).
+    cost_estimate / cost_units:
+        The winner's predicted evaluation seconds and the work-unit
+        volume the estimate was computed from (``None`` / ``0`` when
+        the planner did not price the plan).  ``cost_units`` is also
+        what the engine calibrates the cost model with once the real
+        elapsed time is known.
     """
 
     query: Pattern
@@ -117,17 +181,29 @@ class QueryPlan:
     cache_key: Tuple
     containment_cached: bool = False
     reason: Optional[str] = field(default=None)
+    planner: str = PLANNER_FIXED
+    candidates: Tuple[CandidateCost, ...] = ()
+    cost_estimate: Optional[float] = None
+    cost_units: float = 0.0
 
     @property
     def uses_views(self) -> bool:
-        """True when the plan answers from view extensions only."""
-        return self.strategy == MATCHJOIN
+        """True when the plan reads view extensions (exclusively for
+        MatchJoin; alongside ``G`` for hybrid rewriting)."""
+        return self.strategy in (MATCHJOIN, HYBRID)
 
     def explain(self) -> str:
         """A human-readable rendition of the plan (CLI ``--explain``)."""
+        cost = (
+            f" est={self.cost_estimate * 1e3:.3f} ms"
+            if self.cost_estimate is not None
+            else ""
+        )
         lines = [
             f"strategy : {self.strategy}"
-            + (f" ({self.reason})" if self.reason else ""),
+            + (f" ({self.reason})" if self.reason else "")
+            + cost,
+            f"planner  : {self.planner}",
             f"selection: {self.selection}"
             + (" [cached decision]" if self.containment_cached else ""),
             f"bounded  : {self.bounded}",
@@ -137,12 +213,33 @@ class QueryPlan:
             lines.append(
                 f"lambda   : {len(self.containment.mapping)} query edges covered"
             )
-        else:
+        if self.strategy in (DIRECT, HYBRID):
             uncovered = sorted(self.containment.uncovered, key=repr)
             if uncovered:
                 rendered = ", ".join(f"{a}->{b}" for a, b in uncovered)
                 lines.append(f"uncovered: {rendered}")
+        if self.candidates:
+            lines.append("candidates:")
+            winner = self.winning_candidate()
+            for candidate in self.candidates:
+                lines.append("  " + candidate.render(chosen=candidate is winner))
         return "\n".join(lines)
+
+    def winning_candidate(self) -> Optional[CandidateCost]:
+        """The candidate the plan executes (``None`` for fixed plans).
+
+        Matched on strategy *and* selection so ``explain()`` and the
+        :class:`PlanChoiceRecord` agree with the chosen plan by
+        construction.
+        """
+        for candidate in self.candidates:
+            if (
+                candidate.strategy == self.strategy
+                and (candidate.strategy != MATCHJOIN
+                     or candidate.selection == self.selection)
+            ):
+                return candidate
+        return None
 
     def __repr__(self) -> str:
         views = f", views={list(self.views_used)}" if self.uses_views else ""
@@ -163,8 +260,10 @@ def fingerprint_digest(key: PatternKey) -> str:
 
 
 #: Version of the plan-choice record schema (ROADMAP item 3 trains on
-#: these records; breaking layout changes bump this).
-PLAN_RECORD_VERSION = 1
+#: these records; breaking layout changes bump this).  v2 adds the
+#: planner mode, the per-candidate cost table and the winner's
+#: estimate; every v1 field is unchanged.
+PLAN_RECORD_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -197,6 +296,9 @@ class PlanChoiceRecord:
     snapshot_kind: str
     executor: str
     elapsed: float
+    planner: str = PLANNER_FIXED
+    cost_estimate: Optional[float] = None
+    candidates: Tuple[CandidateCost, ...] = ()
 
     def to_dict(self) -> Dict:
         """JSON-ready form (the plan log and protocol surface this)."""
@@ -214,6 +316,13 @@ class PlanChoiceRecord:
             "snapshot_kind": self.snapshot_kind,
             "executor": self.executor,
             "elapsed_ms": self.elapsed * 1e3,
+            "planner": self.planner,
+            "cost_estimate_ms": (
+                self.cost_estimate * 1e3
+                if self.cost_estimate is not None
+                else None
+            ),
+            "candidates": [c.to_dict() for c in self.candidates],
         }
 
 

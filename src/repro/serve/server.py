@@ -43,7 +43,7 @@ from typing import Dict, NamedTuple, Optional, Tuple
 from repro.engine.cache import LRUCache
 from repro.engine.engine import QueryEngine
 from repro.engine.executor import EvaluationSpec, evaluate_spec
-from repro.engine.plan import DIRECT, MATCHJOIN, QueryPlan
+from repro.engine.plan import DIRECT, HYBRID, MATCHJOIN, QueryPlan
 from repro.errors import ServerClosedError, ServerOverloadedError
 from repro.graph.pattern import Pattern
 from repro.obs import trace
@@ -99,6 +99,14 @@ class QueryServer:
         Capacity of the server's answer LRU (version-stamp keyed, so
         entries from superseded epochs are stranded, never wrong).
         ``0`` disables it; coalescing still applies.
+    advise_interval:
+        Seconds between periodic :class:`WorkloadAdvisor` ticks (the
+        engine must have been built with ``auto_materialize``).  Each
+        tick runs on the maintenance thread under the update lock and
+        publishes a fresh epoch, so readers only ever see the advisor's
+        decisions through an atomic epoch swap.  ``None`` disables
+        periodic ticks (the engine's own per-answer cadence still
+        applies when its advisor is configured).
     """
 
     def __init__(
@@ -108,6 +116,7 @@ class QueryServer:
         max_inflight: int = 8,
         max_queue: int = 64,
         answer_cache_size: int = 1024,
+        advise_interval: Optional[float] = None,
     ) -> None:
         if engine.graph is None:
             raise ValueError("QueryServer requires an engine with a data graph")
@@ -115,9 +124,21 @@ class QueryServer:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if advise_interval is not None:
+            if advise_interval <= 0:
+                raise ValueError(
+                    f"advise_interval must be > 0, got {advise_interval}"
+                )
+            if engine.advisor is None:
+                raise ValueError(
+                    "advise_interval requires an engine built with "
+                    "auto_materialize"
+                )
         self._engine = engine
         self._max_inflight = max_inflight
         self._max_queue = max_queue
+        self._advise_interval = advise_interval
+        self._advise_task: Optional[asyncio.Task] = None
         self._registry = SnapshotRegistry()
         self._answers = LRUCache(answer_cache_size)
         self._coalescing: Dict[Tuple, asyncio.Future] = {}
@@ -135,6 +156,7 @@ class QueryServer:
             "deltas": 0,
             "ops_applied": 0,
             "ops_skipped": 0,
+            "advisor_ticks": 0,
         }
         # stats() may be called from any thread (the metrics endpoint
         # runs outside the event loop); counter *mutation* stays on the
@@ -176,6 +198,8 @@ class QueryServer:
         )
         self._registry.swap(checkpoint)
         self._started = True
+        if self._advise_interval is not None:
+            self._advise_task = self._loop.create_task(self._advise_loop())
 
     async def stop(self) -> None:
         """Clean shutdown: refuse new requests, drain in-flight ones,
@@ -183,6 +207,13 @@ class QueryServer:
         self._closing = True
         if not self._started:
             return
+        if self._advise_task is not None:
+            self._advise_task.cancel()
+            try:
+                await self._advise_task
+            except asyncio.CancelledError:
+                pass
+            self._advise_task = None
         await self._idle.wait()
         # wait=False: the pools are idle by now (every request drained),
         # and the event loop must not block on thread joins.
@@ -320,7 +351,13 @@ class QueryServer:
             self._pool, self._attached, parent, self._engine.plan,
             pattern, selection,
         )
-        key = self._answer_key(plan, epoch)
+        # The spec is derived from the plan *and the pinned epoch*: a
+        # plan needing an extension the advisor has since evicted is
+        # degraded to direct evaluation against the epoch's snapshot.
+        # The answer/coalescing key uses the spec's effective strategy,
+        # so a degraded answer never poisons the view-keyed entry.
+        spec = self._spec_from(plan, epoch)
+        key = self._answer_key(plan, spec, epoch)
         if key is not None:
             hit = self._answers.get(key)
             if hit is not None:
@@ -352,7 +389,6 @@ class QueryServer:
             self._coalescing[key] = future
         if parent is not None:
             parent.set(outcome="evaluated")
-        spec = self._spec_from(plan)
         try:
             result, elapsed = await self._loop.run_in_executor(
                 self._pool, self._attached, parent, self._evaluate,
@@ -385,11 +421,15 @@ class QueryServer:
         with trace.attach(parent):
             return fn(*args)
 
-    def _answer_key(self, plan: QueryPlan, epoch: Epoch) -> Optional[Tuple]:
+    def _answer_key(
+        self, plan: QueryPlan, spec: EvaluationSpec, epoch: Epoch
+    ) -> Optional[Tuple]:
         """The answer/coalescing key of ``plan`` *on this epoch* --
         same material as the engine's answer cache, but stamped from
         the epoch's checkpoint so concurrent epochs never share an
-        entry unless their inputs are truly identical."""
+        entry unless their inputs are truly identical.  Keyed on the
+        spec's *effective* strategy: a view plan degraded to direct
+        (extension evicted) keys like any other direct answer."""
         checkpoint = epoch.checkpoint
         fingerprint, selection, definitions_version, _ = plan.cache_key
         if definitions_version != checkpoint.definitions_version:
@@ -402,13 +442,23 @@ class QueryServer:
             fingerprint,
             selection,
             definitions_version,
-            checkpoint.key_material(plan.strategy, plan.views_used),
+            checkpoint.key_material(spec.kind, spec.needed),
         )
 
-    def _spec_from(self, plan: QueryPlan) -> EvaluationSpec:
-        """A picklable spec for ``plan`` -- no materialization: every
-        epoch's checkpoint already carries every extension."""
-        if plan.strategy == DIRECT:
+    def _spec_from(self, plan: QueryPlan, epoch: Epoch) -> EvaluationSpec:
+        """A picklable spec for ``plan`` on ``epoch`` -- no
+        materialization.  A matchjoin/hybrid plan whose needed
+        extension is absent from the epoch's checkpoint (the advisor
+        evicted it after the plan's containment was cached) degrades
+        to direct evaluation against the epoch's frozen snapshot."""
+        strategy = plan.strategy
+        needed = plan.views_used
+        containment = plan.containment
+        if strategy in (MATCHJOIN, HYBRID):
+            extensions = epoch.checkpoint.extensions
+            if any(name not in extensions for name in needed):
+                strategy, needed, containment = DIRECT, (), None
+        if strategy == DIRECT:
             return EvaluationSpec(
                 kind=DIRECT,
                 query=plan.query,
@@ -419,10 +469,10 @@ class QueryServer:
                 trace_id=trace.current_span_id(),
             )
         return EvaluationSpec(
-            kind=MATCHJOIN,
+            kind=strategy,
             query=plan.query,
-            containment=plan.containment,
-            needed=plan.views_used,
+            containment=containment,
+            needed=needed,
             bounded=plan.bounded,
             optimized=self._engine.optimized,
             trace_id=trace.current_span_id(),
@@ -437,7 +487,9 @@ class QueryServer:
             result = evaluate_spec(
                 spec,
                 checkpoint.extensions,
-                checkpoint.snapshot if spec.kind == DIRECT else None,
+                checkpoint.snapshot
+                if spec.kind in (DIRECT, HYBRID)
+                else None,
             )
             if current is not None:
                 current.set(pairs=result.result_size)
@@ -484,6 +536,62 @@ class QueryServer:
     def _apply_sync(self, delta: Delta):
         report = self._engine.apply_delta(delta)
         return report, self._engine.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Advisor ticks
+    # ------------------------------------------------------------------
+    async def advise_tick(self) -> int:
+        """Run one :class:`~repro.engine.advisor.WorkloadAdvisor` tick
+        and publish the resulting epoch.
+
+        Serialized with :meth:`update` on the update lock; the tick
+        (materializations + evictions) and the fresh checkpoint run on
+        the maintenance thread, then the registry pointer swaps
+        atomically.  Readers pinned to the old epoch keep its
+        extensions alive until they drain; readers admitted after the
+        swap see the advisor's cache.  Returns the published epoch id.
+        """
+        async with self._update_lock:
+            with trace.root_span(
+                "server.advise", collector=self._traces
+            ) as root:
+                parent = trace.current_span()
+                report, checkpoint = await self._loop.run_in_executor(
+                    self._maint_pool, self._attached, parent,
+                    self._advise_sync,
+                )
+                epoch = self._registry.swap(checkpoint)
+                root.set(
+                    epoch=epoch.epoch_id,
+                    materialized=len(report.materialized),
+                    evicted=len(report.evicted),
+                    used_bytes=report.used_bytes,
+                )
+            self._count("advisor_ticks")
+            self._engine.registry.counter("repro_server_epoch_swaps_total").inc()
+            if report.materialized or report.evicted:
+                log.info(
+                    "advisor epoch %d: +%s -%s (%d/%d bytes)",
+                    epoch.epoch_id, report.materialized, report.evicted,
+                    report.used_bytes, report.budget_bytes,
+                )
+            return epoch.epoch_id
+
+    def _advise_sync(self):
+        report = self._engine.advisor.tick()
+        return report, self._engine.checkpoint()
+
+    async def _advise_loop(self) -> None:
+        while not self._closing:
+            try:
+                await asyncio.sleep(self._advise_interval)
+                if self._closing:
+                    return
+                await self.advise_tick()
+            except asyncio.CancelledError:
+                return
+            except Exception:  # pragma: no cover - defensive
+                log.exception("advisor tick failed")
 
     # ------------------------------------------------------------------
     # Introspection (the /stats view)

@@ -14,7 +14,7 @@ plus each whole query (so popular query shapes can be cached outright).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.containment import _view_match_fn
 from repro.graph.pattern import Pattern
@@ -23,6 +23,65 @@ from repro.views.view import ViewDefinition
 
 PEdge = Tuple[Hashable, Hashable]
 Element = Tuple[int, PEdge]  # (query index, pattern edge)
+
+
+def maintenance_cost(counters: Optional[Dict[str, int]]) -> float:
+    """A unitless work proxy for what keeping one view fresh has cost.
+
+    Derived from a :class:`~repro.views.maintenance.ViewStats` snapshot:
+    the affected area visited by incremental steps, plus a heavy weight
+    per full recomputation and per extension rebuild.  The advisor
+    divides a view's benefit by (size + this), so rarely-maintained
+    views rank above churn-heavy ones of equal benefit.
+    """
+    if not counters:
+        return 0.0
+    return float(
+        counters.get("affected_area", 0)
+        + 10 * counters.get("recomputes", 0)
+        + counters.get("extension_builds", 0)
+    )
+
+
+def selection_stats(
+    views: ViewSet,
+    maintenance=None,
+    plan_log: Iterable = (),
+) -> Dict[str, Dict[str, object]]:
+    """Per-view cache statistics: size, maintenance cost, hit count.
+
+    One row per view definition: whether (and how large) its extension
+    is materialized, the maintenance counters the attached tracker has
+    accumulated (``maintenance`` overrides ``views.maintenance``), and
+    how many delivered answers in ``plan_log`` (an iterable of
+    :class:`~repro.engine.plan.PlanChoiceRecord`) read the view.  This
+    is the shared input of the
+    :class:`~repro.engine.advisor.WorkloadAdvisor`'s scoring and the
+    ``"selection"`` section of ``repro stats --format json``.
+    """
+    tracker = maintenance if maintenance is not None else views.maintenance
+    tracked = tracker.stats() if tracker is not None else {}
+    hits: Dict[str, int] = {}
+    for record in plan_log:
+        for name in getattr(record, "views_used", ()):
+            hits[name] = hits.get(name, 0) + 1
+    out: Dict[str, Dict[str, object]] = {}
+    for name in views.names():
+        materialized = views.is_materialized(name)
+        extension = views.extension(name) if materialized else None
+        stats = tracked.get(name)
+        counters = stats.snapshot() if stats is not None else None
+        out[name] = {
+            "materialized": materialized,
+            "stale": views.is_stale(name) if materialized else False,
+            "bounded": views.definition(name).is_bounded,
+            "size": extension.size if extension is not None else None,
+            "pairs": extension.num_pairs if extension is not None else None,
+            "hits": hits.get(name, 0),
+            "maintenance": counters,
+            "maintenance_cost": maintenance_cost(counters),
+        }
+    return out
 
 
 def candidate_views_from_workload(queries: Sequence[Pattern]) -> ViewSet:

@@ -185,7 +185,7 @@ class MaterializedView:
         against a :class:`~repro.graph.compact.CompactGraph`).
     """
 
-    __slots__ = ("definition", "edge_matches", "distances", "compact")
+    __slots__ = ("definition", "edge_matches", "distances", "compact", "_size")
 
     def __init__(
         self,
@@ -198,6 +198,7 @@ class MaterializedView:
         self.edge_matches = edge_matches
         self.distances = distances
         self.compact = compact
+        self._size: Optional[int] = None
 
     @property
     def snapshot_version(self) -> Optional[int]:
@@ -222,13 +223,22 @@ class MaterializedView:
 
     @property
     def size(self) -> int:
-        """``|V(G)|`` contribution: nodes touched + pairs stored."""
-        nodes: Set[Node] = set()
-        for pairs in self.edge_matches.values():
-            for v, w in pairs:
-                nodes.add(v)
-                nodes.add(w)
-        return len(nodes) + self.num_pairs
+        """``|V(G)|`` contribution: nodes touched + pairs stored.
+
+        Computed once and cached: the match sets are fixed at
+        construction (maintenance builds fresh extensions rather than
+        mutating them in place), and the adaptive planner reads sizes
+        on every plan, so recounting pairs each time would dominate
+        planning cost.
+        """
+        if self._size is None:
+            nodes: Set[Node] = set()
+            for pairs in self.edge_matches.values():
+                for v, w in pairs:
+                    nodes.add(v)
+                    nodes.add(w)
+            self._size = len(nodes) + self.num_pairs
+        return self._size
 
     def pairs_of(self, view_edge: PEdge) -> Set[NodePair]:
         """The match set ``Se`` of one view edge -- what MatchJoin's
