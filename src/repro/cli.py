@@ -34,6 +34,15 @@ Subcommands::
     python -m repro stats     --graph graph.json [--views views.json] \
                               [--shards 4] [--partitioner hash] \
                               [--format json]
+    python -m repro stats     --snapshot snapdir [--format json]
+    python -m repro ingest    --edges edges.txt --out snapdir \
+                              [--shards 4] [--labels 10] [--budget-mb 64] \
+                              [--max-edges N] [--overwrite] [--format json]
+    python -m repro snapshot  save --graph graph.json --out snapdir \
+                              [--views views.json] [--shards N] \
+                              [--partitioner hash] [--overwrite]
+    python -m repro snapshot  load snapdir [--verify] [--query query.json]
+    python -m repro snapshot  info snapdir [--verify] [--format json]
 
 ``generate`` writes a dataset stand-in (and optionally its standard view
 suite); ``materialize`` caches extensions into the views file;
@@ -68,10 +77,26 @@ work -- plus the planner's plan-choice record (``--format json`` emits
 both machine-readably); ``stats`` prints
 size accounting -- with ``--format json`` it emits a machine-readable report
 including the label histogram and the snapshot / label-index statistics
-of the compact graph backend, a ``selection`` section (per-view size /
-staleness / maintenance-cost rows, the advisor's scoring input) when
-``--views`` is passed, plus a ``partition`` section when ``--shards N``
-is passed.
+of the compact graph backend (each flat segment labelled with its
+``backend`` kind and on-disk byte count), a ``selection`` section
+(per-view size / staleness / maintenance-cost rows, the advisor's
+scoring input) when ``--views`` is passed, plus a ``partition`` section
+when ``--shards N`` is passed; with ``--snapshot DIR`` it instead
+inspects a persistent snapshot directory without rebuilding anything.
+
+The out-of-core workflow (:mod:`repro.graph.snapshot` /
+:mod:`repro.graph.ingest`): ``ingest`` streams an edge list (SNAP
+format) of any size into a sharded on-disk snapshot directory, spilling
+shard-partitioned runs to disk under a byte budget and building one
+shard at a time so peak memory stays flat; ``snapshot save`` persists
+an in-memory graph (optionally sharded, optionally with its view
+catalog) as versioned, checksummed segment files; ``snapshot load``
+reattaches a directory via read-only ``mmap`` -- no rebuild -- and can
+answer a query straight off the cached view packs; ``snapshot info``
+prints the manifest and per-file accounting (``--verify`` runs a full
+payload CRC audit).  ``serve --snapshot DIR`` boots the service from
+such a directory, and ``serve --persist [DIR]`` writes each published
+epoch back out, so a restart resumes from the latest maintained state.
 """
 
 from __future__ import annotations
@@ -470,6 +495,182 @@ def _cmd_maintain(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    """Stream an edge list into a sharded on-disk snapshot directory."""
+    import zlib
+
+    from repro.graph.ingest import ingest_snapshot
+    from repro.graph.io import read_snap_edges
+
+    labeler = None
+    if args.labels:
+        buckets = args.labels
+
+        def labeler(node, _k=buckets):
+            return (f"l{zlib.crc32(repr(node).encode()) % _k}",)
+
+    try:
+        report = ingest_snapshot(
+            read_snap_edges(args.edges),
+            args.out,
+            num_shards=args.shards,
+            labeler=labeler,
+            budget_bytes=args.budget_mb << 20,
+            max_edges=args.max_edges,
+            overwrite=args.overwrite,
+        )
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        print()
+        return 0
+    print(
+        f"ingested {report.edges} edges / {report.nodes} nodes into "
+        f"{report.shards} shards at {report.out_dir} "
+        f"({report.cut_edges} cut edges, "
+        f"{report.on_disk_bytes / (1 << 20):.1f} MiB on disk) "
+        f"in {report.seconds:.2f}s"
+    )
+    print(
+        f"  spill traffic {report.spill_bytes / (1 << 20):.1f} MiB, "
+        f"peak builder RSS growth {report.peak_rss_bytes / (1 << 20):.1f} MiB"
+    )
+    return 0
+
+
+def _cmd_snapshot_save(args) -> int:
+    from repro.graph.snapshot import SnapshotStore
+
+    try:
+        graph = read_graph(args.graph)
+        views = read_viewset(args.views) if args.views else None
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    target = graph
+    if args.shards:
+        from repro.shard import ShardedGraph, make_partition
+
+        target = ShardedGraph(
+            graph, make_partition(graph, args.shards, args.partitioner)
+        )
+    if views is not None:
+        views.materialize(graph)
+    try:
+        manifest = SnapshotStore.save(
+            args.out, target, views=views, overwrite=args.overwrite
+        )
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    meta = manifest.get("graph", {})
+    print(
+        f"saved {manifest.get('kind')} snapshot to {args.out}: "
+        f"{meta.get('nodes')} nodes / {meta.get('edges')} edges, "
+        f"{len(manifest.get('views', {}))} views"
+    )
+    return 0
+
+
+def _cmd_snapshot_load(args) -> int:
+    from repro.graph.snapshot import SnapshotStore
+
+    try:
+        loaded = SnapshotStore.load(args.path, verify=args.verify)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    graph = loaded.graph
+    kind = loaded.manifest.get("kind")
+    shards = getattr(graph, "num_shards", None)
+    print(
+        f"loaded {kind} snapshot from {loaded.path}: "
+        f"{graph.num_nodes} nodes / {graph.num_edges} edges"
+        + (f" across {shards} shards" if shards is not None else "")
+        + f", {len(loaded.views)} views"
+        + (" (payload CRCs verified)" if args.verify else "")
+    )
+    if not args.query:
+        return 0
+    try:
+        query = read_pattern(args.query)
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    engine = QueryEngine(snapshot_path=loaded, selection=args.strategy)
+    try:
+        result = engine.answer(query)
+    except NotContainedError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"query: {result.result_size} pairs via {result.stats.strategy} "
+        f"({result.stats.elapsed * 1e3:.2f} ms, no rebuild)"
+    )
+    return 0
+
+
+def _cmd_snapshot_info(args) -> int:
+    import os
+
+    from repro.graph.flatbuf import SegmentFormatError, verify_segment_file
+    from repro.graph.snapshot import MANIFEST_NAME
+
+    path = os.fspath(args.path)
+    try:
+        with open(os.path.join(path, MANIFEST_NAME), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    files = {
+        name: os.path.getsize(os.path.join(path, name))
+        for name in sorted(os.listdir(path))
+        if os.path.isfile(os.path.join(path, name))
+    }
+    verified = []
+    if args.verify:
+        for name in files:
+            if not name.endswith(".seg"):
+                continue
+            try:
+                verify_segment_file(os.path.join(path, name))
+            except SegmentFormatError as err:
+                print(f"error: {name}: {err}", file=sys.stderr)
+                return 1
+            verified.append(name)
+    if args.format == "json":
+        payload = {
+            "path": path,
+            "manifest": manifest,
+            "files": files,
+            "on_disk_bytes": sum(files.values()),
+            "verified_segments": verified,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    meta = manifest.get("graph", {})
+    print(
+        f"{manifest.get('kind')} snapshot (format {manifest.get('format')}): "
+        f"{meta.get('nodes')} nodes / {meta.get('edges')} edges, "
+        f"{len(manifest.get('views', {}))} views, "
+        f"token {meta.get('snapshot_token')}"
+        + (
+            f" (extends {meta.get('extends_token')})"
+            if meta.get("extends_token")
+            else ""
+        )
+    )
+    for name, size in files.items():
+        marker = "  [crc ok]" if name in verified else ""
+        print(f"  {name}: {size} bytes{marker}")
+    print(f"total on disk: {sum(files.values())} bytes")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -478,39 +679,78 @@ def _cmd_serve(args) -> int:
     from repro.views.maintenance import IncrementalViewSet
 
     install_logging(args.log_level)
-    try:
-        graph = read_graph(args.graph)
-        views = read_viewset(args.views)
-    except OSError as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 1
-    tracker = IncrementalViewSet(
-        views.definitions(), graph, budget=args.budget
-    )
-    if tracker.skipped_bounded:
+    if args.snapshot is not None and (args.graph or args.views):
         print(
-            "note: bounded views are rematerialized per epoch, not "
-            f"incrementally maintained: {', '.join(tracker.skipped_bounded)}",
+            "error: --snapshot conflicts with --graph/--views",
             file=sys.stderr,
         )
-    try:
-        engine = QueryEngine(
-            views,
-            graph=graph,
-            selection=args.strategy,
-            planner=args.planner,
-            auto_materialize=args.auto_materialize,
+        return 1
+    if args.snapshot is None and not (args.graph and args.views):
+        print(
+            "error: serve needs either --snapshot DIR or both --graph "
+            "and --views",
+            file=sys.stderr,
         )
-        engine.attach_maintenance(tracker)
+        return 1
+    persist = args.persist
+    if persist == "":
+        if args.snapshot is None:
+            print(
+                "error: bare --persist (no directory) requires --snapshot",
+                file=sys.stderr,
+            )
+            return 1
+        persist = args.snapshot
+    try:
+        if args.snapshot is not None:
+            from repro.graph.snapshot import SnapshotStore
+
+            loaded = SnapshotStore.load(args.snapshot)
+            graph = loaded.graph
+            views = loaded.viewset()
+            engine = QueryEngine(
+                views,
+                snapshot_path=loaded,
+                selection=args.strategy,
+                planner=args.planner,
+                auto_materialize=args.auto_materialize,
+            )
+        else:
+            graph = read_graph(args.graph)
+            views = read_viewset(args.views)
+            tracker = IncrementalViewSet(
+                views.definitions(), graph, budget=args.budget
+            )
+            if tracker.skipped_bounded:
+                print(
+                    "note: bounded views are rematerialized per epoch, not "
+                    "incrementally maintained: "
+                    + ", ".join(tracker.skipped_bounded),
+                    file=sys.stderr,
+                )
+            engine = QueryEngine(
+                views,
+                graph=graph,
+                selection=args.strategy,
+                planner=args.planner,
+                auto_materialize=args.auto_materialize,
+            )
+            engine.attach_maintenance(tracker)
         server = QueryServer(
             engine,
             max_inflight=args.max_inflight,
             max_queue=args.max_queue,
             advise_interval=args.advise_interval,
+            persist_path=persist,
         )
-    except ValueError as err:
+    except (OSError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    if args.snapshot is not None:
+        print(f"booted from snapshot {args.snapshot} (mmap, no rebuild)",
+              flush=True)
+    if persist:
+        print(f"persisting epoch snapshots to {persist}", flush=True)
     metrics = None
     if args.metrics_port is not None:
         metrics = MetricsServer(
@@ -608,7 +848,97 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _snapshot_stats(args) -> int:
+    """Inspect a persistent snapshot directory: backend kinds and byte
+    accounting per attached segment, without rebuilding anything."""
+    import os
+
+    from repro.graph.snapshot import SnapshotStore
+
+    try:
+        loaded = SnapshotStore.load(args.snapshot)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    graph = loaded.graph
+    shards = getattr(graph, "num_shards", None)
+    segments = {}
+    if shards is not None:
+        for i in range(shards):
+            store = graph.shard(i).flat_store
+            segments[f"shard-{i:03d}"] = {
+                "backend": store.backend,
+                "tables": store.table_bytes(),
+                "total_bytes": store.total_bytes,
+                "on_disk_bytes": store.on_disk_bytes,
+            }
+    else:
+        store = graph.flat_store
+        segments["graph"] = {
+            "backend": store.backend,
+            "tables": store.table_bytes(),
+            "total_bytes": store.total_bytes,
+            "on_disk_bytes": store.on_disk_bytes,
+        }
+    for name, view in loaded.views.items():
+        packed = getattr(view, "compact", None)
+        vstore = getattr(packed, "store", None)
+        if vstore is None:
+            continue
+        segments[f"view:{name}"] = {
+            "backend": vstore.backend,
+            "tables": vstore.table_bytes(),
+            "total_bytes": vstore.total_bytes,
+            "on_disk_bytes": vstore.on_disk_bytes,
+        }
+    files = {
+        name: os.path.getsize(os.path.join(loaded.path, name))
+        for name in sorted(os.listdir(loaded.path))
+        if os.path.isfile(os.path.join(loaded.path, name))
+    }
+    meta = loaded.manifest.get("graph", {})
+    if args.format == "json":
+        payload = {
+            "snapshot": {
+                "path": loaded.path,
+                "kind": loaded.manifest.get("kind"),
+                "format": loaded.manifest.get("format"),
+                "graph": meta,
+                "shards": shards,
+                "views": sorted(loaded.views),
+            },
+            "memory": {
+                "backend": "file",
+                "segments": segments,
+                "on_disk_bytes": sum(files.values()),
+                "files": files,
+            },
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(
+        f"{loaded.manifest.get('kind')} snapshot at {loaded.path}: "
+        f"{meta.get('nodes')} nodes / {meta.get('edges')} edges, "
+        f"{len(loaded.views)} views, "
+        f"{sum(files.values())} bytes on disk"
+    )
+    for name, row in segments.items():
+        print(
+            f"  {name}: backend={row['backend']} "
+            f"{row['total_bytes']} bytes mapped, "
+            f"{row['on_disk_bytes']} on disk"
+        )
+    return 0
+
+
 def _cmd_stats(args) -> int:
+    if args.snapshot:
+        return _snapshot_stats(args)
+    if not args.graph:
+        print("error: stats needs --graph (or --snapshot DIR)",
+              file=sys.stderr)
+        return 1
     graph = read_graph(args.graph)
     stats = graph_stats(graph)
     views = read_viewset(args.views) if args.views else None
@@ -627,8 +957,10 @@ def _cmd_stats(args) -> int:
         memory = {
             "backend": flat.flat_store.backend,
             "graph": {
+                "backend": flat.flat_store.backend,
                 "tables": flat.flat_table_bytes(),
                 "total_bytes": flat.flat_store.total_bytes,
+                "on_disk_bytes": flat.flat_store.on_disk_bytes,
             },
         }
         payload = {
@@ -695,8 +1027,10 @@ def _cmd_stats(args) -> int:
                     if not isinstance(packed, FlatExtension):
                         continue
                 view_memory[name] = {
+                    "backend": packed.store.backend,
                     "tables": packed.store.table_bytes(),
                     "total_bytes": packed.store.total_bytes,
+                    "on_disk_bytes": packed.store.on_disk_bytes,
                 }
             memory["views"] = view_memory
         json.dump(payload, sys.stdout, indent=2)
@@ -839,8 +1173,15 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the long-running async query service (JSON over TCP)",
     )
-    p.add_argument("--graph", required=True)
-    p.add_argument("--views", required=True)
+    p.add_argument("--graph")
+    p.add_argument("--views")
+    p.add_argument("--snapshot", metavar="DIR",
+                   help="boot from a persistent snapshot directory "
+                        "(mmap attach, no rebuild) instead of "
+                        "--graph/--views")
+    p.add_argument("--persist", nargs="?", const="", metavar="DIR",
+                   help="persist each published epoch snapshot to DIR "
+                        "(bare flag: back into --snapshot's directory)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7677,
                    help="TCP port (0 picks an ephemeral port)")
@@ -889,8 +1230,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("stats", help="graph / view-cache statistics")
-    p.add_argument("--graph", required=True)
+    p.add_argument("--graph")
     p.add_argument("--views")
+    p.add_argument("--snapshot", metavar="DIR",
+                   help="inspect a persistent snapshot directory instead "
+                        "of --graph: per-segment backend kinds, mapped "
+                        "and on-disk byte accounting")
     p.add_argument("--shards", type=int,
                    help="also partition into N shards and report shard "
                         "sizes and edge-cut fraction")
@@ -902,6 +1247,71 @@ def build_parser() -> argparse.ArgumentParser:
                         "label-index statistics and (with --shards) a "
                         "partition section")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "ingest",
+        help="stream an edge list into a sharded on-disk snapshot "
+             "(out-of-core: bounded memory regardless of graph size)",
+    )
+    p.add_argument("--edges", required=True,
+                   help="edge-list file (SNAP format: 'src<tab>dst' "
+                        "lines, '#' comments)")
+    p.add_argument("--out", required=True,
+                   help="snapshot directory to create")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--labels", type=int, metavar="K",
+                   help="assign each node a deterministic hash label "
+                        "l0..l<K-1> (views need labelled nodes)")
+    p.add_argument("--budget-mb", type=int, default=64,
+                   help="in-memory spill-buffer budget in MiB "
+                        "(default 64)")
+    p.add_argument("--max-edges", type=int, default=0,
+                   help="abort if the stream exceeds N edges (guard "
+                        "against ingesting the wrong file)")
+    p.add_argument("--overwrite", action="store_true",
+                   help="replace an existing snapshot atomically")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="save / load / inspect persistent mmap snapshot directories",
+    )
+    snap = p.add_subparsers(dest="snapshot_command", required=True)
+
+    s = snap.add_parser("save", help="persist a graph (and views) to disk")
+    s.add_argument("--graph", required=True)
+    s.add_argument("--out", required=True)
+    s.add_argument("--views",
+                   help="also persist this view catalog (materialized "
+                        "first if needed)")
+    s.add_argument("--shards", type=int,
+                   help="partition before saving (per-shard segment "
+                        "files)")
+    s.add_argument("--partitioner", choices=("hash", "label", "bfs"),
+                   default="hash")
+    s.add_argument("--overwrite", action="store_true")
+    s.set_defaults(func=_cmd_snapshot_save)
+
+    s = snap.add_parser(
+        "load", help="reattach a snapshot via mmap and report (no rebuild)"
+    )
+    s.add_argument("path", help="snapshot directory")
+    s.add_argument("--verify", action="store_true",
+                   help="CRC every segment payload")
+    s.add_argument("--query",
+                   help="answer this pattern query from the reloaded "
+                        "snapshot's cached views")
+    s.add_argument("--strategy", choices=("all", "minimal", "minimum"),
+                   default="minimal")
+    s.set_defaults(func=_cmd_snapshot_load)
+
+    s = snap.add_parser("info", help="print manifest and per-file sizes")
+    s.add_argument("path", help="snapshot directory")
+    s.add_argument("--verify", action="store_true",
+                   help="CRC every segment payload")
+    s.add_argument("--format", choices=("text", "json"), default="text")
+    s.set_defaults(func=_cmd_snapshot_info)
     return parser
 
 

@@ -180,6 +180,14 @@ class QueryEngine:
         contained in the views; when absent, such queries raise
         :class:`NotContainedError` (Theorem 1: containment is
         necessary).
+    snapshot_path:
+        Boot from a saved snapshot directory (or an already-loaded
+        :class:`~repro.graph.snapshot.LoadedSnapshot`) instead of a
+        live graph: the mmap-backed graph serves as both ``G`` and the
+        engine's frozen snapshot (no freeze, no rebuild), persisted
+        view packs become the catalog when ``views`` is omitted, and a
+        sharded snapshot switches the engine into shards mode
+        automatically.  Mutually exclusive with ``graph``.
     selection:
         Default view-selection policy: ``"all"`` (algorithm
         ``contain``), ``"minimal"`` (Fig. 5, Theorem 5) or
@@ -227,8 +235,9 @@ class QueryEngine:
 
     def __init__(
         self,
-        views: ViewSet,
+        views: Optional[ViewSet] = None,
         graph: Optional[DataGraph] = None,
+        snapshot_path=None,
         selection: str = "minimal",
         executor: str = "serial",
         workers: Optional[int] = None,
@@ -245,6 +254,48 @@ class QueryEngine:
         advisor_budget_bytes: Optional[int] = None,
         advisor_interval: int = 32,
     ) -> None:
+        # Boot from a saved snapshot directory: the mmap-backed graph
+        # stands in for a live DataGraph (its ``version`` mirrors the
+        # snapshot version, so the engine never tries to re-freeze it)
+        # and persisted view packs become the catalog when no ViewSet
+        # was passed.  ``snapshot_path`` may also be an already-loaded
+        # :class:`~repro.graph.snapshot.LoadedSnapshot` (the CLI loads
+        # once and hands it over).
+        loaded = None
+        if snapshot_path is not None:
+            if graph is not None:
+                raise ValueError(
+                    "pass either graph= or snapshot_path=, not both"
+                )
+            if hasattr(snapshot_path, "manifest") and hasattr(
+                snapshot_path, "graph"
+            ):
+                loaded = snapshot_path
+            else:
+                from repro.graph.snapshot import SnapshotStore
+
+                loaded = SnapshotStore.load(snapshot_path)
+            graph = loaded.graph
+            loaded_shards = getattr(graph, "num_shards", None)
+            if loaded_shards is not None:
+                if shards is not None and shards != loaded_shards:
+                    raise ValueError(
+                        f"snapshot at {loaded.path!r} has "
+                        f"{loaded_shards} shards; shards={shards} conflicts"
+                    )
+                shards = loaded_shards
+                partitioner = graph.partition.strategy
+            elif shards is not None:
+                raise ValueError(
+                    "shards= conflicts with a compact (unsharded) snapshot"
+                )
+            if views is None:
+                views = loaded.viewset()
+        if views is None:
+            raise ValueError(
+                "QueryEngine requires a view catalog (or a snapshot_path "
+                "to adopt one from)"
+            )
         if selection not in _STRATEGIES:
             raise ValueError(
                 f"unknown selection {selection!r}; expected one of "
@@ -318,8 +369,12 @@ class QueryEngine:
         self._maintenance: Optional[IncrementalViewSet] = None
         self._maintenance_dirty = False
         self._maintenance_cursor = 0
-        # A CompactGraph, or a ShardedGraph in shards mode.
-        self._snapshot = None
+        # A CompactGraph, or a ShardedGraph in shards mode.  A
+        # snapshot-booted engine starts with the loaded graph pinned as
+        # its own snapshot (graph.version == snapshot_version, so
+        # _snapshot_locked never rebuilds it).
+        self._snapshot = loaded.graph if loaded is not None else None
+        self._snapshot_path = loaded.path if loaded is not None else None
         # Serializes every catalog/cache mutation (planning, cache
         # reads/writes, snapshot refresh, materialization, maintenance
         # consumption).  Reentrant: execute -> plan -> snapshot nest.
@@ -362,6 +417,12 @@ class QueryEngine:
     def graph(self) -> Optional[DataGraph]:
         """The fallback data graph (``None`` for a views-only engine)."""
         return self._graph
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        """The snapshot directory this engine booted from (``None``
+        for live-graph engines)."""
+        return self._snapshot_path
 
     @property
     def optimized(self) -> bool:

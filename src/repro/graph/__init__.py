@@ -19,6 +19,16 @@ This subpackage provides everything the matching algorithms stand on:
   edge *ranks* driving the bottom-up MatchJoin optimization (Section III).
 * :mod:`~repro.graph.io` -- serialization, including a SNAP edge-list
   reader for users who have the original datasets.
+* :mod:`~repro.graph.flatbuf` -- flat-buffer snapshot storage over
+  pluggable segment backends (``shm`` | ``bytes`` | ``file``), the
+  ``file`` backend being versioned, checksummed on-disk segments
+  attached read-only via ``mmap``.
+* :mod:`~repro.graph.snapshot` -- persistent snapshot directories:
+  :class:`~repro.graph.snapshot.SnapshotStore` saves and reloads whole
+  graphs (and their view catalogs) without rebuilding.
+* :mod:`~repro.graph.ingest` -- streaming out-of-core ingest: build a
+  sharded snapshot from an edge list of any size under a flat memory
+  ceiling.
 """
 
 from repro.graph.conditions import (
@@ -31,8 +41,20 @@ from repro.graph.conditions import (
 )
 from repro.graph.compact import CompactGraph
 from repro.graph.digraph import DataGraph
-from repro.graph.flatbuf import FlatStore, SharedCompactGraph, live_segment_names
+from repro.graph.flatbuf import (
+    FlatStore,
+    SegmentFormatError,
+    SharedCompactGraph,
+    live_segment_names,
+    verify_segment_file,
+)
+from repro.graph.ingest import IngestReport, ingest_snapshot
 from repro.graph.pattern import ANY, BoundedPattern, Pattern
+from repro.graph.snapshot import (
+    LoadedSnapshot,
+    SnapshotError,
+    SnapshotStore,
+)
 
 __all__ = [
     "ANY",
@@ -42,11 +64,18 @@ __all__ = [
     "Condition",
     "DataGraph",
     "FlatStore",
+    "IngestReport",
     "Label",
+    "LoadedSnapshot",
     "P",
     "Pattern",
+    "SegmentFormatError",
     "SharedCompactGraph",
+    "SnapshotError",
+    "SnapshotStore",
     "TrueCondition",
     "implies",
+    "ingest_snapshot",
     "live_segment_names",
+    "verify_segment_file",
 ]

@@ -208,6 +208,14 @@ class CompactGraph:
         """Snapshots are already frozen; return ``self`` (idempotence)."""
         return self
 
+    @property
+    def version(self) -> int:
+        """Mutation-counter alias: a snapshot *is* its version (so a
+        snapshot can stand in for a live graph, e.g. an engine booted
+        from a saved snapshot directory, where ``graph.version ==
+        snapshot.snapshot_version`` means "no refresh needed")."""
+        return self.snapshot_version
+
     # ------------------------------------------------------------------
     # Integer-id API (the fast paths)
     # ------------------------------------------------------------------

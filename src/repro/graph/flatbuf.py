@@ -16,11 +16,21 @@ This module moves the snapshot's columns into *flat buffers*:
 * node keys / attribute dicts as pickled blobs decoded lazily, once per
   process;
 
-all packed into **one byte segment** -- a
-:class:`multiprocessing.shared_memory.SharedMemory` block when the
-platform provides one, a plain in-process ``bytes`` fallback otherwise
--- addressed through a small header (``{table: (kind, offset,
-nbytes)}``).  A :class:`SharedCompactGraph` built over such a
+all packed into **one byte segment** behind a small header
+(``{table: (kind, offset, nbytes)}``).  The segment's *backing* is
+pluggable -- a backend registry selects between:
+
+* ``shm`` -- :class:`multiprocessing.shared_memory.SharedMemory`, the
+  default wherever the platform provides it (zero-copy process fan-out);
+* ``bytes`` -- a plain in-process ``bytearray`` fallback (pickles ship
+  the payload);
+* ``file`` -- a **versioned on-disk segment** (fixed
+  magic/version/checksum header, payload, then the pickled table
+  directory as a trailer) attached read-only via ``mmap``, which is
+  what makes snapshots durable: :meth:`FlatStore.save` writes one,
+  :meth:`FlatStore.open` maps it back without rebuilding anything.
+
+A :class:`SharedCompactGraph` built over such a
 :class:`FlatStore` pickles as *segment name + header + meta*: workers
 **attach** to the segment instead of unpickling the object graph, and
 materialize only the rows their traversals actually touch
@@ -49,11 +59,15 @@ assert clean teardown.
 from __future__ import annotations
 
 import logging
+import mmap
 import os
 import pickle
 import secrets
+import struct
+import tempfile
 import threading
 import weakref
+import zlib
 from array import array
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
@@ -74,15 +88,55 @@ except ImportError:  # pragma: no cover - exotic platforms
 #: operators) recognise our segments in ``/dev/shm``.
 SEGMENT_PREFIX = "repro_flat_"
 
-#: Environment switch forcing the plain-bytes backend (used by tests to
-#: cover the fallback on shm-capable hosts).
+#: Environment switch selecting the segment backend (``shm`` | ``bytes``
+#: | ``file``); unset picks shared memory where available.
 BACKEND_ENV = "REPRO_FLAT_BACKEND"
+
+#: Spool directory for env-selected ``file`` segments (defaults to the
+#: system temp dir).  Persistent saves name their own paths and ignore it.
+FILE_DIR_ENV = "REPRO_FLAT_DIR"
 
 _ITEMSIZE = 8  # all integer tables are 64-bit ('q')
 
+#: On-disk segment format: fixed little-endian header, then the payload
+#: (8-aligned, offset == header size), then the pickled table directory
+#: as a trailer (its length is only known after packing).  Fields:
+#: magic, format version, flags (bit 0 = unsealed), payload bytes,
+#: payload CRC32, directory CRC32, directory bytes.
+SEGMENT_MAGIC = b"RFSEG\x00\x01\n"
+SEGMENT_FORMAT_VERSION = 1
+_FILE_HEADER = struct.Struct("<8sIIQIIQ")
+_FILE_HEADER_SIZE = _FILE_HEADER.size  # 40: keeps the payload 8-aligned
+_FLAG_UNSEALED = 1
 
-def _shm_enabled() -> bool:
-    return _HAVE_SHM and os.environ.get(BACKEND_ENV, "shm") != "bytes"
+
+class SegmentFormatError(ValueError):
+    """An on-disk segment failed validation (bad magic, unsupported
+    version, truncation, or checksum mismatch)."""
+
+
+_BACKENDS = ("shm", "bytes", "file")
+
+
+def resolve_backend(choice: Optional[str] = None) -> str:
+    """The single backend-selection rule shared by create and attach.
+
+    ``choice`` (or :data:`BACKEND_ENV` when ``None``) names one of
+    ``shm`` | ``bytes`` | ``file``; unset and unrecognised values keep
+    the historical default of shared memory, and ``shm`` quietly
+    degrades to ``bytes`` on platforms without it.
+    """
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV) or "shm"
+    if choice not in _BACKENDS:
+        choice = "shm"
+    if choice == "shm" and not _HAVE_SHM:
+        choice = "bytes"
+    return choice
+
+
+def _spool_dir() -> str:
+    return os.environ.get(FILE_DIR_ENV) or tempfile.gettempdir()
 
 
 # ----------------------------------------------------------------------
@@ -109,28 +163,51 @@ class Segment:
 
     Created regions own their backing store: when the last Python
     reference drops (or :meth:`close` is called), shared memory is
-    unlinked.  Attached regions only unmap.  The plain-``bytes``
-    fallback needs no lifecycle at all but keeps the same interface, so
-    every consumer is backend-agnostic.
+    unlinked and spool files are deleted.  Attached regions only unmap
+    and never delete (persistent segment files opened through
+    :meth:`FlatStore.open` survive every attacher).  The plain
+    ``bytes`` fallback needs no lifecycle at all but keeps the same
+    interface, so every consumer is backend-agnostic.
+
+    All three backends share one create/attach code path: the backend
+    is picked by :func:`resolve_backend`, and the creator registry
+    (``_owned``) and per-process attach cache (``_attached``) are keyed
+    by the segment's name (its shm name or its file path) regardless of
+    kind.
     """
 
-    __slots__ = ("name", "nbytes", "_shm", "_bytes", "_finalizer", "__weakref__")
+    __slots__ = (
+        "name",
+        "nbytes",
+        "kind",
+        "_shm",
+        "_bytes",
+        "_mmap",
+        "_path",
+        "_finalizer",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:  # use the factories below
         self.name: str = ""
         self.nbytes: int = 0
+        self.kind: str = "bytes"
         self._shm = None
         self._bytes: Optional[bytearray] = None
+        self._mmap: Optional[mmap.mmap] = None
+        self._path: Optional[str] = None
         self._finalizer = None
 
     # -- factories -----------------------------------------------------
     @classmethod
-    def create(cls, nbytes: int) -> "Segment":
+    def create(cls, nbytes: int, backend: Optional[str] = None) -> "Segment":
         """A fresh writable segment of ``nbytes`` bytes (owned)."""
         segment = cls()
         segment.nbytes = nbytes
-        segment.name = SEGMENT_PREFIX + secrets.token_hex(8)
-        if _shm_enabled():
+        segment.kind = resolve_backend(backend)
+        token = SEGMENT_PREFIX + secrets.token_hex(8)
+        if segment.kind == "shm":
+            segment.name = token
             shm = shared_memory.SharedMemory(
                 name=segment.name, create=True, size=max(1, nbytes)
             )
@@ -138,19 +215,48 @@ class Segment:
             segment._finalizer = weakref.finalize(
                 segment, _destroy_shm, shm, segment.name
             )
-            with _lock:
-                _owned[segment.name] = weakref.ref(segment)
+        elif segment.kind == "file":
+            path = os.path.join(_spool_dir(), token + ".seg")
+            segment.name = path
+            segment._path = path
+            with open(path, "w+b") as fh:
+                fh.write(
+                    _FILE_HEADER.pack(
+                        SEGMENT_MAGIC,
+                        SEGMENT_FORMAT_VERSION,
+                        _FLAG_UNSEALED,
+                        nbytes,
+                        0,
+                        0,
+                        0,
+                    )
+                )
+                fh.truncate(_FILE_HEADER_SIZE + nbytes)
+                segment._mmap = mmap.mmap(
+                    fh.fileno(), _FILE_HEADER_SIZE + nbytes, access=mmap.ACCESS_WRITE
+                )
+            segment._finalizer = weakref.finalize(
+                segment, _destroy_file, segment._mmap, path
+            )
         else:
             segment._bytes = bytearray(nbytes)
             log.debug(
                 "shared memory unavailable/disabled: %d-byte segment "
                 "falls back to in-process bytes", nbytes,
             )
+        if segment.name:
+            with _lock:
+                _owned[segment.name] = weakref.ref(segment)
         return segment
 
     @classmethod
-    def attach(cls, name: str, nbytes: int) -> "Segment":
-        """Map an existing named segment (worker side, never unlinks)."""
+    def attach(cls, name: str, nbytes: int, kind: str = "shm") -> "Segment":
+        """Map an existing named segment (worker side, never deletes).
+
+        ``name`` is the shm name or the segment file path; both go
+        through the same cache lookups, so a payload of many objects
+        sharing one segment maps it exactly once per process.
+        """
         with _lock:
             cached = _attached.get(name)
             segment = cached() if cached is not None else None
@@ -161,6 +267,16 @@ class Segment:
             if segment is not None:
                 # Same process as the creator: share the mapping.
                 return segment
+        if kind == "file":
+            segment = cls._attach_file(name, nbytes)
+        else:
+            segment = cls._attach_shm(name, nbytes)
+        with _lock:
+            _attached[name] = weakref.ref(segment)
+        return segment
+
+    @classmethod
+    def _attach_shm(cls, name: str, nbytes: int) -> "Segment":
         if not _HAVE_SHM:  # pragma: no cover - guarded by handle kind
             raise RuntimeError("shared memory is unavailable on this platform")
         shm = shared_memory.SharedMemory(name=name)
@@ -174,10 +290,27 @@ class Segment:
         segment = cls()
         segment.name = name
         segment.nbytes = nbytes
+        segment.kind = "shm"
         segment._shm = shm
         segment._finalizer = weakref.finalize(segment, _close_shm, shm)
-        with _lock:
-            _attached[name] = weakref.ref(segment)
+        return segment
+
+    @classmethod
+    def _attach_file(cls, path: str, nbytes: int) -> "Segment":
+        payload_nbytes, _, _, _ = _read_segment_header(path)
+        if nbytes >= 0 and nbytes != payload_nbytes:
+            raise SegmentFormatError(
+                f"{path}: payload is {payload_nbytes} bytes, handle expected {nbytes}"
+            )
+        with open(path, "rb") as fh:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        segment = cls()
+        segment.name = path
+        segment.nbytes = payload_nbytes
+        segment.kind = "file"
+        segment._mmap = mm
+        segment._path = path
+        segment._finalizer = weakref.finalize(segment, _close_mmap, mm)
         return segment
 
     @classmethod
@@ -185,40 +318,85 @@ class Segment:
         """Adopt a plain byte string (the unpickled fallback handle)."""
         segment = cls()
         segment.nbytes = len(payload)
+        segment.kind = "bytes"
         segment._bytes = bytearray(payload)
         return segment
 
     # -- access --------------------------------------------------------
     @property
     def backend(self) -> str:
-        return "shm" if self._shm is not None else "bytes"
+        return self.kind
 
     @property
     def buf(self) -> memoryview:
         if self._shm is not None:
             return self._shm.buf[: self.nbytes]
+        if self._mmap is not None:
+            return memoryview(self._mmap)[
+                _FILE_HEADER_SIZE : _FILE_HEADER_SIZE + self.nbytes
+            ]
         return memoryview(self._bytes)
 
+    @property
+    def on_disk_bytes(self) -> int:
+        """File footprint (header + payload + directory); 0 unless the
+        segment is file-backed."""
+        if self._path is None:
+            return 0
+        try:
+            return os.path.getsize(self._path)
+        except OSError:  # pragma: no cover - racing deletion
+            return 0
+
     def handle(self) -> Tuple[str, object]:
-        """The picklable identity of this segment: ``("shm", name)`` for
-        shared memory, ``("bytes", payload)`` for the fallback."""
-        if self._shm is not None:
-            return ("shm", self.name)
-        return ("bytes", bytes(self._bytes))
+        """The picklable identity of this segment: ``("shm", name)`` or
+        ``("file", path)`` for named backends, ``("bytes", payload)``
+        for the fallback."""
+        if self.kind == "bytes":
+            return ("bytes", bytes(self._bytes))
+        return (self.kind, self.name)
 
     @classmethod
     def from_handle(cls, kind: str, value, nbytes: int) -> "Segment":
-        if kind == "shm":
-            return cls.attach(value, nbytes)
+        if kind in ("shm", "file"):
+            return cls.attach(value, nbytes, kind)
         return cls.wrap(value)
 
+    def seal(self, table_header: Dict[str, Tuple[str, int, int]]) -> None:
+        """Finish a writable file segment: append the pickled table
+        directory, compute checksums, and mark the header sealed.
+
+        A no-op for ``shm``/``bytes`` backends, so :meth:`FlatStore.pack`
+        can call it unconditionally.  Attaching an unsealed file raises
+        :class:`SegmentFormatError` (the writer crashed mid-pack).
+        """
+        if self.kind != "file" or self._path is None:
+            return
+        dir_blob = pickle.dumps(table_header, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = self.buf
+        header = _FILE_HEADER.pack(
+            SEGMENT_MAGIC,
+            SEGMENT_FORMAT_VERSION,
+            0,
+            self.nbytes,
+            zlib.crc32(payload),
+            zlib.crc32(dir_blob),
+            len(dir_blob),
+        )
+        payload.release()
+        with open(self._path, "ab") as fh:
+            fh.write(dir_blob)
+        self._mmap[:_FILE_HEADER_SIZE] = header
+        self._mmap.flush()
+
     def close(self) -> None:
-        """Tear down eagerly (idempotent): unlink if owned, unmap."""
+        """Tear down eagerly (idempotent): unlink/delete if owned, unmap."""
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
         self._shm = None
         self._bytes = None
+        self._mmap = None
 
     def __repr__(self) -> str:
         return f"Segment({self.name or '<bytes>'}, {self.nbytes}B, {self.backend})"
@@ -258,6 +436,96 @@ def _close_shm(shm) -> None:
             shm._fd = -1
         shm._mmap = None
         shm._buf = None
+
+
+def _close_mmap(mm) -> None:
+    try:
+        mm.close()
+    except BufferError:
+        # Exported row views keep the mapping alive; it is reclaimed
+        # when the last view dies or the process exits.
+        pass
+
+
+def _destroy_file(mm, path: str) -> None:
+    """Creator-side finalizer for spool files: delete *then* unmap
+    (POSIX keeps the pages valid for existing maps after unlink)."""
+    with _lock:
+        _owned.pop(path, None)
+    try:
+        os.unlink(path)
+    except FileNotFoundError:  # pragma: no cover - double close
+        pass
+    _close_mmap(mm)
+
+
+def _read_segment_header(path) -> Tuple[int, int, Dict[str, Tuple[str, int, int]], int]:
+    """Validate a segment file's fixed header and table directory.
+
+    Returns ``(payload_nbytes, payload_crc, table_header, file_size)``;
+    raises :class:`SegmentFormatError` on any structural problem.  The
+    payload CRC is *not* verified here -- that would force a full read
+    of a file the caller is about to lazily mmap; use
+    :func:`verify_segment_file` for the deep check.
+    """
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            raw = fh.read(_FILE_HEADER_SIZE)
+            if len(raw) < _FILE_HEADER_SIZE:
+                raise SegmentFormatError(f"{path}: truncated segment header")
+            magic, version, flags, payload_nbytes, payload_crc, dir_crc, dir_nbytes = (
+                _FILE_HEADER.unpack(raw)
+            )
+            if magic != SEGMENT_MAGIC:
+                raise SegmentFormatError(f"{path}: not a repro segment file (bad magic)")
+            if version != SEGMENT_FORMAT_VERSION:
+                raise SegmentFormatError(
+                    f"{path}: unsupported segment format version {version} "
+                    f"(this build reads version {SEGMENT_FORMAT_VERSION})"
+                )
+            if flags & _FLAG_UNSEALED:
+                raise SegmentFormatError(
+                    f"{path}: segment was never sealed (writer crashed mid-pack?)"
+                )
+            if size < _FILE_HEADER_SIZE + payload_nbytes + dir_nbytes:
+                raise SegmentFormatError(
+                    f"{path}: truncated segment ({size} bytes, header promises "
+                    f"{_FILE_HEADER_SIZE + payload_nbytes + dir_nbytes})"
+                )
+            fh.seek(_FILE_HEADER_SIZE + payload_nbytes)
+            dir_blob = fh.read(dir_nbytes)
+        if zlib.crc32(dir_blob) != dir_crc:
+            raise SegmentFormatError(f"{path}: table directory checksum mismatch")
+        table_header = pickle.loads(dir_blob) if dir_nbytes else {}
+    except OSError as exc:
+        raise SegmentFormatError(f"{path}: cannot read segment file ({exc})") from exc
+    return payload_nbytes, payload_crc, table_header, size
+
+
+def verify_segment_file(path) -> int:
+    """Deep-verify a segment file (full payload CRC pass).
+
+    Returns the payload byte count; raises :class:`SegmentFormatError`
+    on corruption.  Reads the file in chunks, so it never maps or holds
+    the payload in memory.
+    """
+    path = os.fspath(path)
+    payload_nbytes, payload_crc, _, _ = _read_segment_header(path)
+    crc = 0
+    remaining = payload_nbytes
+    with open(path, "rb") as fh:
+        fh.seek(_FILE_HEADER_SIZE)
+        while remaining:
+            chunk = fh.read(min(remaining, 4 << 20))
+            if not chunk:  # pragma: no cover - length checked above
+                raise SegmentFormatError(f"{path}: truncated segment payload")
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+    if crc != payload_crc:
+        raise SegmentFormatError(f"{path}: payload checksum mismatch")
+    return payload_nbytes
 
 
 def _release_views(arrays: Dict[str, memoryview]) -> None:
@@ -304,6 +572,7 @@ class FlatStore:
         cls,
         arrays: Dict[str, array],
         blobs: Dict[str, bytes],
+        backend: Optional[str] = None,
     ) -> "FlatStore":
         """Lay the tables out in one fresh segment."""
         header: Dict[str, Tuple[str, int, int]] = {}
@@ -315,7 +584,7 @@ class FlatStore:
         for name, blob in blobs.items():
             header[name] = ("blob", offset, len(blob))
             offset += len(blob)
-        segment = Segment.create(offset)
+        segment = Segment.create(offset, backend)
         buf = segment.buf
         for name, arr in arrays.items():
             _, start, nbytes = header[name]
@@ -326,7 +595,47 @@ class FlatStore:
             if nbytes:
                 buf[start : start + nbytes] = blob
         del buf
+        segment.seal(header)
         return cls(segment, header)
+
+    # -- durable segments ----------------------------------------------
+    def save(self, path) -> int:
+        """Write this store as a sealed segment file; returns the file
+        size.  The table directory rides in the file (trailer), so
+        :meth:`open` needs nothing but the path."""
+        path = os.fspath(path)
+        dir_blob = pickle.dumps(self.header, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = self.segment.buf
+        header = _FILE_HEADER.pack(
+            SEGMENT_MAGIC,
+            SEGMENT_FORMAT_VERSION,
+            0,
+            self.segment.nbytes,
+            zlib.crc32(payload),
+            zlib.crc32(dir_blob),
+            len(dir_blob),
+        )
+        with open(path, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.write(dir_blob)
+        payload.release()
+        return os.path.getsize(path)
+
+    @classmethod
+    def open(cls, path, verify: bool = False) -> "FlatStore":
+        """Attach a saved segment file read-only via ``mmap``.
+
+        Header structure and directory checksum are always validated;
+        ``verify=True`` additionally runs the full payload CRC pass
+        (reads every byte -- skip it when you want lazy loading).
+        Attaches are cached per process, like shm attaches.
+        """
+        path = os.fspath(path)
+        if verify:
+            verify_segment_file(path)
+        _, _, table_header, _ = _read_segment_header(path)
+        return _attach_store("file", path, -1, table_header)
 
     # -- pickling: segment handle + header, never the payload ----------
     def __reduce__(self):
@@ -367,6 +676,10 @@ class FlatStore:
     def backend(self) -> str:
         return self.segment.backend
 
+    @property
+    def on_disk_bytes(self) -> int:
+        return self.segment.on_disk_bytes
+
     def __repr__(self) -> str:
         return (
             f"FlatStore({len(self.header)} tables, {self.total_bytes}B, "
@@ -376,22 +689,24 @@ class FlatStore:
 
 #: Attach cache for stores: one FlatStore (and thus one decoded-blob
 #: cache) per segment per process, however many payload objects
-#: reference it.
-_stores: Dict[str, "weakref.ref[FlatStore]"] = {}
+#: reference it.  Keyed by ``(kind, name)`` -- both named backends
+#: (``shm`` and ``file``) share the code path.
+_stores: Dict[Tuple[str, str], "weakref.ref[FlatStore]"] = {}
 
 
 def _attach_store(kind, value, nbytes, header) -> FlatStore:
-    if kind == "shm":
+    key = (kind, value) if kind in ("shm", "file") else None
+    if key is not None:
         with _lock:
-            cached = _stores.get(value)
+            cached = _stores.get(key)
             store = cached() if cached is not None else None
         if store is not None:
             return store
     segment = Segment.from_handle(kind, value, nbytes)
     store = FlatStore(segment, header)
-    if kind == "shm":
+    if key is not None:
         with _lock:
-            _stores[value] = weakref.ref(store)
+            _stores[key] = weakref.ref(store)
     return store
 
 
@@ -687,7 +1002,7 @@ class _LazyBuckets(dict):
 # ----------------------------------------------------------------------
 # Snapshot encoding
 # ----------------------------------------------------------------------
-def encode_snapshot(graph: CompactGraph) -> FlatStore:
+def encode_snapshot(graph: CompactGraph, backend: Optional[str] = None) -> FlatStore:
     """Pack a snapshot's columns into one flat segment."""
     labels = sorted({label for labels in graph._labels for label in labels})
     slot_of = {label: i for i, label in enumerate(labels)}
@@ -721,6 +1036,7 @@ def encode_snapshot(graph: CompactGraph) -> FlatStore:
             "nodes": pickle.dumps(list(graph._nodes), protocol=pickle.HIGHEST_PROTOCOL),
             "attrs": attrs_blob,
         },
+        backend=backend,
     )
 
 

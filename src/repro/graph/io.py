@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
 
 from repro.graph.conditions import (
     Atom,
@@ -172,14 +172,20 @@ def read_pattern(path: Union[str, Path]) -> Pattern:
 # SNAP edge lists
 # ----------------------------------------------------------------------
 def read_snap_edges(
-    path: Union[str, Path], limit: int = 0
-) -> List[Tuple[str, str]]:
-    """Read a SNAP whitespace-separated edge list (``# comments`` skipped).
+    path: Union[str, Path], limit: int = 0, max_edges: int = 0
+) -> Iterator[Tuple[str, str]]:
+    """Stream a SNAP whitespace-separated edge list (``# comments``
+    skipped), one ``(source, target)`` pair at a time.
 
-    ``limit`` > 0 truncates after that many edges, which is handy for
-    loading a prefix of the 1.78M-edge Amazon file on small machines.
+    The file is never held in memory, so multi-GB downloads feed the
+    out-of-core ingest path (:func:`repro.graph.ingest.ingest_snapshot`)
+    directly.  ``limit`` > 0 silently truncates after that many edges
+    (loading a prefix of the 1.78M-edge Amazon file on small machines);
+    ``max_edges`` > 0 instead *rejects* longer inputs with a
+    ``ValueError`` -- the guard for callers that would buffer what they
+    read.
     """
-    edges: List[Tuple[str, str]] = []
+    count = 0
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -188,22 +194,41 @@ def read_snap_edges(
             parts = line.split()
             if len(parts) < 2:
                 continue
-            edges.append((parts[0], parts[1]))
-            if limit and len(edges) >= limit:
-                break
-    return edges
+            count += 1
+            if max_edges and count > max_edges:
+                raise ValueError(
+                    f"{path}: edge list exceeds max_edges={max_edges}; "
+                    "raise the cap, pass limit= to truncate, or stream it "
+                    "through `repro ingest` for out-of-core loading"
+                )
+            yield (parts[0], parts[1])
+            if limit and count >= limit:
+                return
 
 
 def graph_from_edges(
-    edges: Iterable[Tuple[str, str]], labeler=None
+    edges: Iterable[Tuple[str, str]], labeler=None, max_edges: int = 0
 ) -> DataGraph:
-    """Build a :class:`DataGraph` from an edge list.
+    """Build a :class:`DataGraph` from an edge iterable.
 
-    ``labeler(node_id) -> labels`` optionally assigns labels; by default
-    nodes get no labels (attach them later via ``add_node``).
+    Fully streaming: edges are consumed one at a time and never
+    buffered, so a generator (e.g. :func:`read_snap_edges`) flows
+    straight into the graph.  ``labeler(node_id) -> labels`` optionally
+    assigns labels; by default nodes get no labels (attach them later
+    via ``add_node``).  ``max_edges`` > 0 rejects longer inputs with a
+    ``ValueError`` -- an in-memory ``DataGraph`` is the wrong tool past
+    a few million edges (use ``repro ingest`` instead).
     """
     graph = DataGraph()
+    count = 0
     for source, target in edges:
+        count += 1
+        if max_edges and count > max_edges:
+            raise ValueError(
+                f"edge stream exceeds max_edges={max_edges}; an in-memory "
+                "DataGraph cannot hold it -- use `repro ingest` / "
+                "repro.graph.ingest.ingest_snapshot for out-of-core loading"
+            )
         if source not in graph:
             graph.add_node(source, labels=labeler(source) if labeler else ())
         if target not in graph:

@@ -107,6 +107,17 @@ class QueryServer:
         decisions through an atomic epoch swap.  ``None`` disables
         periodic ticks (the engine's own per-answer cadence still
         applies when its advisor is configured).
+    persist_path:
+        Snapshot directory to persist every published epoch into (via
+        :meth:`~repro.graph.snapshot.SnapshotStore.save` with
+        ``overwrite=True`` -- an atomic rename swap, so a crashed write
+        never corrupts the last good snapshot on disk).  Epoch 0 is
+        persisted at :meth:`start`, then every maintenance / advisor
+        epoch after its swap, all on the maintenance thread.  Pair it
+        with an engine booted from the same directory
+        (``QueryEngine(snapshot_path=...)``) for serve-restart-serve
+        durability.  A failed persist is logged and counted
+        (``persist_failures``), never fatal to serving.
     """
 
     def __init__(
@@ -117,9 +128,13 @@ class QueryServer:
         max_queue: int = 64,
         answer_cache_size: int = 1024,
         advise_interval: Optional[float] = None,
+        persist_path=None,
     ) -> None:
-        if engine.graph is None:
-            raise ValueError("QueryServer requires an engine with a data graph")
+        if engine.graph is None and engine.snapshot_path is None:
+            raise ValueError(
+                "QueryServer requires an engine with a data graph "
+                "(or one booted from a snapshot directory)"
+            )
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_queue < 0:
@@ -138,6 +153,7 @@ class QueryServer:
         self._max_inflight = max_inflight
         self._max_queue = max_queue
         self._advise_interval = advise_interval
+        self._persist_path = persist_path
         self._advise_task: Optional[asyncio.Task] = None
         self._registry = SnapshotRegistry()
         self._answers = LRUCache(answer_cache_size)
@@ -157,6 +173,8 @@ class QueryServer:
             "ops_applied": 0,
             "ops_skipped": 0,
             "advisor_ticks": 0,
+            "snapshots_persisted": 0,
+            "persist_failures": 0,
         }
         # stats() may be called from any thread (the metrics endpoint
         # runs outside the event loop); counter *mutation* stays on the
@@ -194,7 +212,7 @@ class QueryServer:
             max_workers=1, thread_name_prefix="repro-serve-maint"
         )
         checkpoint = await self._loop.run_in_executor(
-            self._maint_pool, self._engine.checkpoint
+            self._maint_pool, self._checkpoint_sync
         )
         self._registry.swap(checkpoint)
         self._started = True
@@ -535,7 +553,41 @@ class QueryServer:
 
     def _apply_sync(self, delta: Delta):
         report = self._engine.apply_delta(delta)
-        return report, self._engine.checkpoint()
+        return report, self._checkpoint_sync()
+
+    def _checkpoint_sync(self):
+        """Checkpoint the engine and persist the epoch (maintenance
+        thread only; persistence rides the same thread so epoch N's
+        snapshot directory never interleaves with epoch N+1's)."""
+        checkpoint = self._engine.checkpoint()
+        self._persist(checkpoint)
+        return checkpoint
+
+    def _persist(self, checkpoint) -> None:
+        if self._persist_path is None:
+            return
+        from repro.graph.snapshot import SnapshotStore
+
+        try:
+            SnapshotStore.save(
+                self._persist_path,
+                checkpoint.snapshot,
+                views=checkpoint.extensions,
+                overwrite=True,
+            )
+        except Exception:
+            # Durability is best-effort per epoch: a full disk must not
+            # take serving down, and the previous snapshot (rename
+            # swap) is still intact for the next boot.
+            self._count("persist_failures")
+            log.exception(
+                "failed to persist epoch snapshot to %r", self._persist_path
+            )
+        else:
+            self._count("snapshots_persisted")
+            self._engine.registry.counter(
+                "repro_server_snapshots_persisted_total"
+            ).inc()
 
     # ------------------------------------------------------------------
     # Advisor ticks
@@ -579,7 +631,7 @@ class QueryServer:
 
     def _advise_sync(self):
         report = self._engine.advisor.tick()
-        return report, self._engine.checkpoint()
+        return report, self._checkpoint_sync()
 
     async def _advise_loop(self) -> None:
         while not self._closing:

@@ -7,7 +7,10 @@ views cached so queries never touch ``G``):
 
 * :mod:`~repro.shard.partitioner` -- pluggable edge-cut strategies
   (``hash``, ``label``, ``bfs``) producing a :class:`Partition` with
-  per-shard node sets and the cross-shard boundary table;
+  per-shard node sets and the cross-shard boundary table, plus
+  :class:`StreamingHashPartitioner`, the spill-to-disk variant the
+  out-of-core ingest pipeline uses to place edges without ever holding
+  the edge set in memory;
 * :mod:`~repro.shard.sharded` -- :class:`ShardedGraph`: per-shard
   frozen :class:`~repro.graph.compact.CompactGraph` snapshots plus
   cross-shard tables, a ``DataGraph``-compatible read API, and a
@@ -21,7 +24,12 @@ views cached so queries never touch ``G``):
   so the id-space MatchJoin fast path engages unchanged.
 """
 
-from repro.shard.partitioner import PARTITIONERS, Partition, make_partition
+from repro.shard.partitioner import (
+    PARTITIONERS,
+    Partition,
+    StreamingHashPartitioner,
+    make_partition,
+)
 from repro.shard.psim import (
     PSimStats,
     SHARD_EXECUTORS,
@@ -40,6 +48,7 @@ __all__ = [
     "SHARD_EXECUTORS",
     "ShardRunner",
     "ShardedGraph",
+    "StreamingHashPartitioner",
     "make_partition",
     "materialize_view",
     "parallel_materialize",

@@ -29,9 +29,11 @@ else (cut edges, ghosts, balance accounting) is derived uniformly by
 from __future__ import annotations
 
 import logging
+import os
 import zlib
 from collections import deque
-from typing import Callable, Dict, FrozenSet, Hashable, List, Tuple
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, Hashable, Iterator, List, Optional, Tuple, Union
 
 log = logging.getLogger(__name__)
 
@@ -285,3 +287,176 @@ def make_partition(graph, num_shards: int, strategy: str = "hash") -> Partition:
         partition.edge_cut_fraction * 100,
     )
     return partition
+
+
+# ----------------------------------------------------------------------
+# Streaming (out-of-core) partitioning
+# ----------------------------------------------------------------------
+class StreamingHashPartitioner:
+    """Hash-partition an edge *stream* into per-shard spill files.
+
+    The in-memory partitioners above need the whole graph; this one
+    never does.  Edges arrive one at a time via :meth:`add`, are routed
+    by the same stable hash as :func:`hash_partition` (so a streamed
+    build places every node exactly where ``make_partition(...,
+    "hash")`` would), and are appended to line-oriented spill files --
+    one per shard -- under a byte budget: per-shard write buffers are
+    flushed to disk whenever their combined size exceeds
+    ``budget_bytes``, so resident memory stays flat no matter how many
+    edges flow through.
+
+    Three record kinds land in the spill files (tab-separated lines):
+
+    * ``e <source> <target>`` -- an edge, spilled to the *source's* home
+      shard (shards own the full out-adjacency of their nodes);
+    * ``n <target>`` -- for a cross-shard edge only: tells the target's
+      home shard the node exists even if it never appears as a source
+      there (so isolated-in-their-shard targets are still owned);
+    * a companion ``crosspred-NNN`` spill records ``<source> <target>``
+      for every cross edge, grouped by the *target's* home shard -- the
+      reverse-adjacency side the coordinator needs.
+
+    Use as a context manager; iterate :meth:`shard_records` /
+    :meth:`cross_preds` after all edges are added (both flush first).
+    Node ids must be strings without tabs or newlines (edge-list inputs
+    always satisfy this); anything else cannot be spilled losslessly.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        spill_dir: Union[str, Path],
+        budget_bytes: int = 64 << 20,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.budget_bytes = max(1, budget_bytes)
+        self._dir = Path(spill_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._shard_paths = [
+            self._dir / f"shard-{i:03d}.spill" for i in range(num_shards)
+        ]
+        self._cross_paths = [
+            self._dir / f"crosspred-{i:03d}.spill" for i in range(num_shards)
+        ]
+        self._buffers: List[List[str]] = [[] for _ in range(num_shards)]
+        self._cross_buffers: List[List[str]] = [[] for _ in range(num_shards)]
+        self._buffered = 0
+        self.edges = 0
+        self.cut_edges = 0
+        self.spill_bytes = 0
+        self._closed = False
+
+    # -- routing -------------------------------------------------------
+    def shard_of(self, node: Node) -> int:
+        """Home shard of ``node`` -- identical to ``hash`` strategy
+        placement, so streamed and in-memory builds agree."""
+        return _stable_hash(node) % self.num_shards
+
+    @staticmethod
+    def _check_key(node: str) -> str:
+        if "\t" in node or "\n" in node or "\r" in node:
+            raise ValueError(
+                f"node id {node!r} contains a tab/newline; spill records "
+                "are tab-separated lines and cannot hold it"
+            )
+        return node
+
+    def add(self, source: str, target: str) -> None:
+        """Route one edge to its spill files (flushing on budget)."""
+        source = self._check_key(source)
+        target = self._check_key(target)
+        home = self.shard_of(source)
+        record = f"e\t{source}\t{target}\n"
+        self._buffers[home].append(record)
+        self._buffered += len(record)
+        self.edges += 1
+        away = self.shard_of(target)
+        if away != home:
+            self.cut_edges += 1
+            presence = f"n\t{target}\n"
+            self._buffers[away].append(presence)
+            crosspred = f"{source}\t{target}\n"
+            self._cross_buffers[away].append(crosspred)
+            self._buffered += len(presence) + len(crosspred)
+        if self._buffered >= self.budget_bytes:
+            self.flush()
+
+    def add_edges(self, edges) -> None:
+        """Consume an edge iterable (never materialized)."""
+        for source, target in edges:
+            self.add(source, target)
+
+    # -- spilling ------------------------------------------------------
+    def flush(self) -> None:
+        """Append every buffer to its spill file and drop it."""
+        for paths, buffers in (
+            (self._shard_paths, self._buffers),
+            (self._cross_paths, self._cross_buffers),
+        ):
+            for i, buffer in enumerate(buffers):
+                if not buffer:
+                    continue
+                chunk = "".join(buffer)
+                with open(paths[i], "a", encoding="utf-8") as handle:
+                    handle.write(chunk)
+                self.spill_bytes += len(chunk)
+                buffers[i] = []
+        self._buffered = 0
+
+    def shard_records(self, shard: int) -> Iterator[Tuple[str, str, Optional[str]]]:
+        """Stream shard ``shard``'s spill records as ``(kind, a, b)``
+        tuples (``("e", source, target)`` or ``("n", node, None)``), in
+        spill order."""
+        self.flush()
+        path = self._shard_paths[shard]
+        if not path.exists():
+            return
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                parts = line.rstrip("\n").split("\t")
+                if parts[0] == "e":
+                    yield ("e", parts[1], parts[2])
+                else:
+                    yield ("n", parts[1], None)
+
+    def cross_preds(self, shard: int) -> Iterator[Tuple[str, str]]:
+        """Stream the cross-shard edges whose *target* lives in
+        ``shard`` -- its foreign-predecessor table."""
+        self.flush()
+        path = self._cross_paths[shard]
+        if not path.exists():
+            return
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                source, target = line.rstrip("\n").split("\t")
+                yield (source, target)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Flush buffers and delete every spill file."""
+        if self._closed:
+            return
+        self._buffers = [[] for _ in range(self.num_shards)]
+        self._cross_buffers = [[] for _ in range(self.num_shards)]
+        self._buffered = 0
+        for path in (*self._shard_paths, *self._cross_paths):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._closed = True
+
+    def __enter__(self) -> "StreamingHashPartitioner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingHashPartitioner(shards={self.num_shards}, "
+            f"edges={self.edges}, cut={self.cut_edges}, "
+            f"spilled={self.spill_bytes}B)"
+        )

@@ -478,6 +478,12 @@ class ShardedGraph:
         """Sharded snapshots are already frozen; return ``self``."""
         return self
 
+    @property
+    def version(self) -> int:
+        """Mutation-counter alias (see ``CompactGraph.version``): lets a
+        reloaded sharded snapshot stand in for a live graph."""
+        return self.snapshot_version
+
     # ------------------------------------------------------------------
     # DataGraph-compatible read API (original node keys)
     # ------------------------------------------------------------------

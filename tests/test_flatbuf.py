@@ -29,11 +29,15 @@ from repro.datasets import generate_views, query_from_views, random_graph
 from repro.engine import QueryEngine
 from repro.graph import DataGraph
 from repro.graph.flatbuf import (
+    _HAVE_SHM,
     BACKEND_ENV,
+    FILE_DIR_ENV,
     SEGMENT_PREFIX,
     FlatStore,
+    SegmentFormatError,
     SharedCompactGraph,
     live_segment_names,
+    verify_segment_file,
 )
 from repro.simulation import match
 from repro.views.flatpack import FlatExtension, FlatMaterializedView
@@ -359,6 +363,143 @@ class TestEngineIntegration:
             ViewSet(list(views)), graph=graph
         ).answer_batch(queries)
         assert results == serial
+
+
+# ----------------------------------------------------------------------
+# Backend matrix: every suite invariant must hold on every backend
+# ----------------------------------------------------------------------
+BACKENDS = ("shm", "bytes", "file")
+
+
+@pytest.fixture(params=BACKENDS)
+def flat_backend(request, monkeypatch, tmp_path):
+    backend = request.param
+    if backend == "shm" and not _HAVE_SHM:
+        pytest.skip("shared memory unavailable on this platform")
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    monkeypatch.setenv(BACKEND_ENV, backend)
+    monkeypatch.setenv(FILE_DIR_ENV, str(spool))
+    return backend
+
+
+class TestBackendMatrix:
+    def test_freeze_uses_selected_backend(self, flat_backend):
+        g = _sample_graph(seed=31)
+        shared = g.freeze(shared=True)
+        assert shared.flat_store.backend == flat_backend
+
+    def test_pickle_round_trip_equivalence(self, flat_backend):
+        g = _sample_graph(seed=32)
+        shared = g.freeze(shared=True)
+        revived = pickle.loads(pickle.dumps(shared))
+        assert set(revived.nodes()) == set(g.nodes())
+        assert set(revived.edges()) == set(g.edges())
+        for v in g.nodes():
+            assert revived.labels(v) == g.labels(v)
+            assert revived.successors(v) == shared.successors(v)
+            assert revived.attrs(v) == g.attrs(v)
+
+    def test_matchjoin_equal_on_every_backend(self, flat_backend):
+        labels = tuple(f"l{i}" for i in range(4))
+        graph = random_graph(60, 150, labels=labels, seed=33)
+        shared = graph.freeze(shared=True)
+        views = ViewSet(generate_views(labels, 5, seed=33))
+        views.materialize(shared)
+        query = query_from_views(views, 4, 6, seed=33)
+        containment = contains(query, views)
+        result = match_join(query, containment, views)
+        assert result.edge_matches == match(query, graph).edge_matches
+
+    def test_no_leak_after_drop(self, flat_backend, tmp_path):
+        g = _sample_graph(seed=34)
+        shared = g.freeze(shared=True)
+        name = shared.flat_store.segment.name
+        del shared
+        g._frozen = None
+        gc.collect()
+        assert name not in live_segment_names()
+        # The file backend spools into REPRO_FLAT_DIR; the owner's drop
+        # must delete the spool file, leaving the directory empty.
+        assert not list((tmp_path / "spool").glob("*.seg"))
+
+
+# ----------------------------------------------------------------------
+# File backend: on-disk format validation
+# ----------------------------------------------------------------------
+# <8sIIQIIQ header: magic @0, version @8, flags @12, nbytes @16,
+# payload CRC @24, directory CRC @28, directory length @32; payload @40.
+_PAYLOAD_OFFSET = 40
+
+
+def _saved_store(tmp_path):
+    from array import array
+
+    store = FlatStore.pack(
+        arrays={"xs": array("q", range(64)), "empty": array("q", [])},
+        blobs={"tag": pickle.dumps("hello")},
+    )
+    path = tmp_path / "unit.seg"
+    store.save(path)
+    return path
+
+
+def _corrupted_copy(path, offset, value=None):
+    data = bytearray(path.read_bytes())
+    data[offset] = data[offset] ^ 0xFF if value is None else value
+    target = path.with_name(f"corrupt-{offset}-{path.name}")
+    target.write_bytes(bytes(data))
+    return target
+
+
+class TestFileBackend:
+    def test_save_open_round_trip(self, tmp_path):
+        path = _saved_store(tmp_path)
+        reopened = FlatStore.open(path, verify=True)
+        assert reopened.backend == "file"
+        assert list(reopened.ints("xs")) == list(range(64))
+        assert list(reopened.ints("empty")) == []
+        assert reopened.obj("tag") == "hello"
+        assert reopened.on_disk_bytes == path.stat().st_size
+        assert verify_segment_file(path) > 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        bad = _corrupted_copy(_saved_store(tmp_path), 0)
+        with pytest.raises(SegmentFormatError, match="magic"):
+            FlatStore.open(bad)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        bad = _corrupted_copy(_saved_store(tmp_path), 8, value=99)
+        with pytest.raises(SegmentFormatError, match="version"):
+            FlatStore.open(bad)
+
+    def test_payload_corruption_detected(self, tmp_path):
+        bad = _corrupted_copy(_saved_store(tmp_path), _PAYLOAD_OFFSET + 8)
+        with pytest.raises(SegmentFormatError):
+            verify_segment_file(bad)
+        with pytest.raises(SegmentFormatError):
+            FlatStore.open(bad, verify=True)
+
+    def test_directory_corruption_detected(self, tmp_path):
+        path = _saved_store(tmp_path)
+        # The pickled table directory is the file's trailer.
+        bad = _corrupted_copy(path, path.stat().st_size - 1)
+        with pytest.raises(SegmentFormatError):
+            FlatStore.open(bad)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = _saved_store(tmp_path)
+        truncated = path.with_name("truncated.seg")
+        truncated.write_bytes(path.read_bytes()[:24])
+        with pytest.raises(SegmentFormatError):
+            FlatStore.open(truncated)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = _saved_store(tmp_path)
+        truncated = path.with_name("short.seg")
+        truncated.write_bytes(path.read_bytes()[: _PAYLOAD_OFFSET + 16])
+        with pytest.raises(SegmentFormatError):
+            FlatStore.open(truncated)
 
 
 # ----------------------------------------------------------------------

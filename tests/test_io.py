@@ -130,12 +130,21 @@ class TestSnapReader:
             "1\t2\n"
         )
         edges = read_snap_edges(path)
-        assert edges == [("0", "1"), ("0", "2"), ("1", "2")]
+        # streaming: a generator, not a list (multi-GB files must flow)
+        assert iter(edges) is edges
+        assert list(edges) == [("0", "1"), ("0", "2"), ("1", "2")]
 
     def test_limit(self, tmp_path):
         path = tmp_path / "snap.txt"
         path.write_text("0 1\n1 2\n2 3\n")
-        assert len(read_snap_edges(path, limit=2)) == 2
+        assert len(list(read_snap_edges(path, limit=2))) == 2
+
+    def test_max_edges_guard(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0 1\n1 2\n2 3\n")
+        assert len(list(read_snap_edges(path, max_edges=3))) == 3
+        with pytest.raises(ValueError, match="max_edges"):
+            list(read_snap_edges(path, max_edges=2))
 
     def test_graph_from_edges_with_labeler(self):
         edges = [("0", "1"), ("1", "2")]
@@ -143,3 +152,15 @@ class TestSnapReader:
         assert g.num_edges == 2
         assert g.labels("0") == frozenset({"even"})
         assert g.labels("1") == frozenset({"odd"})
+
+    def test_graph_from_edges_streams_generators(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0 1\n1 2\n2 3\n")
+        g = graph_from_edges(read_snap_edges(path))
+        assert g.num_edges == 3
+
+    def test_graph_from_edges_max_edges_guard(self):
+        edges = [("0", "1"), ("1", "2"), ("2", "3")]
+        assert graph_from_edges(edges, max_edges=3).num_edges == 3
+        with pytest.raises(ValueError, match="repro ingest"):
+            graph_from_edges(edges, max_edges=2)
